@@ -1,0 +1,45 @@
+"""Application-level benchmark: Shor-style modular exponentiation built on
+(MBU) modular adders — the paper's motivating use case."""
+
+import pytest
+
+from repro.extensions import build_modexp, modexp_cost
+from repro.sim import RandomOutcomes, run_classical
+
+from conftest import print_once
+
+
+def test_report_modexp_estimates(benchmark, capsys):
+    lines = ["Modular exponentiation expected-Toffoli estimates",
+             "(2n-bit exponent, CDKPM constant modular adders):",
+             "  n      adders        Tof (plain)      Tof (MBU)     saving"]
+    for n in (64, 256, 1024, 2048):
+        plain = modexp_cost(2 * n, n, "cdkpm", mbu=False)
+        mbu = modexp_cost(2 * n, n, "cdkpm", mbu=True)
+        saving = 100 * float(1 - mbu["toffoli"] / plain["toffoli"])
+        lines.append(
+            f"  {n:5d}  {int(plain['adders']):>10d}  {float(plain['toffoli']):>15.3e}"
+            f"  {float(mbu['toffoli']):>13.3e}  {saving:5.1f}%"
+        )
+    print_once(benchmark, capsys, "\n".join(lines))
+
+
+@pytest.mark.parametrize("mbu", [False, True])
+def test_simulate_modexp(benchmark, mbu):
+    """End-to-end: build and classically simulate 3^e mod 13 on 4 bits."""
+    n, p, a, n_exp = 4, 13, 3, 3
+
+    def run():
+        built = build_modexp(n_exp, n, p, a, "cdkpm", mbu=mbu)
+        out = run_classical(built.circuit, {"e": 6}, outcomes=RandomOutcomes(1))
+        return out["x"]
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result == pow(a, 6, p)
+
+
+def test_build_modexp_circuit(benchmark):
+    benchmark.pedantic(
+        lambda: len(build_modexp(4, 8, 251, 7, "cdkpm", mbu=True).circuit),
+        rounds=2, iterations=1,
+    )

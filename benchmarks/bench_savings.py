@@ -1,0 +1,77 @@
+"""Section-1.1 headline claims: MBU savings across architectures and n,
+plus Monte-Carlo validation that the *empirical* correction frequency and
+gate tallies match the analytical expectations."""
+
+import statistics
+
+import pytest
+
+from repro.modular import build_modadd, build_modadd_const
+from repro.resources import mbu_savings
+from repro.sim import ClassicalSimulator, RandomOutcomes
+
+from conftest import print_once
+
+
+def test_report_savings_sweep(benchmark, capsys):
+    lines = ["MBU expected-Toffoli savings (paper: 10-15% VBE-style, ~25% QFT-style,",
+             "16.7% constant adders in the Takahashi architecture):",
+             "  n     vbe5   vbe4   cdkpm  gidney hybrid draper takahashi"]
+    for n in (8, 16, 32, 64, 128):
+        s = mbu_savings(n)
+        lines.append(
+            f"  {n:4d}  " + " ".join(
+                f"{100 * s[k]:5.1f}%" for k in
+                ("vbe5", "vbe4", "cdkpm", "gidney", "hybrid", "draper", "takahashi")
+            )
+        )
+    print_once(benchmark, capsys, "\n".join(lines))
+
+
+def test_report_monte_carlo(benchmark, capsys):
+    """Run the MBU CDKPM modular adder many times with random measurement
+    outcomes; the mean sampled Toffoli count must approach the analytical
+    expectation 7n + 1 (thm 4.3)."""
+    n, p = 6, 61
+    built = build_modadd(n, p, "cdkpm", mbu=True)
+    expected = built.counts("expected").toffoli
+    worst = built.counts("worst").toffoli
+    best = built.counts("best").toffoli
+    tallies = []
+    corrections = 0
+    trials = 400
+    for seed in range(trials):
+        sim = ClassicalSimulator(built.circuit, outcomes=RandomOutcomes(seed))
+        sim.set_register(built.circuit.registers["x"], 17 % p)
+        sim.set_register(built.circuit.registers["y"], (seed * 7) % p)
+        sim.run()
+        tallies.append(int(sim.tally.toffoli))
+        if sim.tally.toffoli == worst:
+            corrections += 1
+    mean = statistics.mean(tallies)
+    lines = [
+        "Monte-Carlo MBU validation (CDKPM modular adder, n=6, 400 runs):",
+        f"  analytical: best={best} expected={expected} worst={worst}",
+        f"  sampled mean Toffoli = {mean:.2f} (expected {float(expected):.2f})",
+        f"  correction branch frequency = {corrections / trials:.3f} (expected 0.5)",
+    ]
+    assert abs(mean - float(expected)) < 1.5
+    assert abs(corrections / trials - 0.5) < 0.08
+    print_once(benchmark, capsys, "\n".join(lines))
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_savings_scaling(benchmark, n):
+    """Time the full savings sweep at one width (build + count, 12 circuits)."""
+    benchmark.pedantic(lambda: mbu_savings(n), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("mbu", [False, True])
+def test_takahashi_cost(benchmark, mbu):
+    n = 64
+    p = (1 << n) - 59
+    result = benchmark(
+        lambda: build_modadd_const(n, p, p // 3, "cdkpm", "takahashi", mbu=mbu)
+        .counts("expected").toffoli
+    )
+    assert result == (5 * n if mbu else 6 * n)

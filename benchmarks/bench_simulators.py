@@ -1,0 +1,58 @@
+"""Substrate benchmarks: simulator throughput and depth accounting.
+
+Not a paper table, but the substrate's performance envelope determines
+which paper experiments are testable; these benches document it.
+"""
+
+import pytest
+
+from repro.arithmetic import build_adder
+from repro.circuits import depth, toffoli_depth
+from repro.modular import build_modadd
+from repro.sim import RandomOutcomes, run_classical, run_statevector
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_classical_modadd(benchmark, n):
+    p = (1 << n) - 59
+    built = build_modadd(n, p, "cdkpm", mbu=True)
+    x, y = p - 3, p - 7
+
+    def run():
+        return run_classical(
+            built.circuit, {"x": x, "y": y}, outcomes=RandomOutcomes(3)
+        )["y"]
+
+    assert benchmark(run) == (x + y) % p
+
+
+def test_statevector_modadd_n3(benchmark):
+    built = build_modadd(3, 7, "cdkpm", mbu=True)
+
+    def run():
+        sim = run_statevector(
+            built.circuit, {"x": 5, "y": 4}, outcomes=RandomOutcomes(9)
+        )
+        return sim.register_values()
+
+    values = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert list(values)[0][1] == (5 + 4) % 7
+
+
+def test_report_depths(benchmark, capsys):
+    from conftest import print_once
+
+    lines = ["Depth / Toffoli-depth of the plain adders (n=32):"]
+    for family in ("vbe", "cdkpm", "gidney"):
+        built = build_adder(32, family)
+        lines.append(
+            f"  {family:7s} depth={depth(built.circuit):5d} "
+            f"toffoli_depth={toffoli_depth(built.circuit):4d}"
+        )
+    print_once(benchmark, capsys, "\n".join(lines))
+
+
+@pytest.mark.parametrize("family", ["cdkpm", "gidney"])
+def test_depth_computation(benchmark, family):
+    built = build_modadd(64, (1 << 64) - 59, family, mbu=True)
+    benchmark(lambda: toffoli_depth(built.circuit))

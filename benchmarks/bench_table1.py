@@ -1,0 +1,52 @@
+"""Table 1 — modular addition with/without MBU, all architectures.
+
+Regenerates every row of the paper's headline table at n = 16 and 64 and
+times circuit construction + expected-resource counting for each row.
+"""
+
+import pytest
+
+from repro.modular import build_modadd, build_modadd_draper, build_modadd_vbe_original
+from repro.resources import render_rows, table1
+
+from conftest import print_once
+
+N_REPORT = (16, 64)
+
+
+def test_report_table1(benchmark, capsys):
+    text = []
+    for n in N_REPORT:
+        text.append(render_rows(table1(n), f"Table 1 — modular addition (n={n}, p=2^n-1)"))
+        text.append("")
+    print_once(benchmark, capsys, "\n".join(text))
+
+
+@pytest.mark.parametrize("row,mbu", [
+    ("vbe5", False), ("vbe5", True),
+    ("vbe4", False), ("vbe4", True),
+    ("cdkpm", False), ("cdkpm", True),
+    ("gidney", False), ("gidney", True),
+    ("hybrid", False), ("hybrid", True),
+    ("draper", False), ("draper", True),
+])
+def test_build_and_count(benchmark, row, mbu):
+    n = 32
+    p = (1 << n) - 1
+
+    def make():
+        if row == "vbe5":
+            built = build_modadd_vbe_original(n, p, mbu=mbu)
+        elif row == "vbe4":
+            built = build_modadd(n, p, "vbe", mbu=mbu)
+        elif row == "cdkpm":
+            built = build_modadd(n, p, "cdkpm", mbu=mbu)
+        elif row == "gidney":
+            built = build_modadd(n, p, "gidney", mbu=mbu)
+        elif row == "hybrid":
+            built = build_modadd(n, p, "gidney", "cdkpm", mbu=mbu)
+        else:
+            built = build_modadd_draper(n, p, mbu=mbu)
+        return built.counts("expected").toffoli
+
+    benchmark(make)

@@ -1,0 +1,37 @@
+"""Table 2 — plain adders (VBE / CDKPM / Gidney / Draper)."""
+
+import pytest
+
+from repro.arithmetic import build_adder
+from repro.resources import render_rows, table2
+
+from conftest import print_once
+
+
+def test_report_table2(benchmark, capsys):
+    text = []
+    for n in (16, 64):
+        text.append(render_rows(table2(n), f"Table 2 — plain adders (n={n})"))
+        text.append("")
+    print_once(benchmark, capsys, "\n".join(text))
+
+
+@pytest.mark.parametrize("family", ["vbe", "cdkpm", "gidney", "draper"])
+def test_build_adder(benchmark, family):
+    n = 64 if family != "draper" else 24
+    benchmark(lambda: build_adder(n, family).counts("expected").toffoli)
+
+
+@pytest.mark.parametrize("family", ["vbe", "cdkpm", "gidney"])
+def test_simulate_adder_n32(benchmark, family):
+    """Classical simulation throughput of a 32-bit addition."""
+    from repro.sim import run_classical
+
+    built = build_adder(32, family)
+    x, y = 0x9E3779B9, 0x7F4A7C15
+
+    def run():
+        return run_classical(built.circuit, {"x": x, "y": y})["y"]
+
+    result = benchmark(run)
+    assert result == x + y

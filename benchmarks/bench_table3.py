@@ -1,0 +1,37 @@
+"""Table 3 — controlled addition (thm 2.12, prop 2.11, thm 2.14) plus the
+generic recipes (thm 2.9 vs cor 2.10) as an ablation."""
+
+import pytest
+
+from repro.arithmetic import build_controlled_adder
+from repro.resources import render_rows, table3
+
+from conftest import print_once
+
+
+def test_report_table3(benchmark, capsys):
+    text = [render_rows(table3(n), f"Table 3 — controlled addition (n={n})") for n in (16, 64)]
+    print_once(benchmark, capsys, "\n\n".join(text))
+
+
+def test_report_generic_vs_native(benchmark, capsys):
+    """Ablation: thm 2.9 (Toffoli unload) vs cor 2.10 (measurement unload)
+    vs the native constructions."""
+    n = 32
+    lines = [f"Controlled-adder ablation (n={n}, expected Toffoli):"]
+    for family in ("vbe", "cdkpm", "gidney"):
+        row = {
+            method: build_controlled_adder(n, family, method).counts("expected").toffoli
+            for method in ("native", "load_toffoli", "load_and")
+        }
+        lines.append(
+            f"  {family:7s} native={row['native']}  "
+            f"thm2.9={row['load_toffoli']}  cor2.10={row['load_and']}"
+        )
+    print_once(benchmark, capsys, "\n".join(lines))
+
+
+@pytest.mark.parametrize("family", ["cdkpm", "gidney", "draper"])
+def test_build_controlled_adder(benchmark, family):
+    n = 64 if family != "draper" else 16
+    benchmark(lambda: build_controlled_adder(n, family).counts("expected").toffoli)

@@ -1,0 +1,40 @@
+"""Tables 4 & 5 — (controlled) addition by a constant, including the
+Hamming-weight dependence of the load cost."""
+
+import pytest
+
+from repro.arithmetic import build_add_const, build_controlled_add_const
+from repro.boolarith import hamming_weight
+from repro.resources import render_rows, table4, table5
+
+from conftest import print_once
+
+
+def test_report_table4_and_5(benchmark, capsys):
+    n = 32
+    text = [
+        render_rows(table4(n), f"Table 4 — addition by a constant (n={n}, a=2^n-1)"),
+        "",
+        render_rows(table5(n), f"Table 5 — controlled addition by a constant (n={n})"),
+    ]
+    print_once(benchmark, capsys, "\n".join(text))
+
+
+def test_report_hamming_weight_sweep(benchmark, capsys):
+    """The 2|a| X / CNOT load terms of props 2.16 / 2.19."""
+    n = 24
+    lines = [f"Constant-load cost sweep (n={n}, CDKPM):",
+             "  |a|   X gates (plain)   CNOTs over baseline (controlled)"]
+    base = build_controlled_add_const(n, 0, "cdkpm").counts()["cx"]
+    for a in (0, 1, 0b101, 0xFF, (1 << n) - 1):
+        plain = build_add_const(n, a, "cdkpm").counts()["x"]
+        ctrl = build_controlled_add_const(n, a, "cdkpm").counts()["cx"] - base
+        lines.append(f"  {hamming_weight(a):3d}   {str(plain):>15s}   {str(ctrl):>20s}")
+    print_once(benchmark, capsys, "\n".join(lines))
+
+
+@pytest.mark.parametrize("family", ["cdkpm", "gidney", "draper"])
+def test_build_add_const(benchmark, family):
+    n = 48
+    a = (1 << n) - 1
+    benchmark(lambda: build_add_const(n, a, family).counts("expected").toffoli)

@@ -1,0 +1,39 @@
+"""Table 6 — comparators, plus the two-sided comparator of thm 4.13."""
+
+import pytest
+
+from repro.arithmetic import build_comparator
+from repro.mbu import build_in_range
+from repro.resources import render_rows, table6
+
+from conftest import print_once
+
+
+def test_report_table6(benchmark, capsys):
+    text = [render_rows(table6(n), f"Table 6 — comparators (n={n})") for n in (16, 64)]
+    print_once(benchmark, capsys, "\n\n".join(text))
+
+
+def test_report_two_sided(benchmark, capsys):
+    """Thm 4.13: 2r + r' -> 1.5r + r' expected Toffolis with MBU."""
+    lines = ["Two-sided comparator (thm 4.13), expected Toffoli:"]
+    for n in (16, 64):
+        for family in ("cdkpm", "gidney"):
+            plain = build_in_range(n, family).counts("expected").toffoli
+            mbu = build_in_range(n, family, mbu=True).counts("expected").toffoli
+            saving = 100 * float(1 - mbu / plain)
+            lines.append(
+                f"  n={n:3d} {family:7s} plain={plain}  mbu={mbu}  saving={saving:.1f}%"
+            )
+    print_once(benchmark, capsys, "\n".join(lines))
+
+
+@pytest.mark.parametrize("family", ["cdkpm", "gidney", "vbe", "draper"])
+def test_build_comparator(benchmark, family):
+    n = 64 if family != "draper" else 24
+    benchmark(lambda: build_comparator(n, family).counts("expected").toffoli)
+
+
+@pytest.mark.parametrize("mbu", [False, True])
+def test_build_in_range(benchmark, mbu):
+    benchmark(lambda: build_in_range(48, "cdkpm", mbu=mbu).counts("expected").toffoli)

@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_table*.py`` regenerates one of the paper's tables (printed
+once per session via :func:`print_once`) and times the dominant
+build/count path with pytest-benchmark.  Absolute timings are incidental;
+the printed tables are the reproduction artifact.
+"""
+
+
+def print_once(benchmark, capsys, text: str) -> None:
+    """Print a report so it survives pytest's capture, and register a
+    trivial benchmark round so report tests also run under
+    ``--benchmark-only``."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(text)

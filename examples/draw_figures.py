@@ -1,0 +1,56 @@
+"""ASCII renders of the paper's circuit figures.
+
+The paper's figures are constructions, not measurement plots; this script
+regenerates their structure as circuit drawings straight from the builders:
+
+* fig 5  — VBE plain adder;
+* fig 8  — CDKPM ripple-carry adder;
+* fig 13 — Gidney logical-AND adder (Mx = X-basis measurement, ?Z/?X =
+           classically controlled correction);
+* fig 21 — CDKPM comparator (half subtractor);
+* fig 24 — the MBU lemma circuit (~M marks the MBU block);
+* fig 25 — MBU modular addition.
+
+Run:  python examples/draw_figures.py
+"""
+
+from repro.arithmetic import build_adder, build_comparator
+from repro.circuits import Circuit, draw
+from repro.mbu import emit_mbu_uncompute
+from repro.modular import build_modadd
+
+
+def show(title: str, circuit, width: int = 200) -> None:
+    print(f"--- {title}")
+    print(draw(circuit, max_width=width))
+    print()
+
+
+def fig24() -> Circuit:
+    circ = Circuit("fig24")
+    a = circ.add_register("x", 2)
+    g = circ.add_register("g", 1)
+
+    def oracle():
+        circ.ccx(a[0], a[1], g[0])
+
+    oracle()
+    emit_mbu_uncompute(circ, g[0], oracle)
+    return circ
+
+
+def main() -> None:
+    show("fig 5: VBE plain adder (n=2)", build_adder(2, "vbe").circuit)
+    show("fig 8: CDKPM plain adder (n=2)", build_adder(2, "cdkpm").circuit)
+    show("fig 13: Gidney logical-AND adder (n=2)", build_adder(2, "gidney").circuit)
+    show("fig 21: CDKPM comparator (n=2)", build_comparator(2, "cdkpm").circuit)
+    show("fig 24: the MBU lemma", fig24())
+    show(
+        "fig 25: MBU modular addition (n=2, p=3)",
+        build_modadd(2, 3, "cdkpm", mbu=True).circuit,
+        width=300,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Lemma 4.1 live: measurement-based uncomputation on a superposition.
+
+Builds a garbage qubit g = f(a) over a uniform superposition of a 3-qubit
+register, uncomputes it with MBU, and shows on the statevector simulator
+that (1) both measurement branches restore the state *with phases intact*,
+and (2) the correction branch fires half of the time.
+
+Run:  python examples/mbu_demo.py
+"""
+
+import collections
+
+from repro.circuits import Circuit, count_gates
+from repro.mbu import emit_mbu_uncompute
+from repro.sim import RandomOutcomes, StatevectorSimulator
+
+
+def build() -> Circuit:
+    circ = Circuit("mbu-demo")
+    a = circ.add_register("a", 3)
+    g = circ.add_register("g", 1)
+    for q in a:
+        circ.h(q)
+
+    def oracle() -> None:  # g ^= maj-ish boolean of a
+        circ.ccx(a[0], a[1], g[0])
+        circ.cx(a[2], g[0])
+
+    oracle()  # compute the garbage
+    emit_mbu_uncompute(circ, g[0], oracle)  # Lemma 4.1
+    return circ
+
+
+def main() -> None:
+    circ = build()
+    print("expected gate counts:", dict(count_gates(circ, "expected").counts))
+    print("worst-case   counts:", dict(count_gates(circ, "worst").counts))
+    print()
+
+    # 1. state restoration, phases included
+    sim = StatevectorSimulator(circ, outcomes=RandomOutcomes(1))
+    sim.run()
+    values = sim.register_values()
+    print("final amplitudes (all equal => phases corrected):")
+    for key, amp in sorted(values.items()):
+        print(f"  a={key[0]} g={key[1]}: {amp:.4f}")
+    print()
+
+    # 2. the correction branch fires with probability 1/2
+    outcomes = collections.Counter()
+    for seed in range(2000):
+        sim = StatevectorSimulator(circ, outcomes=RandomOutcomes(seed), tally=True)
+        sim.run()
+        fired = sim.bits[0] == 1
+        outcomes["correction"] += fired
+        outcomes["free"] += not fired
+    print(f"correction branch frequency over 2000 runs: "
+          f"{outcomes['correction'] / 2000:.3f}  (Lemma 4.1: 0.5)")
+
+
+if __name__ == "__main__":
+    main()

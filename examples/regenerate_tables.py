@@ -1,0 +1,41 @@
+"""Regenerate every evaluation table of the paper (Tables 1-6).
+
+Run:  python examples/regenerate_tables.py [n]
+"""
+
+import sys
+
+from repro.resources import (
+    mbu_savings,
+    render_rows,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    print(render_rows(table1(n), f"Table 1 — modular addition (n={n}, p=2^n-1)"))
+    print()
+    print(render_rows(table2(n), f"Table 2 — plain adders (n={n})"))
+    print()
+    print(render_rows(table3(n), f"Table 3 — controlled addition (n={n})"))
+    print()
+    print(render_rows(table4(n), f"Table 4 — addition by a constant (n={n})"))
+    print()
+    print(render_rows(table5(n), f"Table 5 — controlled addition by a constant (n={n})"))
+    print()
+    print(render_rows(table6(n), f"Table 6 — comparators (n={n})"))
+    print()
+    savings = mbu_savings(n)
+    print("Section 1.1 headline — expected-Toffoli savings from MBU:")
+    for key, value in savings.items():
+        print(f"  {key:10s} {100 * value:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

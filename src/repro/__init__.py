@@ -1,0 +1,35 @@
+"""repro — reproduction of "Measurement-based uncomputation of quantum
+circuits for modular arithmetic" (Luongo, Miti, Narasimhachar, Sireesh;
+DAC 2025, arXiv:2407.20167).
+
+The package provides:
+
+* ``repro.circuits`` — a small quantum-circuit IR with measurement,
+  classical feedback, MBU blocks, resource accounting and ASCII rendering;
+* ``repro.sim`` — statevector and classical basis-state simulators;
+* ``repro.boolarith`` — the appendix-A bit-string reference model;
+* ``repro.arithmetic`` — all section-2 adders/subtractors/comparators
+  (VBE, CDKPM, Gidney, Draper) with controlled / by-constant variants;
+* ``repro.modular`` — all section-3 modular adders (VBE architecture,
+  Takahashi, Beauregard) and their controlled / by-constant variants;
+* ``repro.mbu`` — Lemma 4.1 and every section-4 MBU-optimised circuit;
+* ``repro.resources`` — the paper's cost formulas and Table 1-6 regeneration;
+* ``repro.extensions`` — modular multiplication / exponentiation built on
+  top of the (MBU) modular adders (the paper's future-work direction).
+"""
+
+__version__ = "1.0.0"
+
+from . import arithmetic, boolarith, circuits, extensions, mbu, modular, resources, sim
+
+__all__ = [
+    "arithmetic",
+    "boolarith",
+    "circuits",
+    "extensions",
+    "mbu",
+    "modular",
+    "resources",
+    "sim",
+    "__version__",
+]

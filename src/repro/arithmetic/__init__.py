@@ -1,0 +1,38 @@
+"""Section-2 arithmetic circuits: plain/controlled/constant adders,
+subtractors and comparators for the VBE, CDKPM, Gidney and Draper families."""
+
+from .builders import (
+    FAMILIES,
+    Built,
+    build_add_const,
+    build_adder,
+    build_comparator,
+    build_compare_lt_const,
+    build_controlled_add_const,
+    build_controlled_adder,
+    build_controlled_comparator,
+    build_controlled_compare_lt_const,
+    build_sub_const,
+    build_subtractor,
+)
+from .families import CDKPM_KIT, GIDNEY_KIT, KITS, VBE_KIT, AdderKit
+
+__all__ = [
+    "FAMILIES",
+    "Built",
+    "AdderKit",
+    "KITS",
+    "CDKPM_KIT",
+    "GIDNEY_KIT",
+    "VBE_KIT",
+    "build_adder",
+    "build_controlled_adder",
+    "build_subtractor",
+    "build_add_const",
+    "build_controlled_add_const",
+    "build_sub_const",
+    "build_comparator",
+    "build_controlled_comparator",
+    "build_compare_lt_const",
+    "build_controlled_compare_lt_const",
+]

@@ -1,0 +1,319 @@
+"""Top-level circuit constructors for every section-2 operation.
+
+Each ``build_*`` function allocates the registers, emits the circuit, and
+returns a :class:`Built` handle that records which registers are ancillas —
+so tests and the Table 2-6 generators can measure gate counts *and* ancilla
+counts straight off a concrete circuit.
+
+``family`` selects the plain-adder family: ``'vbe'``, ``'cdkpm'``,
+``'gidney'`` (ripple-carry kits) or ``'draper'`` (QFT-based).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from ..circuits.circuit import Circuit, Register
+from ..circuits.resources import GateCounts, count_blocks, count_gates
+from . import draper
+from .compare import (
+    emit_compare_lt_const,
+    emit_compare_lt_const_controlled,
+)
+from .constant import (
+    emit_add_const,
+    emit_add_const_controlled,
+    emit_sub_const,
+    emit_sub_const_controlled,
+)
+from .controlled import emit_add_controlled_via_load
+from .families import KITS, AdderKit
+from .subtract import emit_sub_sandwich
+
+__all__ = [
+    "Built",
+    "build_adder",
+    "build_controlled_adder",
+    "build_subtractor",
+    "build_add_const",
+    "build_controlled_add_const",
+    "build_sub_const",
+    "build_comparator",
+    "build_controlled_comparator",
+    "build_compare_lt_const",
+    "build_controlled_compare_lt_const",
+    "FAMILIES",
+]
+
+FAMILIES = ("vbe", "cdkpm", "gidney", "draper")
+
+
+@dataclass
+class Built:
+    """A constructed circuit plus its register roles and metadata."""
+
+    circuit: Circuit
+    n: int
+    ancilla_names: Tuple[str, ...]
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def registers(self) -> Dict[str, Register]:
+        return self.circuit.registers
+
+    @property
+    def ancilla_count(self) -> int:
+        return sum(len(self.registers[name]) for name in self.ancilla_names)
+
+    @property
+    def logical_qubits(self) -> int:
+        return self.circuit.num_qubits
+
+    def counts(self, mode: str = "expected") -> GateCounts:
+        return count_gates(self.circuit, mode=mode)
+
+    def blocks(self, mode: str = "expected"):
+        return count_blocks(self.circuit, mode=mode)
+
+
+def _kit(family: str) -> AdderKit:
+    if family not in KITS:
+        raise ValueError(f"unknown ripple-carry family {family!r}; options: {sorted(KITS)}")
+    return KITS[family]
+
+
+# --------------------------------------------------------------------------- #
+# plain addition (def 2.1; props 2.2-2.5, cor 2.7)
+
+
+def build_adder(n: int, family: str = "cdkpm") -> Built:
+    """|x>_n |y>_{n+1} -> |x>_n |x+y>_{n+1}  (Table 2)."""
+    circ = Circuit(f"add[{family},n={n}]")
+    x = circ.add_register("x", n)
+    y = circ.add_register("y", n + 1)
+    if family == "draper":
+        draper.emit_draper_add(circ, x.qubits, y.qubits)
+        return Built(circ, n, (), {"family": family, "op": "add"})
+    kit = _kit(family)
+    anc = circ.add_register("anc", kit.add_ancillas(n))
+    kit.emit_add(circ, x.qubits, y.qubits, anc.qubits)
+    return Built(circ, n, ("anc",), {"family": family, "op": "add"})
+
+
+def build_controlled_adder(n: int, family: str = "cdkpm", method: str = "native") -> Built:
+    """|c>|x>_n |y>_{n+1} -> |c>|x>|y + c*x>  (def 2.8, Table 3).
+
+    ``method='native'`` uses the family's dedicated construction (thm 2.12
+    for CDKPM, prop 2.11 for Gidney, thm 2.14 for Draper; VBE falls back to
+    the generic recipe).  ``method='load_and'`` is cor 2.10 and
+    ``method='load_toffoli'`` is thm 2.9, for any family.
+    """
+    circ = Circuit(f"cadd[{family},{method},n={n}]")
+    ctrl = circ.add_register("ctrl", 1)
+    x = circ.add_register("x", n)
+    y = circ.add_register("y", n + 1)
+    meta = {"family": family, "op": "cadd", "method": method}
+
+    if family == "draper":
+        anc = circ.add_register("anc", 1)
+        draper.emit_draper_add_controlled(circ, ctrl[0], x.qubits, y.qubits, anc[0])
+        return Built(circ, n, ("anc",), meta)
+
+    kit = _kit(family)
+    if method == "native" and kit.emit_add_ctrl is not None:
+        anc = circ.add_register("anc", kit.ctrl_add_ancillas(n))
+        kit.emit_add_ctrl(circ, ctrl[0], x.qubits, y.qubits, anc.qubits)
+        return Built(circ, n, ("anc",), meta)
+
+    if method == "native":
+        method = "load_and"  # VBE: no dedicated construction
+        meta["method"] = method
+    if method not in ("load_and", "load_toffoli"):
+        raise ValueError(f"unknown controlled-adder method {method!r}")
+    scratch = circ.add_register("scratch", n)
+    anc = circ.add_register("anc", kit.add_ancillas(n))
+    emit_add_controlled_via_load(
+        circ,
+        ctrl[0],
+        x.qubits,
+        y.qubits,
+        scratch.qubits,
+        lambda xs, ys: kit.emit_add(circ, xs, ys, anc.qubits),
+        use_and=(method == "load_and"),
+    )
+    return Built(circ, n, ("scratch", "anc"), meta)
+
+
+# --------------------------------------------------------------------------- #
+# subtraction (def 2.21, thm 2.22)
+
+
+def build_subtractor(n: int, family: str = "cdkpm", method: str = "default") -> Built:
+    """|x>_n |y>_{n+1} -> |x>_n |y - x mod 2^{n+1}>  (def 2.21).
+
+    ``method='default'`` uses the adder adjoint where one exists and the
+    complement sandwich for the measurement-based Gidney adder;
+    ``method='sandwich'`` forces thm 2.22's circuit (8) for any family.
+    """
+    circ = Circuit(f"sub[{family},{method},n={n}]")
+    x = circ.add_register("x", n)
+    y = circ.add_register("y", n + 1)
+    if family == "draper":
+        draper.emit_qft(circ, y.qubits)
+        draper.emit_phi_sub(circ, x.qubits, y.qubits)
+        draper.emit_iqft(circ, y.qubits)
+        return Built(circ, n, (), {"family": family, "op": "sub"})
+    kit = _kit(family)
+    anc = circ.add_register("anc", kit.add_ancillas(n))
+    if method == "sandwich":
+        emit_sub_sandwich(
+            circ, y.qubits, lambda: kit.emit_add(circ, x.qubits, y.qubits, anc.qubits)
+        )
+    elif method == "default":
+        kit.emit_sub(circ, x.qubits, y.qubits, anc.qubits)
+    else:
+        raise ValueError(f"unknown subtractor method {method!r}")
+    return Built(circ, n, ("anc",), {"family": family, "op": "sub", "method": method})
+
+
+# --------------------------------------------------------------------------- #
+# constant addition / subtraction (defs 2.15 / 2.18; props 2.16, 2.17, 2.19, 2.20)
+
+
+def build_add_const(n: int, a: int, family: str = "cdkpm") -> Built:
+    """|x>_{n+1} -> |x + a>_{n+1} with the top qubit 0 on input (def 2.15)."""
+    circ = Circuit(f"addc[{family},n={n},a={a}]")
+    x = circ.add_register("x", n + 1)
+    if family == "draper":
+        draper.emit_qft(circ, x.qubits)
+        draper.emit_phi_add_const(circ, x.qubits, a)
+        draper.emit_iqft(circ, x.qubits)
+        return Built(circ, n, (), {"family": family, "op": "addc", "a": a})
+    kit = _kit(family)
+    scratch = circ.add_register("scratch", n)
+    anc = circ.add_register("anc", kit.add_ancillas(n))
+    emit_add_const(
+        circ, x.qubits, a, scratch.qubits,
+        lambda xs, ys: kit.emit_add(circ, xs, ys, anc.qubits),
+    )
+    return Built(circ, n, ("scratch", "anc"), {"family": family, "op": "addc", "a": a})
+
+
+def build_controlled_add_const(n: int, a: int, family: str = "cdkpm") -> Built:
+    """|c>|x>_{n+1} -> |c>|x + c*a>_{n+1}  (def 2.18)."""
+    circ = Circuit(f"caddc[{family},n={n},a={a}]")
+    ctrl = circ.add_register("ctrl", 1)
+    x = circ.add_register("x", n + 1)
+    if family == "draper":
+        draper.emit_qft(circ, x.qubits)
+        draper.emit_cphi_add_const(circ, ctrl[0], x.qubits, a)
+        draper.emit_iqft(circ, x.qubits)
+        return Built(circ, n, (), {"family": family, "op": "caddc", "a": a})
+    kit = _kit(family)
+    scratch = circ.add_register("scratch", n)
+    anc = circ.add_register("anc", kit.add_ancillas(n))
+    emit_add_const_controlled(
+        circ, ctrl[0], x.qubits, a, scratch.qubits,
+        lambda xs, ys: kit.emit_add(circ, xs, ys, anc.qubits),
+    )
+    return Built(circ, n, ("scratch", "anc"), {"family": family, "op": "caddc", "a": a})
+
+
+def build_sub_const(n: int, a: int, family: str = "cdkpm") -> Built:
+    """|x>_{n+1} -> |x - a mod 2^{n+1}>_{n+1}."""
+    circ = Circuit(f"subc[{family},n={n},a={a}]")
+    x = circ.add_register("x", n + 1)
+    if family == "draper":
+        draper.emit_qft(circ, x.qubits)
+        draper.emit_phi_sub_const(circ, x.qubits, a)
+        draper.emit_iqft(circ, x.qubits)
+        return Built(circ, n, (), {"family": family, "op": "subc", "a": a})
+    kit = _kit(family)
+    scratch = circ.add_register("scratch", n)
+    anc = circ.add_register("anc", kit.add_ancillas(n))
+    emit_sub_const(
+        circ, x.qubits, a, scratch.qubits,
+        lambda xs, ys: kit.emit_add(circ, xs, ys, anc.qubits),
+    )
+    return Built(circ, n, ("scratch", "anc"), {"family": family, "op": "subc", "a": a})
+
+
+# --------------------------------------------------------------------------- #
+# comparison (defs 2.24 / 2.29 / 2.33 / 2.37)
+
+
+def build_comparator(n: int, family: str = "cdkpm") -> Built:
+    """|x>|y>|t> -> |x>|y>|t ^ [x > y]>  (def 2.24, Table 6)."""
+    circ = Circuit(f"cmp[{family},n={n}]")
+    x = circ.add_register("x", n)
+    y = circ.add_register("y", n)
+    t = circ.add_register("t", 1)
+    if family == "draper":
+        top = circ.add_register("top", 1)
+        draper.emit_draper_compare_gt(circ, x.qubits, list(y.qubits) + [top[0]], t[0])
+        return Built(circ, n, ("top",), {"family": family, "op": "cmp"})
+    kit = _kit(family)
+    anc = circ.add_register("anc", kit.compare_ancillas(n))
+    kit.emit_compare_gt(circ, x.qubits, y.qubits, t[0], anc.qubits)
+    return Built(circ, n, ("anc",), {"family": family, "op": "cmp"})
+
+
+def build_controlled_comparator(n: int, family: str = "cdkpm") -> Built:
+    """|c>|x>|y>|t> -> ... |t ^ c*[x > y]>  (def 2.29, props 2.30/2.31)."""
+    circ = Circuit(f"ccmp[{family},n={n}]")
+    ctrl = circ.add_register("ctrl", 1)
+    x = circ.add_register("x", n)
+    y = circ.add_register("y", n)
+    t = circ.add_register("t", 1)
+    if family == "draper":
+        top = circ.add_register("top", 1)
+        draper.emit_draper_compare_gt(
+            circ, x.qubits, list(y.qubits) + [top[0]], t[0], ctrl=ctrl[0]
+        )
+        return Built(circ, n, ("top",), {"family": family, "op": "ccmp"})
+    kit = _kit(family)
+    anc = circ.add_register("anc", kit.compare_ancillas(n))
+    kit.emit_compare_gt(circ, x.qubits, y.qubits, t[0], anc.qubits, ctrl=ctrl[0])
+    return Built(circ, n, ("anc",), {"family": family, "op": "ccmp"})
+
+
+def build_compare_lt_const(n: int, a: int, family: str = "cdkpm") -> Built:
+    """|x>|t> -> |x>|t ^ [x < a]>  (def 2.33, prop 2.34 / prop 2.36)."""
+    circ = Circuit(f"cmpc[{family},n={n},a={a}]")
+    x = circ.add_register("x", n)
+    t = circ.add_register("t", 1)
+    if family == "draper":
+        top = circ.add_register("top", 1)
+        draper.emit_draper_compare_lt_const(circ, x.qubits, a, t[0], top[0])
+        return Built(circ, n, ("top",), {"family": family, "op": "cmpc", "a": a})
+    kit = _kit(family)
+    scratch = circ.add_register("scratch", n)
+    anc = circ.add_register("anc", kit.compare_ancillas(n))
+    emit_compare_lt_const(
+        circ, x.qubits, a, t[0], scratch.qubits,
+        lambda aa, bb, tt: kit.emit_compare_gt(circ, aa, bb, tt, anc.qubits),
+    )
+    return Built(circ, n, ("scratch", "anc"), {"family": family, "op": "cmpc", "a": a})
+
+
+def build_controlled_compare_lt_const(n: int, a: int, family: str = "cdkpm") -> Built:
+    """|c>|x>|t> -> |c>|x>|t ^ [x < c*a]>  (def 2.37, thm 2.38)."""
+    circ = Circuit(f"ccmpc[{family},n={n},a={a}]")
+    ctrl = circ.add_register("ctrl", 1)
+    x = circ.add_register("x", n)
+    t = circ.add_register("t", 1)
+    if family == "draper":
+        # [x < c*a] == c*[x < a] (both are 0 when c=0), so controlling the
+        # sign copy of prop 2.36 implements def 2.37 with one extra Toffoli.
+        top = circ.add_register("top", 1)
+        draper.emit_draper_compare_lt_const(circ, x.qubits, a, t[0], top[0], ctrl=ctrl[0])
+        return Built(circ, n, ("top",), {"family": family, "op": "ccmpc", "a": a})
+    kit = _kit(family)
+    scratch = circ.add_register("scratch", n)
+    anc = circ.add_register("anc", kit.compare_ancillas(n))
+    emit_compare_lt_const_controlled(
+        circ, ctrl[0], x.qubits, a, t[0], scratch.qubits,
+        lambda aa, bb, tt: kit.emit_compare_gt(circ, aa, bb, tt, anc.qubits),
+    )
+    return Built(circ, n, ("scratch", "anc"), {"family": family, "op": "ccmpc", "a": a})

@@ -1,0 +1,176 @@
+"""The CDKPM ripple-carry adder (Cuccaro, Draper, Kutin, Petrie Moulton
+2004) — prop 2.3 — plus its controlled variant (thm 2.12) and the
+half-subtractor comparator (props 2.27 / 2.30).
+
+Gates (figs 6-7):
+
+* ``MAJ(c, y, x)``: ``|c, y, x> -> |c^x, y^x, maj(x, y, c)>``
+  (2 CNOT + 1 Toffoli);
+* ``UMA(c, y, x)`` (2-CNOT form): inverse of MAJ composed with the sum
+  write-out, ``-> |c, y^x^c, x>``;
+* ``UMA3``: the 3-CNOT variant of fig. 7 (better parallelism, same
+  function, +2 X);
+* ``C-UMA`` (fig 16): the controlled unmajority used by the 1-ancilla
+  controlled adder of thm 2.12.
+
+Exact resources:
+
+* :func:`emit_cdkpm_add`       — ``2n`` Toffoli, ``4n + 1`` CNOT, 1 ancilla
+  (matches Table 2 exactly);
+* :func:`emit_cdkpm_add_controlled` — ``3n + 1`` Toffoli, ``2n + 2`` CNOT,
+  1 ancilla (paper: ``3n``; the +1 is the controlled overflow copy);
+* :func:`emit_cdkpm_compare_gt` — ``2m`` Toffoli, ``4m + 1`` CNOT, ``2m`` X,
+  1 ancilla (matches Table 6 exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+
+__all__ = [
+    "emit_maj",
+    "emit_maj_adj",
+    "emit_uma",
+    "emit_uma3",
+    "emit_cuma",
+    "emit_cdkpm_add",
+    "emit_cdkpm_add_controlled",
+    "emit_cdkpm_compare_gt",
+    "cdkpm_add_ancillas",
+    "cdkpm_compare_ancillas",
+]
+
+
+def emit_maj(circ: Circuit, c: int, y: int, x: int) -> None:
+    """Fig. 6 MAJ: |c, y, x> -> |c^x, y^x, maj(x, y, c)>."""
+    circ.cx(x, y)
+    circ.cx(x, c)
+    circ.ccx(c, y, x)
+
+
+def emit_maj_adj(circ: Circuit, c: int, y: int, x: int) -> None:
+    circ.ccx(c, y, x)
+    circ.cx(x, c)
+    circ.cx(x, y)
+
+
+def emit_uma(circ: Circuit, c: int, y: int, x: int) -> None:
+    """Fig. 7 UMA (2-CNOT form): restores c and x, writes the sum into y."""
+    circ.ccx(c, y, x)
+    circ.cx(x, c)
+    circ.cx(c, y)
+
+
+def emit_uma3(circ: Circuit, c: int, y: int, x: int) -> None:
+    """Fig. 7 UMA (3-CNOT form): same function, friendlier depth (+2 X)."""
+    circ.x(y)
+    circ.cx(c, y)
+    circ.ccx(c, y, x)
+    circ.x(y)
+    circ.cx(x, c)
+    circ.cx(x, y)
+
+
+def emit_cuma(circ: Circuit, ctrl: int, c: int, y: int, x: int) -> None:
+    """Fig. 16 controlled-UMA: restores c and x; y ^= ctrl * (c ^ x).
+
+    Combined with MAJ (fig 17) this writes the sum only when ``ctrl`` is set
+    and restores ``y`` otherwise.  2 Toffoli + 2 CNOT.
+    """
+    circ.ccx(c, y, x)  # restore x
+    circ.cx(x, y)  # y back to its input value
+    circ.ccx(ctrl, c, y)  # y ^= ctrl * (c ^ x): c still holds c^x here
+    circ.cx(x, c)  # restore c
+
+
+def cdkpm_add_ancillas(n: int) -> int:
+    return 1
+
+
+def emit_cdkpm_add(
+    circ: Circuit, x: Sequence[int], y: Sequence[int], c0: int
+) -> None:
+    """Prop 2.3 (fig 8): |x>_n |y>_{n+1} -> |x>_n |x + y>_{n+1}.
+
+    ``c0`` is a single clean ancilla, returned clean.  Addition is modulo
+    ``2**(n+1)`` on arbitrary ``y``.
+    """
+    n = len(x)
+    if len(y) != n + 1:
+        raise ValueError("y register must have n+1 qubits (one overflow qubit)")
+    chain = [c0] + list(x)  # carry slot for position i is chain[i]
+    for i in range(n):
+        emit_maj(circ, chain[i], y[i], x[i])
+    circ.cx(x[n - 1], y[n])
+    for i in range(n - 1, -1, -1):
+        emit_uma(circ, chain[i], y[i], x[i])
+
+
+def emit_cdkpm_add_controlled(
+    circ: Circuit, ctrl: int, x: Sequence[int], y: Sequence[int], c0: int
+) -> None:
+    """Thm 2.12: controlled n-bit addition with a single ancilla.
+
+    MAJ chain as in the plain adder; the write-back uses C-UMA gates so the
+    sum lands in ``y`` only when ``ctrl`` is set.  The overflow copy becomes
+    a Toffoli.  ``3n + 1`` Toffoli total.
+    """
+    n = len(x)
+    if len(y) != n + 1:
+        raise ValueError("y register must have n+1 qubits (one overflow qubit)")
+    chain = [c0] + list(x)
+    for i in range(n):
+        emit_maj(circ, chain[i], y[i], x[i])
+    circ.ccx(ctrl, x[n - 1], y[n])
+    for i in range(n - 1, -1, -1):
+        emit_cuma(circ, ctrl, chain[i], y[i], x[i])
+
+
+def cdkpm_compare_ancillas(m: int) -> int:
+    return 1
+
+
+def emit_cdkpm_compare_gt(
+    circ: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    t: int,
+    c0: int,
+    b_extra: int | None = None,
+    ctrl: int | None = None,
+) -> None:
+    """Props 2.27 / 2.30: t ^= [a > b] with half a subtractor.
+
+    Complements ``b``, runs the MAJ chain of ``a + ~b`` (the carry-out is 1
+    iff ``a > b``), copies the carry into ``t``, and un-runs the chain.
+
+    ``b_extra`` (remark 2.32) extends the second operand by a top qubit:
+    the copy becomes a Toffoli fired only when ``b_extra`` is 0.
+    ``ctrl`` (prop 2.30) makes the comparator controlled: the copy becomes
+    a Toffoli on (ctrl, carry).  The two options are mutually exclusive.
+    """
+    m = len(a)
+    if len(b) != m:
+        raise ValueError("comparator operands must have equal width")
+    if b_extra is not None and ctrl is not None:
+        raise ValueError("b_extra and ctrl cannot be combined")
+    for q in b:
+        circ.x(q)
+    chain = [c0] + list(a)
+    for i in range(m):
+        emit_maj(circ, chain[i], b[i], a[i])
+    carry = a[m - 1]  # holds the carry-out after the chain
+    if ctrl is not None:
+        circ.ccx(ctrl, carry, t)
+    elif b_extra is None:
+        circ.cx(carry, t)
+    else:
+        circ.x(b_extra)
+        circ.ccx(b_extra, carry, t)
+        circ.x(b_extra)
+    for i in range(m - 1, -1, -1):
+        emit_maj_adj(circ, chain[i], b[i], a[i])
+    for q in b:
+        circ.x(q)

@@ -1,0 +1,93 @@
+"""Generic comparators — props 2.25 / 2.34, thm 2.35/2.38, remark 2.39.
+
+The fast, family-specific half-subtractor comparators live in
+``repro.arithmetic.cdkpm`` / ``gidney`` / ``vbe`` / ``draper``; this module
+provides the compositions that work with any adder or comparator:
+
+* :func:`emit_compare_gt_via_sub_add` — prop 2.25: subtract, copy the sign,
+  add back (one full adder + one full subtractor);
+* :func:`emit_compare_lt_const` — prop 2.34: load the constant with X
+  gates, compare quantum-quantum, unload;
+* :func:`emit_compare_lt_const_controlled` — thm 2.38: load ``ctrl * a``
+  with CNOTs instead;
+* :func:`emit_compare_le` — remark 2.39: postcompose an X on the target to
+  flip the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..circuits.circuit import Circuit
+from .constant import emit_load_constant, emit_load_constant_controlled
+
+__all__ = [
+    "emit_compare_gt_via_sub_add",
+    "emit_compare_lt_const",
+    "emit_compare_lt_const_controlled",
+    "emit_compare_le",
+]
+
+CompareEmit = Callable[[Sequence[int], Sequence[int], int], None]
+
+
+def emit_compare_gt_via_sub_add(
+    circ: Circuit,
+    y_full: Sequence[int],
+    t: int,
+    emit_sub: Callable[[], None],
+    emit_add: Callable[[], None],
+) -> None:
+    """Prop 2.25: t ^= [x > y].
+
+    ``emit_sub`` / ``emit_add`` must emit ``y -= x`` / ``y += x`` on the
+    (m+1)-qubit ``y_full`` whose top qubit holds the sign after subtraction.
+    """
+    emit_sub()
+    circ.cx(y_full[-1], t)
+    emit_add()
+
+
+def emit_compare_lt_const(
+    circ: Circuit,
+    x: Sequence[int],
+    a: int,
+    t: int,
+    scratch: Sequence[int],
+    emit_compare_gt: CompareEmit,
+) -> None:
+    """Prop 2.34: t ^= [x < a] for classical ``a``; 2|a| extra X gates.
+
+    ``emit_compare_gt(a_reg, b_reg, t)`` is any quantum-quantum comparator;
+    it is invoked as ``[loaded_a > x]`` which equals ``[x < a]``.
+    """
+    emit_load_constant(circ, scratch, a)
+    emit_compare_gt(scratch, x, t)
+    emit_load_constant(circ, scratch, a)
+
+
+def emit_compare_lt_const_controlled(
+    circ: Circuit,
+    ctrl: int,
+    x: Sequence[int],
+    a: int,
+    t: int,
+    scratch: Sequence[int],
+    emit_compare_gt: CompareEmit,
+) -> None:
+    """Thm 2.38: t ^= [x < ctrl * a]; 2|a| extra CNOTs.
+
+    With ``ctrl = 0`` the scratch holds 0 and ``[0 > x] = 0``: a no-op, as
+    def 2.37 requires.
+    """
+    emit_load_constant_controlled(circ, ctrl, scratch, a)
+    emit_compare_gt(scratch, x, t)
+    emit_load_constant_controlled(circ, ctrl, scratch, a)
+
+
+def emit_compare_le(
+    circ: Circuit, t: int, emit_compare_gt: Callable[[], None]
+) -> None:
+    """Remark 2.39: t ^= [x <= y] as NOT [x > y]."""
+    emit_compare_gt()
+    circ.x(t)

@@ -1,0 +1,114 @@
+"""Addition and subtraction by classical constants — props 2.16 / 2.19.
+
+The generic recipe loads the constant into a scratch register with ``|a|``
+X gates (or ``|a|`` CNOTs from the control for the controlled variant,
+prop 2.19 — note the control only guards the *load*, never the adder:
+adding zero is the identity), runs any plain adder, and unloads.
+
+Constant subtraction composes the load trick with the complement sandwich
+of thm 2.22; the sandwich commutes with the control for free because
+``~(~y + 0) = y``.
+
+Draper-based constant addition (prop 2.17, zero ancillas) lives in
+``repro.arithmetic.draper.emit_phi_add_const``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..circuits.circuit import Circuit
+from ..boolarith import hamming_weight
+
+__all__ = [
+    "emit_load_constant",
+    "emit_load_constant_controlled",
+    "emit_add_const",
+    "emit_add_const_controlled",
+    "emit_sub_const",
+    "emit_sub_const_controlled",
+]
+
+
+def emit_load_constant(circ: Circuit, reg: Sequence[int], a: int) -> None:
+    """reg (clean) <- a, using |a| X gates.  Self-inverse."""
+    if a < 0 or a >= (1 << len(reg)):
+        raise ValueError(f"constant {a} does not fit in {len(reg)} qubits")
+    for i, q in enumerate(reg):
+        if (a >> i) & 1:
+            circ.x(q)
+
+
+def emit_load_constant_controlled(
+    circ: Circuit, ctrl: int, reg: Sequence[int], a: int
+) -> None:
+    """reg (clean) <- ctrl * a, using |a| CNOTs.  Self-inverse."""
+    if a < 0 or a >= (1 << len(reg)):
+        raise ValueError(f"constant {a} does not fit in {len(reg)} qubits")
+    for i, q in enumerate(reg):
+        if (a >> i) & 1:
+            circ.cx(ctrl, q)
+
+
+def emit_add_const(
+    circ: Circuit,
+    y_full: Sequence[int],
+    a: int,
+    scratch: Sequence[int],
+    emit_add: Callable[[Sequence[int], Sequence[int]], None],
+) -> None:
+    """Prop 2.16: y += a.  ``scratch`` holds the loaded constant (n clean
+    qubits, returned clean); ``emit_add(x, y)`` is any plain adder."""
+    if len(scratch) != len(y_full) - 1:
+        raise ValueError("scratch must be one qubit shorter than y")
+    emit_load_constant(circ, scratch, a)
+    emit_add(scratch, y_full)
+    emit_load_constant(circ, scratch, a)
+
+
+def emit_add_const_controlled(
+    circ: Circuit,
+    ctrl: int,
+    y_full: Sequence[int],
+    a: int,
+    scratch: Sequence[int],
+    emit_add: Callable[[Sequence[int], Sequence[int]], None],
+) -> None:
+    """Prop 2.19: y += ctrl * a.  Only the 2|a| load CNOTs are controlled."""
+    if len(scratch) != len(y_full) - 1:
+        raise ValueError("scratch must be one qubit shorter than y")
+    emit_load_constant_controlled(circ, ctrl, scratch, a)
+    emit_add(scratch, y_full)
+    emit_load_constant_controlled(circ, ctrl, scratch, a)
+
+
+def emit_sub_const(
+    circ: Circuit,
+    y_full: Sequence[int],
+    a: int,
+    scratch: Sequence[int],
+    emit_add: Callable[[Sequence[int], Sequence[int]], None],
+) -> None:
+    """y -= a (mod 2**len(y)): complement sandwich around :func:`emit_add_const`."""
+    for q in y_full:
+        circ.x(q)
+    emit_add_const(circ, y_full, a, scratch, emit_add)
+    for q in y_full:
+        circ.x(q)
+
+
+def emit_sub_const_controlled(
+    circ: Circuit,
+    ctrl: int,
+    y_full: Sequence[int],
+    a: int,
+    scratch: Sequence[int],
+    emit_add: Callable[[Sequence[int], Sequence[int]], None],
+) -> None:
+    """y -= ctrl * a: the sandwich is unconditional (subtracting 0 is a
+    no-op), only the load is controlled."""
+    for q in y_full:
+        circ.x(q)
+    emit_add_const_controlled(circ, ctrl, y_full, a, scratch, emit_add)
+    for q in y_full:
+        circ.x(q)

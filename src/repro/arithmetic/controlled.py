@@ -1,0 +1,51 @@
+"""Generic controlled addition — thm 2.9 and cor 2.10.
+
+Any plain adder becomes controlled by loading ``ctrl * x`` into a scratch
+register and adding the scratch instead of ``x``:
+
+* thm 2.9 loads *and* unloads with Toffolis: ``r + 2n`` Toffolis;
+* cor 2.10 loads with temporary logical-ANDs and uncomputes them by
+  measurement: ``r + n`` Toffolis.
+
+Family-specific controlled adders that beat the generic recipe live in
+their modules: :func:`repro.arithmetic.cdkpm.emit_cdkpm_add_controlled`
+(thm 2.12, 1 ancilla) and
+:func:`repro.arithmetic.gidney.emit_gidney_add_controlled` (prop 2.11).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..circuits.circuit import Circuit
+from .gidney import emit_and, emit_and_uncompute
+
+__all__ = ["emit_add_controlled_via_load"]
+
+
+def emit_add_controlled_via_load(
+    circ: Circuit,
+    ctrl: int,
+    x: Sequence[int],
+    y_full: Sequence[int],
+    scratch: Sequence[int],
+    emit_add: Callable[[Sequence[int], Sequence[int]], None],
+    use_and: bool = True,
+) -> None:
+    """y += ctrl * x with ``n`` scratch qubits (clean in, clean out).
+
+    ``use_and=True`` is cor 2.10 (measurement-based unload, +n Toffoli);
+    ``use_and=False`` is thm 2.9 (Toffoli unload, +2n Toffoli).
+    """
+    n = len(x)
+    if len(scratch) != n:
+        raise ValueError("controlled addition needs n scratch qubits")
+    for i in range(n):
+        emit_and(circ, ctrl, x[i], scratch[i])
+    emit_add(scratch, y_full)
+    if use_and:
+        for i in range(n):
+            emit_and_uncompute(circ, ctrl, x[i], scratch[i])
+    else:
+        for i in range(n):
+            circ.ccx(ctrl, x[i], scratch[i])

@@ -1,0 +1,250 @@
+"""Draper's QFT adder (Draper 2000) and Beauregard's constant variants —
+props 2.5 / 2.17 / 2.20, cor 2.7, thms 2.13-2.14, and the QFT comparators
+(props 2.26 / 2.36).
+
+Conventions
+-----------
+The Fourier register ``phi`` of ``m`` qubits holds
+``phi_i = (|0> + exp(2*pi*i*y / 2**(i+1)) |1>) / sqrt(2)`` on qubit ``i``
+(little-endian, no bit-reversal swaps — our QFT writes the phases directly
+in register order).  A ``phi`` register of ``n + 1`` qubits whose top qubit
+started as 0 holds sums without losing the overflow.
+
+Block markers: every QFT-sized block is delimited with ``circ.block(label)``
+so the resource layer can count Table 1's Draper rows in QFT / PCQFT units
+(``repro.resources.tables`` maps PhiADD-style blocks onto QFT units per
+remark 2.6, and constant-rotation blocks onto PCQFT units).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+from .gidney import emit_and, emit_and_uncompute
+
+__all__ = [
+    "emit_qft",
+    "emit_iqft",
+    "emit_phi_add",
+    "emit_phi_sub",
+    "emit_phi_add_const",
+    "emit_phi_sub_const",
+    "emit_cphi_add",
+    "emit_cphi_add_const",
+    "emit_cphi_sub_const",
+    "emit_ccphi_add_const",
+    "emit_draper_add",
+    "emit_draper_add_controlled",
+    "emit_draper_compare_gt",
+    "emit_draper_compare_lt_const",
+    "QFT_UNIT_LABELS",
+    "PCQFT_UNIT_LABELS",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+# Labels whose cost is bounded by one QFT_{m} (remark 2.6).
+QFT_UNIT_LABELS = frozenset(
+    {"QFT", "IQFT", "PhiADD", "PhiSUB", "CPhiADD", "CPhiSUB"}
+)
+# Classically-determined rotation blocks (the paper's "PCQFT" unit).
+PCQFT_UNIT_LABELS = frozenset(
+    {"PhiADD(a)", "PhiSUB(a)", "CPhiADD(a)", "CPhiSUB(a)", "CCPhiADD(a)"}
+)
+
+
+def _theta(k: int) -> float:
+    """theta_k = 2*pi / 2**k (fig 3)."""
+    return _TWO_PI / (1 << k)
+
+
+def emit_qft(circ: Circuit, qubits: Sequence[int]) -> None:
+    """QFT without final swaps: |y> -> prod_i (|0> + e^{2 pi i y/2^{i+1}}|1>).
+
+    Processing runs from the top qubit down so each target's controls are
+    still in the computational basis.  m Hadamards, m(m-1)/2 C-R gates
+    (remark 1.1).
+    """
+    m = len(qubits)
+    with circ.block("QFT"):
+        for i in range(m - 1, -1, -1):
+            circ.h(qubits[i])
+            for j in range(i):
+                circ.cphase(qubits[j], qubits[i], _theta(i - j + 1))
+
+
+def emit_iqft(circ: Circuit, qubits: Sequence[int]) -> None:
+    """Inverse of :func:`emit_qft`."""
+    m = len(qubits)
+    with circ.block("IQFT"):
+        for i in range(m):
+            for j in range(i - 1, -1, -1):
+                circ.cphase(qubits[j], qubits[i], -_theta(i - j + 1))
+            circ.h(qubits[i])
+
+
+def emit_phi_add(
+    circ: Circuit, x: Sequence[int], phi: Sequence[int], sign: int = 1
+) -> None:
+    """Prop 2.5 PhiADD: |x> |phi(y)> -> |x> |phi(y + sign*x)>.
+
+    ``phi`` may be longer than ``x`` (typically n+1 vs n).  Rotations with
+    an integer phase multiple are identities and are elided, giving the
+    count of prop 2.5: {C-R(theta_1): n} u {C-R(theta_i): n+2-i}.
+    """
+    label = "PhiADD" if sign >= 0 else "PhiSUB"
+    with circ.block(label):
+        for i in range(len(phi)):
+            for j in range(min(i + 1, len(x))):
+                circ.cphase(x[j], phi[i], sign * _theta(i - j + 1))
+
+
+def emit_phi_sub(circ: Circuit, x: Sequence[int], phi: Sequence[int]) -> None:
+    """phi(y) -> phi(y - x): the adjoint of PhiADD."""
+    emit_phi_add(circ, x, phi, sign=-1)
+
+
+def emit_phi_add_const(
+    circ: Circuit, phi: Sequence[int], a: int, sign: int = 1
+) -> None:
+    """Prop 2.17 (fig 19): phi(y) -> phi(y + sign*a) with bare rotations.
+
+    One single-qubit rotation per phi qubit (eq. 7), merged per target; this
+    is the paper's PCQFT unit.  Zero ancillas, zero Toffolis.
+    """
+    label = "PhiADD(a)" if sign >= 0 else "PhiSUB(a)"
+    with circ.block(label):
+        for i in range(len(phi)):
+            residue = a % (1 << (i + 1))
+            if residue:
+                circ.phase(phi[i], sign * _TWO_PI * residue / (1 << (i + 1)))
+
+
+def emit_phi_sub_const(circ: Circuit, phi: Sequence[int], a: int) -> None:
+    emit_phi_add_const(circ, phi, a, sign=-1)
+
+
+def emit_cphi_add_const(
+    circ: Circuit, ctrl: int, phi: Sequence[int], a: int, sign: int = 1
+) -> None:
+    """Prop 2.20: controlled constant addition in the Fourier basis.
+
+    Each merged rotation gains one control; zero ancillas.
+    """
+    label = "CPhiADD(a)" if sign >= 0 else "CPhiSUB(a)"
+    with circ.block(label):
+        for i in range(len(phi)):
+            residue = a % (1 << (i + 1))
+            if residue:
+                circ.cphase(ctrl, phi[i], sign * _TWO_PI * residue / (1 << (i + 1)))
+
+
+def emit_cphi_sub_const(circ: Circuit, ctrl: int, phi: Sequence[int], a: int) -> None:
+    emit_cphi_add_const(circ, ctrl, phi, a, sign=-1)
+
+
+def emit_ccphi_add_const(
+    circ: Circuit, c1: int, c2: int, phi: Sequence[int], a: int, sign: int = 1
+) -> None:
+    """Fig 23's doubly controlled constant rotation block (ccphase gates)."""
+    with circ.block("CCPhiADD(a)"):
+        for i in range(len(phi)):
+            residue = a % (1 << (i + 1))
+            if residue:
+                circ.ccphase(c1, c2, phi[i], sign * _TWO_PI * residue / (1 << (i + 1)))
+
+
+def emit_cphi_add(
+    circ: Circuit,
+    ctrl: int,
+    x: Sequence[int],
+    phi: Sequence[int],
+    anc: int,
+    sign: int = 1,
+) -> None:
+    """Thm 2.14: controlled PhiADD with a single ancilla and n Toffolis.
+
+    Rotations sharing the control ``x_j`` are grouped: a temporary
+    logical-AND computes ``ctrl AND x_j`` into ``anc``, the group of
+    rotations fires off ``anc``, and the AND is uncomputed by measurement.
+    """
+    label = "CPhiADD" if sign >= 0 else "CPhiSUB"
+    with circ.block(label):
+        for j in range(len(x)):
+            emit_and(circ, ctrl, x[j], anc)
+            for i in range(j, len(phi)):
+                circ.cphase(anc, phi[i], sign * _theta(i - j + 1))
+            emit_and_uncompute(circ, ctrl, x[j], anc)
+
+
+def emit_draper_add(
+    circ: Circuit, x: Sequence[int], y: Sequence[int]
+) -> None:
+    """Cor 2.7: computational-basis Draper adder — QFT, PhiADD, IQFT."""
+    if len(y) != len(x) + 1:
+        raise ValueError("y register must have n+1 qubits (one overflow qubit)")
+    emit_qft(circ, y)
+    emit_phi_add(circ, x, y)
+    emit_iqft(circ, y)
+
+
+def emit_draper_add_controlled(
+    circ: Circuit, ctrl: int, x: Sequence[int], y: Sequence[int], anc: int
+) -> None:
+    """Thms 2.13-2.14: only the central PhiADD needs the control."""
+    if len(y) != len(x) + 1:
+        raise ValueError("y register must have n+1 qubits (one overflow qubit)")
+    emit_qft(circ, y)
+    emit_cphi_add(circ, ctrl, x, y, anc)
+    emit_iqft(circ, y)
+
+
+def emit_draper_compare_gt(
+    circ: Circuit, x: Sequence[int], y: Sequence[int], t: int, ctrl: int | None = None
+) -> None:
+    """Prop 2.26 (Draper/Beauregard comparator): t ^= [x > y].
+
+    ``y`` has m+1 qubits with the top one 0 on input: the circuit computes
+    ``y - x`` in the Fourier basis, reads the sign bit, and adds ``x`` back.
+    With ``ctrl`` set, only the sign copy is controlled (the subtraction
+    self-cancels), giving a controlled comparator for one extra Toffoli.
+    """
+    m = len(y) - 1
+    if len(x) != m:
+        raise ValueError("x must be one qubit shorter than y")
+    emit_qft(circ, y)
+    emit_phi_sub(circ, x, y)
+    emit_iqft(circ, y)
+    if ctrl is None:
+        circ.cx(y[m], t)
+    else:
+        circ.ccx(ctrl, y[m], t)
+    emit_qft(circ, y)
+    emit_phi_add(circ, x, y)
+    emit_iqft(circ, y)
+
+
+def emit_draper_compare_lt_const(
+    circ: Circuit, x: Sequence[int], a: int, t: int, top: int, ctrl: int | None = None
+) -> None:
+    """Prop 2.36: t ^= [x < a] for a classical constant ``a``.
+
+    ``top`` is the single ancilla of the proposition: it extends ``x`` so
+    the subtraction's sign bit is accessible.  Must be 0 on input.  With
+    ``ctrl`` set the sign copy becomes a Toffoli: t ^= ctrl * [x < a]
+    (note this differs from def 2.37's [x < ctrl*a] — see thm 2.38 for that
+    form; the builders use whichever the enclosing construction needs).
+    """
+    full = list(x) + [top]
+    emit_qft(circ, full)
+    emit_phi_sub_const(circ, full, a)
+    emit_iqft(circ, full)
+    if ctrl is None:
+        circ.cx(top, t)
+    else:
+        circ.ccx(ctrl, top, t)
+    emit_qft(circ, full)
+    emit_phi_add_const(circ, full, a)
+    emit_iqft(circ, full)

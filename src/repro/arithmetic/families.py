@@ -1,0 +1,132 @@
+"""Adder-family kits: a uniform interface over VBE / CDKPM / Gidney.
+
+The modular-arithmetic builders (section 3) are parametric in which plain
+adder and which comparator they use — that is exactly how the paper derives
+props 3.4/3.5 and thm 3.6 from the shared architecture of prop 3.2.  An
+:class:`AdderKit` packages a family's emitters together with its ancilla
+requirements so those builders can mix and match (e.g. the Gidney+CDKPM
+hybrid of thm 3.6).
+
+The Draper/QFT family has a structurally different interface (Fourier-basis
+registers, block-level costs) and is handled by dedicated builders in
+``repro.modular.beauregard``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+from ..circuits.circuit import Circuit
+from .cdkpm import (
+    cdkpm_add_ancillas,
+    cdkpm_compare_ancillas,
+    emit_cdkpm_add,
+    emit_cdkpm_add_controlled,
+    emit_cdkpm_compare_gt,
+)
+from .gidney import (
+    emit_gidney_add,
+    emit_gidney_add_controlled,
+    emit_gidney_compare_gt,
+    gidney_add_ancillas,
+    gidney_compare_ancillas,
+    gidney_ctrl_add_ancillas,
+)
+from .subtract import emit_sub_sandwich, emit_sub_via_adjoint
+from .vbe import (
+    emit_vbe_add,
+    emit_vbe_compare_gt,
+    vbe_add_ancillas,
+    vbe_compare_ancillas,
+)
+
+__all__ = ["AdderKit", "KITS", "CDKPM_KIT", "GIDNEY_KIT", "VBE_KIT"]
+
+
+@dataclass(frozen=True)
+class AdderKit:
+    """Uniform handle on one ripple-carry adder family.
+
+    Emitter signatures (all registers are qubit-index sequences):
+
+    * ``emit_add(circ, x, y_full, anc)`` — ``y += x`` mod ``2**len(y)``;
+    * ``emit_sub(circ, x, y_full, anc)`` — ``y -= x`` mod ``2**len(y)``;
+    * ``emit_compare_gt(circ, a, b, t, anc, b_extra=..., ctrl=...)`` —
+      ``t ^= [a > b]`` (with remark-2.32 padding / prop-2.30 control);
+    * ``emit_add_ctrl(circ, ctrl, x, y_full, anc)`` — ``y += ctrl * x``
+      (None when the family has no native controlled adder).
+    """
+
+    name: str
+    add_ancillas: Callable[[int], int]
+    emit_add: Callable[..., None]
+    emit_sub: Callable[..., None]
+    compare_ancillas: Callable[[int], int]
+    emit_compare_gt: Callable[..., None]
+    ctrl_add_ancillas: Callable[[int], int] | None = None
+    emit_add_ctrl: Callable[..., None] | None = None
+    measurement_based: bool = False
+
+
+def _cdkpm_sub(circ: Circuit, x, y_full, anc) -> None:
+    emit_sub_via_adjoint(circ, lambda: emit_cdkpm_add(circ, x, y_full, anc[0]))
+
+
+def _vbe_sub(circ: Circuit, x, y_full, anc) -> None:
+    emit_sub_via_adjoint(circ, lambda: emit_vbe_add(circ, x, y_full, anc))
+
+
+def _gidney_sub(circ: Circuit, x, y_full, anc) -> None:
+    # The Gidney adder contains measurements, so it has no adjoint
+    # (remark 2.23); use the complement sandwich of thm 2.22 instead.
+    emit_sub_sandwich(circ, y_full, lambda: emit_gidney_add(circ, x, y_full, anc))
+
+
+CDKPM_KIT = AdderKit(
+    name="cdkpm",
+    add_ancillas=cdkpm_add_ancillas,
+    emit_add=lambda circ, x, y, anc: emit_cdkpm_add(circ, x, y, anc[0]),
+    emit_sub=_cdkpm_sub,
+    compare_ancillas=cdkpm_compare_ancillas,
+    emit_compare_gt=lambda circ, a, b, t, anc, b_extra=None, ctrl=None: (
+        emit_cdkpm_compare_gt(circ, a, b, t, anc[0], b_extra=b_extra, ctrl=ctrl)
+    ),
+    ctrl_add_ancillas=lambda n: 1,
+    emit_add_ctrl=lambda circ, ctrl, x, y, anc: (
+        emit_cdkpm_add_controlled(circ, ctrl, x, y, anc[0])
+    ),
+)
+
+GIDNEY_KIT = AdderKit(
+    name="gidney",
+    add_ancillas=gidney_add_ancillas,
+    emit_add=lambda circ, x, y, anc: emit_gidney_add(circ, x, y, anc),
+    emit_sub=_gidney_sub,
+    compare_ancillas=gidney_compare_ancillas,
+    emit_compare_gt=lambda circ, a, b, t, anc, b_extra=None, ctrl=None: (
+        emit_gidney_compare_gt(circ, a, b, t, anc, b_extra=b_extra, ctrl=ctrl)
+    ),
+    ctrl_add_ancillas=gidney_ctrl_add_ancillas,
+    emit_add_ctrl=lambda circ, ctrl, x, y, anc: (
+        emit_gidney_add_controlled(circ, ctrl, x, y, anc[:-1], anc[-1])
+    ),
+    measurement_based=True,
+)
+
+VBE_KIT = AdderKit(
+    name="vbe",
+    add_ancillas=vbe_add_ancillas,
+    emit_add=lambda circ, x, y, anc: emit_vbe_add(circ, x, y, anc),
+    emit_sub=_vbe_sub,
+    compare_ancillas=vbe_compare_ancillas,
+    emit_compare_gt=lambda circ, a, b, t, anc, b_extra=None, ctrl=None: (
+        emit_vbe_compare_gt(circ, a, b, t, anc, b_extra=b_extra, ctrl=ctrl)
+    ),
+)
+
+KITS: Dict[str, AdderKit] = {
+    "cdkpm": CDKPM_KIT,
+    "gidney": GIDNEY_KIT,
+    "vbe": VBE_KIT,
+}

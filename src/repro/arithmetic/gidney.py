@@ -1,0 +1,216 @@
+"""Gidney's temporary-logical-AND adder (Gidney 2018) — prop 2.4 — plus its
+controlled variant (prop 2.11) and half-subtractor comparators
+(props 2.28 / 2.31).
+
+The compute half of the temporary logical-AND is counted as one Toffoli
+(fig 10); the uncompute half (fig 11) is *measurement based*: an X-basis
+measurement followed by a classically controlled CZ (probability 1/2) and a
+classically controlled X that returns the ancilla to |0>.  This is the
+original special case of the paper's MBU lemma.
+
+Exact resources (``include_c0=True``, matching the paper's fig 13 counting):
+
+* :func:`emit_gidney_add` — ``n`` Toffoli, ``6n - 1`` CNOT, ``n`` ancillas,
+  plus per AND-uncompute: 1 H + 1 measurement + (1/2 CZ + 1/2 X) expected.
+  Matches Table 2 exactly.
+* :func:`emit_gidney_add_controlled` — ``2n + 1`` Toffoli, ``n + 1``
+  ancillas (paper: ``2n``, ``n + 1``).
+* :func:`emit_gidney_compare_gt` — ``m`` Toffoli, ``6m + 1`` CNOT, ``m + 1``
+  ancillas (Table 6 lists ``n`` ancillas with c_0 elided; pass
+  ``include_c0=False`` for that variant).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+
+__all__ = [
+    "emit_and",
+    "emit_and_uncompute",
+    "emit_gidney_add",
+    "emit_gidney_add_controlled",
+    "emit_gidney_compare_gt",
+    "gidney_add_ancillas",
+    "gidney_ctrl_add_ancillas",
+    "gidney_compare_ancillas",
+]
+
+
+def emit_and(circ: Circuit, a: int, b: int, target: int) -> None:
+    """Temporary logical-AND compute (fig 10): target (clean) <- a AND b.
+
+    Counted as one Toffoli, as in the paper.
+    """
+    circ.ccx(a, b, target)
+
+
+def emit_and_uncompute(circ: Circuit, a: int, b: int, target: int) -> None:
+    """Measurement-based AND uncompute (fig 11).
+
+    Measures the ancilla in the X basis; on outcome 1 applies CZ(a, b) to
+    cancel the kicked-back phase and X to reset the ancilla.  Zero Toffolis.
+    """
+    bit = circ.new_bit("and")
+    circ.measure(target, bit, basis="x")
+    with circ.capture() as body:
+        circ.cz(a, b)
+        circ.x(target)
+    circ.cond(bit, body)
+
+
+def gidney_add_ancillas(n: int, include_c0: bool = True) -> int:
+    return n if include_c0 else n - 1
+
+
+def emit_gidney_add(
+    circ: Circuit,
+    x: Sequence[int],
+    y: Sequence[int],
+    carries: Sequence[int],
+    include_c0: bool = True,
+) -> None:
+    """Prop 2.4 (figs 12-13): |x>_n |y>_{n+1} -> |x>_n |x + y>_{n+1}.
+
+    ``carries`` holds c_0..c_{n-1} (or c_1..c_{n-1} when ``include_c0`` is
+    False — fig 13's remark that C_0 never changes and can be elided).  The
+    top carry c_n is computed directly into ``y[n]``.
+    """
+    n = len(x)
+    if len(y) != n + 1:
+        raise ValueError("y register must have n+1 qubits (one overflow qubit)")
+    expected = gidney_add_ancillas(n, include_c0)
+    if len(carries) != expected:
+        raise ValueError(f"Gidney adder needs {expected} carry ancillas")
+    chain: list[int | None] = ([*carries] if include_c0 else [None, *carries]) + [y[n]]
+
+    for i in range(n):  # G-MAJ blocks
+        c_i, c_next = chain[i], chain[i + 1]
+        if c_i is not None:
+            circ.cx(c_i, x[i])
+            circ.cx(c_i, y[i])
+        emit_and(circ, x[i], y[i], c_next)
+        if c_i is not None:
+            circ.cx(c_i, c_next)
+
+    # the two extra CNOTs: restore x_{n-1}, write s_{n-1}
+    if chain[n - 1] is not None:
+        circ.cx(chain[n - 1], x[n - 1])
+    circ.cx(x[n - 1], y[n - 1])
+
+    for i in range(n - 2, -1, -1):  # G-UMA blocks
+        c_i, c_next = chain[i], chain[i + 1]
+        if c_i is not None:
+            circ.cx(c_i, c_next)
+        emit_and_uncompute(circ, x[i], y[i], c_next)
+        if c_i is not None:
+            circ.cx(c_i, x[i])
+        circ.cx(x[i], y[i])
+
+
+def gidney_ctrl_add_ancillas(n: int) -> int:
+    return n + 1
+
+
+def emit_gidney_add_controlled(
+    circ: Circuit,
+    ctrl: int,
+    x: Sequence[int],
+    y: Sequence[int],
+    carries: Sequence[int],
+    top: int,
+) -> None:
+    """Prop 2.11 (fig 15): controlled addition, one Toffoli per UMA block.
+
+    ``carries`` = c_0..c_{n-1} (n ancillas); ``top`` is one extra ancilla
+    that holds the carry-out c_n so its copy into ``y[n]`` can be controlled.
+    ``2n + 1`` Toffolis.
+    """
+    n = len(x)
+    if len(y) != n + 1:
+        raise ValueError("y register must have n+1 qubits (one overflow qubit)")
+    if len(carries) != n:
+        raise ValueError("controlled Gidney adder needs n carry ancillas")
+    chain = list(carries) + [top]
+
+    for i in range(n):  # G-MAJ blocks, top AND lands in the extra ancilla
+        c_i, c_next = chain[i], chain[i + 1]
+        circ.cx(c_i, x[i])
+        circ.cx(c_i, y[i])
+        emit_and(circ, x[i], y[i], c_next)
+        circ.cx(c_i, c_next)
+
+    circ.ccx(ctrl, top, y[n])  # controlled overflow write
+
+    for i in range(n - 1, -1, -1):  # controlled G-UMA blocks
+        c_i, c_next = chain[i], chain[i + 1]
+        circ.cx(c_i, c_next)
+        emit_and_uncompute(circ, x[i], y[i], c_next)
+        circ.cx(c_i, y[i])  # y_i back to its input value
+        circ.ccx(ctrl, x[i], y[i])  # y_i ^= ctrl * (x_i ^ c_i); x slot = x^c
+        circ.cx(c_i, x[i])  # restore x_i
+
+
+def gidney_compare_ancillas(m: int, include_c0: bool = True) -> int:
+    return m + 1 if include_c0 else m
+
+
+def emit_gidney_compare_gt(
+    circ: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    t: int,
+    carries: Sequence[int],
+    b_extra: int | None = None,
+    ctrl: int | None = None,
+    include_c0: bool = True,
+) -> None:
+    """Props 2.28 / 2.31: t ^= [a > b] with half a Gidney subtractor.
+
+    Complements ``b``, computes the carry chain of ``a + ~b`` with temporary
+    logical-ANDs (the carry-out is 1 iff ``a > b``), copies, and uncomputes
+    the chain with measurements — so the uncompute costs zero Toffolis.
+    ``carries`` holds c_0..c_m (or c_1..c_m when ``include_c0`` is False).
+    """
+    m = len(a)
+    if len(b) != m:
+        raise ValueError("comparator operands must have equal width")
+    if b_extra is not None and ctrl is not None:
+        raise ValueError("b_extra and ctrl cannot be combined")
+    expected = gidney_compare_ancillas(m, include_c0)
+    if len(carries) != expected:
+        raise ValueError(f"Gidney comparator needs {expected} carry ancillas")
+    chain: list[int | None] = [*carries] if include_c0 else [None, *carries]
+
+    for q in b:
+        circ.x(q)
+    for i in range(m):
+        c_i, c_next = chain[i], chain[i + 1]
+        if c_i is not None:
+            circ.cx(c_i, a[i])
+            circ.cx(c_i, b[i])
+        emit_and(circ, a[i], b[i], c_next)
+        if c_i is not None:
+            circ.cx(c_i, c_next)
+
+    carry_out = chain[m]
+    if ctrl is not None:
+        circ.ccx(ctrl, carry_out, t)
+    elif b_extra is None:
+        circ.cx(carry_out, t)
+    else:
+        circ.x(b_extra)
+        circ.ccx(b_extra, carry_out, t)
+        circ.x(b_extra)
+
+    for i in range(m - 1, -1, -1):
+        c_i, c_next = chain[i], chain[i + 1]
+        if c_i is not None:
+            circ.cx(c_i, c_next)
+        emit_and_uncompute(circ, a[i], b[i], c_next)
+        if c_i is not None:
+            circ.cx(c_i, b[i])
+            circ.cx(c_i, a[i])
+    for q in b:
+        circ.x(q)

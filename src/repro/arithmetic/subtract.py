@@ -1,0 +1,47 @@
+"""Quantum subtraction — def 2.21 and thm 2.22.
+
+Two constructions:
+
+* :func:`emit_sub_sandwich` — thm 2.22, circuit (8): complement the target
+  register, add, complement again.  ``complement(~y + x) = y - x`` modulo
+  ``2**m``.  Works with *any* adder, including the measurement-based Gidney
+  adder (which has no circuit adjoint — remark 2.23).  Costs the adder plus
+  ``2m`` X gates.
+* :func:`emit_sub_via_adjoint` — runs the adder's adjoint.  Only valid for
+  measurement-free adders (VBE, CDKPM, Draper); raises otherwise.
+
+Both map ``|x>_n |y>_{n+1} -> |x>_n |y - x mod 2**(n+1)>`` whose top bit is
+the sign, i.e. ``[x > y]`` (prop A.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..circuits.circuit import Circuit
+
+__all__ = ["emit_sub_sandwich", "emit_sub_via_adjoint"]
+
+
+def emit_sub_sandwich(
+    circ: Circuit, y_full: Sequence[int], emit_add_into: Callable[[], None]
+) -> None:
+    """y <- y - x via the 1's-complement sandwich (thm 2.22, circuit 8).
+
+    ``emit_add_into`` must emit ``y += x`` on the same ``y_full`` register.
+    """
+    for q in y_full:
+        circ.x(q)
+    emit_add_into()
+    for q in y_full:
+        circ.x(q)
+
+
+def emit_sub_via_adjoint(circ: Circuit, emit_add: Callable[[], None]) -> None:
+    """y <- y - x by running the captured adder backwards.
+
+    Raises ValueError if the adder contains measurements (remark 2.23).
+    """
+    with circ.capture() as ops:
+        emit_add()
+    circ.extend(circ.adjoint_ops(ops))

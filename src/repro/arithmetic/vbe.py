@@ -1,0 +1,134 @@
+"""The VBE ripple-carry adder (Vedral, Barenco, Ekert 1996) — prop 2.2.
+
+The adder is built from the CARRY and SUM gates of fig. 4:
+
+* ``CARRY(c_k, x_k, y_k, c_{k+1})`` maps
+  ``|c_k, x_k, y_k, c_{k+1}>  ->  |c_k, x_k, y_k ^ x_k, c_{k+1} ^ maj(x_k, y_k, c_k)>``
+  using 2 Toffolis and 1 CNOT;
+* ``SUM(c_k, x_k, y_k)`` maps ``y_k -> y_k ^ x_k ^ c_k`` using 2 CNOTs.
+
+Exact resources of :func:`emit_vbe_add` (n-bit addition):
+``4n - 2`` Toffoli, ``4n`` CNOT, ``n`` carry ancillas.  (The paper's Table 2
+rounds this to ``4n`` Toffoli / ``4n + 4`` CNOT; see
+``repro.resources.formulas`` for the side-by-side record.)
+
+The module also provides the VBE-flavoured comparator used by Table 1's
+"(4 adder) VBE" row: a half carry-chain (compute carries, copy the top
+carry, uncompute), costing ``4m`` Toffolis for ``m``-bit operands.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+
+__all__ = [
+    "emit_carry",
+    "emit_carry_adj",
+    "emit_sum",
+    "emit_vbe_add",
+    "emit_vbe_compare_gt",
+    "vbe_add_ancillas",
+    "vbe_compare_ancillas",
+]
+
+
+def emit_carry(circ: Circuit, c: int, x: int, y: int, c_next: int) -> None:
+    """Fig. 4 CARRY: y ^= x and c_next ^= maj(x, y, c)."""
+    circ.ccx(x, y, c_next)
+    circ.cx(x, y)
+    circ.ccx(c, y, c_next)
+
+
+def emit_carry_adj(circ: Circuit, c: int, x: int, y: int, c_next: int) -> None:
+    """Adjoint of :func:`emit_carry` (CARRY is its own inverse reversed)."""
+    circ.ccx(c, y, c_next)
+    circ.cx(x, y)
+    circ.ccx(x, y, c_next)
+
+
+def emit_sum(circ: Circuit, c: int, x: int, y: int) -> None:
+    """Fig. 4 SUM: y ^= x ^ c."""
+    circ.cx(x, y)
+    circ.cx(c, y)
+
+
+def vbe_add_ancillas(n: int) -> int:
+    """Carry ancillas required by :func:`emit_vbe_add`."""
+    return n
+
+
+def emit_vbe_add(
+    circ: Circuit, x: Sequence[int], y: Sequence[int], carries: Sequence[int]
+) -> None:
+    """Prop 2.2 (fig 5): |x>_n |y>_{n+1}  ->  |x>_n |x + y>_{n+1}.
+
+    ``y`` must be one qubit longer than ``x``; on arbitrary ``y`` the circuit
+    adds modulo ``2**(n+1)``, which the subtraction sandwich relies on.
+    ``carries`` are ``n`` clean ancillas, returned clean.
+    """
+    n = len(x)
+    if len(y) != n + 1:
+        raise ValueError("y register must have n+1 qubits (one overflow qubit)")
+    if len(carries) != n:
+        raise ValueError("VBE adder needs n carry ancillas")
+    chain = list(carries) + [y[n]]
+    for i in range(n):
+        emit_carry(circ, chain[i], x[i], y[i], chain[i + 1])
+    circ.cx(x[n - 1], y[n - 1])
+    emit_sum(circ, carries[n - 1], x[n - 1], y[n - 1])
+    for i in range(n - 2, -1, -1):
+        emit_carry_adj(circ, carries[i], x[i], y[i], carries[i + 1])
+        emit_sum(circ, carries[i], x[i], y[i])
+
+
+def vbe_compare_ancillas(m: int) -> int:
+    """Carry ancillas (c_0 .. c_m) required by :func:`emit_vbe_compare_gt`."""
+    return m + 1
+
+
+def emit_vbe_compare_gt(
+    circ: Circuit,
+    a: Sequence[int],
+    b: Sequence[int],
+    t: int,
+    carries: Sequence[int],
+    b_extra: int | None = None,
+    ctrl: int | None = None,
+) -> None:
+    """t ^= [a > b] via a half carry-chain (VBE-flavoured comparator).
+
+    Complements ``b`` and rides the carry chain of ``a + ~b``: the chain's
+    carry-out is 1 iff ``a + (2^m - 1 - b) >= 2^m`` iff ``a > b``.  The chain
+    is then uncomputed, so only ``t`` changes.
+
+    ``b_extra`` implements remark 2.32: if given, the second operand is
+    ``b + 2^m * b_extra`` and the carry copy becomes a Toffoli conditioned on
+    ``b_extra`` being 0 (one extra Toffoli, two X, no extra ancilla).
+    ``ctrl`` makes the comparator controlled (the copy becomes a Toffoli);
+    mutually exclusive with ``b_extra``.
+    """
+    m = len(a)
+    if len(b) != m:
+        raise ValueError("comparator operands must have equal width")
+    if len(carries) != m + 1:
+        raise ValueError("VBE comparator needs m+1 carry ancillas")
+    if b_extra is not None and ctrl is not None:
+        raise ValueError("b_extra and ctrl cannot be combined")
+    for q in b:
+        circ.x(q)
+    for i in range(m):
+        emit_carry(circ, carries[i], a[i], b[i], carries[i + 1])
+    if ctrl is not None:
+        circ.ccx(ctrl, carries[m], t)
+    elif b_extra is None:
+        circ.cx(carries[m], t)
+    else:
+        circ.x(b_extra)
+        circ.ccx(b_extra, carries[m], t)
+        circ.x(b_extra)
+    for i in range(m - 1, -1, -1):
+        emit_carry_adj(circ, carries[i], a[i], b[i], carries[i + 1])
+    for q in b:
+        circ.x(q)

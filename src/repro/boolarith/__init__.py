@@ -1,0 +1,33 @@
+"""Classical bit-string arithmetic reference model (paper appendix A)."""
+
+from .bits import (
+    bitstring_add,
+    bitstring_sub,
+    borrow_sequence,
+    carry_sequence,
+    compare_gt,
+    decode_signed,
+    encode_signed,
+    from_bits,
+    hamming_weight,
+    maj,
+    ones_complement,
+    to_bits,
+    twos_complement,
+)
+
+__all__ = [
+    "maj",
+    "to_bits",
+    "from_bits",
+    "hamming_weight",
+    "ones_complement",
+    "twos_complement",
+    "bitstring_add",
+    "bitstring_sub",
+    "carry_sequence",
+    "borrow_sequence",
+    "compare_gt",
+    "encode_signed",
+    "decode_signed",
+]

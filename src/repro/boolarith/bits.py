@@ -1,0 +1,129 @@
+"""Classical bit-string arithmetic — the paper's appendix A, executable.
+
+These functions are the *reference model* the quantum circuits are tested
+against: carry/borrow recursions (defs 1.2-1.5), 1's/2's complement, the
+signed-integer encoding (remarks A.2/A.4), and the propositions A.1, A.3,
+A.5, A.6 as checkable identities.
+
+Bit strings are represented as Python ints together with an explicit width;
+bit ``i`` has weight ``2**i`` (little-endian, matching the circuit registers).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = [
+    "maj",
+    "to_bits",
+    "from_bits",
+    "hamming_weight",
+    "ones_complement",
+    "twos_complement",
+    "bitstring_add",
+    "bitstring_sub",
+    "carry_sequence",
+    "borrow_sequence",
+    "compare_gt",
+    "encode_signed",
+    "decode_signed",
+]
+
+
+def maj(a: int, b: int, c: int) -> int:
+    """Majority of three bits (eq. 5): 1 when at least two inputs are 1."""
+    return (a & b) ^ (a & c) ^ (b & c)
+
+
+def to_bits(value: int, width: int) -> List[int]:
+    """Little-endian bit list of ``value`` (must fit in ``width`` bits)."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits: List[int]) -> int:
+    return sum(bit << i for i, bit in enumerate(bits))
+
+
+def hamming_weight(value: int) -> int:
+    """|a| — the number of 1 bits in the binary expansion (sec. 1.3)."""
+    if value < 0:
+        raise ValueError("Hamming weight defined for non-negative integers")
+    return bin(value).count("1")
+
+
+def ones_complement(value: int, width: int) -> int:
+    """Definition 1.3: flip every bit of an n-bit string."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return value ^ ((1 << width) - 1)
+
+
+def twos_complement(value: int, width: int) -> int:
+    """Definition 1.4: 1's complement plus one (mod 2**width)."""
+    return (ones_complement(value, width) + 1) % (1 << width)
+
+
+def carry_sequence(x: int, y: int, width: int) -> List[int]:
+    """Carries ``c_0..c_width`` of the bit-string addition (def 1.2)."""
+    xb, yb = to_bits(x, width), to_bits(y, width)
+    carries = [0]
+    for i in range(width):
+        carries.append(maj(xb[i], yb[i], carries[i]))
+    return carries
+
+
+def bitstring_add(x: int, y: int, width: int) -> int:
+    """Definition 1.2: (width+1)-bit sum of two width-bit strings."""
+    xb, yb = to_bits(x, width), to_bits(y, width)
+    carries = carry_sequence(x, y, width)
+    bits = [xb[i] ^ yb[i] ^ carries[i] for i in range(width)]
+    bits.append(carries[width])
+    return from_bits(bits)
+
+
+def borrow_sequence(x: int, y: int, width: int) -> List[int]:
+    """Borrows ``b_0..b_width`` of the subtraction x - y (def 1.5, eq. 6)."""
+    xb, yb = to_bits(x, width), to_bits(y, width)
+    borrows = [0]
+    for i in range(width):
+        borrows.append(maj(xb[i] ^ 1, yb[i], borrows[i]))
+    return borrows
+
+
+def bitstring_sub(x: int, y: int, width: int) -> int:
+    """Definition 1.5: (width+1)-bit difference x - y.
+
+    Bitwise ``d_i = x_i ^ y_i ^ b_i`` with the borrow recursion; the top bit
+    ``d_width = b_width`` is the sign (prop A.3: it is 1 iff x < y).
+    """
+    xb, yb = to_bits(x, width), to_bits(y, width)
+    borrows = borrow_sequence(x, y, width)
+    bits = [xb[i] ^ yb[i] ^ borrows[i] for i in range(width)]
+    bits.append(borrows[width])
+    return from_bits(bits)
+
+
+def compare_gt(x: int, y: int) -> int:
+    """Indicator 1[x > y] (def 2.24)."""
+    return 1 if x > y else 0
+
+
+def encode_signed(value: int, width: int) -> int:
+    """Remark A.4: encode a signed integer in 2's complement on ``width`` bits.
+
+    The representable range is [-2**(width-1), 2**(width-1) - 1].
+    """
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"{value} not representable on {width} signed bits")
+    return value % (1 << width)
+
+
+def decode_signed(bits_value: int, width: int) -> int:
+    """Inverse of :func:`encode_signed`."""
+    if bits_value < 0 or bits_value >= (1 << width):
+        raise ValueError(f"{bits_value} does not fit in {width} bits")
+    top = (bits_value >> (width - 1)) & 1
+    return bits_value - (top << width)

@@ -1,0 +1,46 @@
+"""Quantum circuit IR, resource accounting and rendering."""
+
+from .circuit import Circuit, Register
+from .draw import draw
+from .ops import (
+    Annotation,
+    Conditional,
+    Gate,
+    MBUBlock,
+    Measurement,
+    Operation,
+    adjoint_gate,
+    iter_flat,
+)
+from .resources import (
+    GateCounts,
+    count_blocks,
+    count_gates,
+    depth,
+    toffoli_depth,
+)
+from .symbolic import N, ONE, WA, WP, LinearCost
+
+__all__ = [
+    "Circuit",
+    "Register",
+    "Gate",
+    "Measurement",
+    "Conditional",
+    "MBUBlock",
+    "Annotation",
+    "Operation",
+    "adjoint_gate",
+    "iter_flat",
+    "GateCounts",
+    "count_gates",
+    "count_blocks",
+    "depth",
+    "toffoli_depth",
+    "draw",
+    "LinearCost",
+    "N",
+    "WP",
+    "WA",
+    "ONE",
+]

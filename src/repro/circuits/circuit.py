@@ -1,0 +1,270 @@
+"""The :class:`Circuit` builder.
+
+A circuit owns a flat space of qubits (integer indices) organised into named
+registers, plus a flat space of classical bits.  Construction functions in
+``repro.arithmetic`` / ``repro.modular`` *emit* gates into a circuit they are
+handed, which keeps composition trivial (everything shares one index space)
+and matches how the paper stitches subroutines together.
+
+Sub-circuit capture
+-------------------
+``with circuit.capture() as body: ...`` records the operations emitted inside
+the block into ``body`` instead of appending them, so they can be wrapped in
+a :class:`~repro.circuits.ops.Conditional` or
+:class:`~repro.circuits.ops.MBUBlock`.  This is how the MBU lemma and the
+Gidney logical-AND uncomputation are built.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from .ops import (
+    Annotation,
+    Conditional,
+    Gate,
+    MBUBlock,
+    Measurement,
+    Operation,
+    adjoint_gate,
+)
+
+__all__ = ["Register", "Circuit"]
+
+
+@dataclass(frozen=True)
+class Register:
+    """A named, ordered, little-endian group of qubit indices."""
+
+    name: str
+    qubits: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.qubits)
+
+    def __getitem__(self, item):
+        return self.qubits[item]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.qubits)
+
+
+class Circuit:
+    """A mutable quantum circuit with named registers and classical bits."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.num_qubits = 0
+        self.num_bits = 0
+        self.registers: Dict[str, Register] = {}
+        self.qubit_labels: List[str] = []
+        self.bit_labels: List[str] = []
+        self.ops: List[Operation] = []
+        self._sinks: List[List[Operation]] = [self.ops]
+
+    # ------------------------------------------------------------------ #
+    # allocation
+
+    def add_register(self, name: str, size: int) -> Register:
+        """Allocate ``size`` fresh qubits as a named register."""
+        if size < 0:
+            raise ValueError("register size must be non-negative")
+        if name in self.registers:
+            raise ValueError(f"register {name!r} already exists")
+        start = self.num_qubits
+        qubits = tuple(range(start, start + size))
+        self.num_qubits += size
+        self.qubit_labels.extend(f"{name}[{i}]" for i in range(size))
+        reg = Register(name, qubits)
+        self.registers[name] = reg
+        return reg
+
+    def add_qubit(self, name: str) -> int:
+        """Allocate a single fresh qubit; returns its index."""
+        return self.add_register(name, 1)[0]
+
+    def new_bit(self, name: str = "") -> int:
+        """Allocate a classical bit; returns its index."""
+        bit = self.num_bits
+        self.num_bits += 1
+        self.bit_labels.append(name or f"c{bit}")
+        return bit
+
+    # ------------------------------------------------------------------ #
+    # emission
+
+    def append(self, op: Operation) -> None:
+        self._validate(op)
+        self._sinks[-1].append(op)
+
+    def _validate(self, op: Operation) -> None:
+        if isinstance(op, Gate):
+            if op.qubits and max(op.qubits) >= self.num_qubits:
+                raise ValueError(f"gate {op} uses qubit beyond {self.num_qubits - 1}")
+        elif isinstance(op, Measurement):
+            if op.qubit >= self.num_qubits or op.bit >= self.num_bits:
+                raise ValueError(f"measurement {op} out of range")
+
+    @contextlib.contextmanager
+    def capture(self):
+        """Record emitted operations into a list instead of the circuit."""
+        body: List[Operation] = []
+        self._sinks.append(body)
+        try:
+            yield body
+        finally:
+            self._sinks.pop()
+
+    # -- single-qubit gates ------------------------------------------------
+
+    def x(self, q: int) -> None:
+        self.append(Gate("x", (q,)))
+
+    def y(self, q: int) -> None:
+        self.append(Gate("y", (q,)))
+
+    def z(self, q: int) -> None:
+        self.append(Gate("z", (q,)))
+
+    def h(self, q: int) -> None:
+        self.append(Gate("h", (q,)))
+
+    def s(self, q: int) -> None:
+        self.append(Gate("s", (q,)))
+
+    def sdg(self, q: int) -> None:
+        self.append(Gate("sdg", (q,)))
+
+    def t(self, q: int) -> None:
+        self.append(Gate("t", (q,)))
+
+    def tdg(self, q: int) -> None:
+        self.append(Gate("tdg", (q,)))
+
+    def phase(self, q: int, theta: float) -> None:
+        self.append(Gate("phase", (q,), theta))
+
+    def rz(self, q: int, theta: float) -> None:
+        self.append(Gate("rz", (q,), theta))
+
+    # -- multi-qubit gates ---------------------------------------------------
+
+    def cx(self, control: int, target: int) -> None:
+        self.append(Gate("cx", (control, target)))
+
+    def cz(self, a: int, b: int) -> None:
+        self.append(Gate("cz", (a, b)))
+
+    def swap(self, a: int, b: int) -> None:
+        self.append(Gate("swap", (a, b)))
+
+    def ccx(self, c1: int, c2: int, target: int) -> None:
+        self.append(Gate("ccx", (c1, c2, target)))
+
+    def ccz(self, a: int, b: int, c: int) -> None:
+        self.append(Gate("ccz", (a, b, c)))
+
+    def cswap(self, control: int, a: int, b: int) -> None:
+        self.append(Gate("cswap", (control, a, b)))
+
+    def cphase(self, control: int, target: int, theta: float) -> None:
+        self.append(Gate("cphase", (control, target), theta))
+
+    def ccphase(self, c1: int, c2: int, target: int, theta: float) -> None:
+        self.append(Gate("ccphase", (c1, c2, target), theta))
+
+    def crk(self, control: int, target: int, k: int) -> None:
+        """Controlled rotation C-R(theta_k) with theta_k = 2*pi / 2**k (fig 3)."""
+        self.cphase(control, target, 2.0 * math.pi / (2 ** k))
+
+    # -- non-unitary ---------------------------------------------------------
+
+    def measure(self, qubit: int, bit: int | None = None, basis: str = "z") -> int:
+        if bit is None:
+            bit = self.new_bit()
+        self.append(Measurement(qubit, bit, basis))
+        return bit
+
+    def cond(
+        self,
+        bit: int,
+        body: Sequence[Operation],
+        value: int = 1,
+        probability: Fraction = Fraction(1, 2),
+    ) -> None:
+        self.append(Conditional(bit, tuple(body), value, probability))
+
+    def mbu(self, qubit: int, body: Sequence[Operation], bit: int | None = None) -> int:
+        if bit is None:
+            bit = self.new_bit("mbu")
+        self.append(MBUBlock(qubit, bit, tuple(body)))
+        return bit
+
+    # -- structure markers -----------------------------------------------------
+
+    def begin(self, label: str) -> None:
+        self.append(Annotation("begin", label))
+
+    def end(self, label: str) -> None:
+        self.append(Annotation("end", label))
+
+    @contextlib.contextmanager
+    def block(self, label: str):
+        """Delimit a named block (QFT, PhiADD, ...) for block-level counting."""
+        self.begin(label)
+        try:
+            yield
+        finally:
+            self.end(label)
+
+    def note(self, text: str) -> None:
+        self.append(Annotation("note", text))
+
+    # ------------------------------------------------------------------ #
+    # whole-circuit transforms
+
+    def extend(self, ops: Iterable[Operation]) -> None:
+        for op in ops:
+            self.append(op)
+
+    def adjoint_ops(self, ops: Sequence[Operation] | None = None) -> List[Operation]:
+        """Adjoint of a unitary op sequence (reversed, gates conjugated).
+
+        Raises if the sequence contains measurements or conditionals: circuits
+        involving measurement are generally not invertible (remark 2.23).
+        Annotations are kept (begin/end swapped) so block counting still works.
+        """
+        source = self.ops if ops is None else ops
+        out: List[Operation] = []
+        for op in reversed(source):
+            if isinstance(op, Gate):
+                out.append(adjoint_gate(op))
+            elif isinstance(op, Annotation):
+                if op.kind == "begin":
+                    out.append(Annotation("end", op.label))
+                elif op.kind == "end":
+                    out.append(Annotation("begin", op.label))
+                else:
+                    out.append(op)
+            else:
+                raise ValueError(
+                    f"cannot take the adjoint of non-unitary operation {op!r} "
+                    "(remark 2.23: measurement-based circuits are not invertible)"
+                )
+        return out
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Circuit({self.name!r}, qubits={self.num_qubits}, "
+            f"bits={self.num_bits}, ops={len(self.ops)})"
+        )

@@ -1,0 +1,124 @@
+"""ASCII circuit rendering.
+
+Good enough to regenerate the paper's circuit figures as text (figs 5, 8,
+13, 21, 24, 25 …).  One column per operation slot (greedily packed: two
+operations share a column when their qubit spans do not overlap), one row per
+qubit wire.
+
+Symbols: ``*`` control, ``X`` target of cx/ccx, boxed letters for
+single-qubit gates, ``Z`` for cz targets, ``M``/``Mx`` measurements, ``?``
+for conditional blocks (rendered with their condition bit), ``~`` for an MBU
+block (measure + conditional correction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .circuit import Circuit
+from .ops import Annotation, Conditional, Gate, MBUBlock, Measurement, Operation
+
+__all__ = ["draw"]
+
+_SINGLE = {
+    "x": "X",
+    "y": "Y",
+    "z": "Z",
+    "h": "H",
+    "s": "S",
+    "sdg": "S+",
+    "t": "T",
+    "tdg": "T+",
+    "phase": "P",
+    "rz": "Rz",
+}
+
+
+def _cells_for(op: Operation) -> Dict[int, str] | None:
+    """Map qubit -> cell text, or None for non-drawable ops."""
+    if isinstance(op, Gate):
+        name, qubits = op.name, op.qubits
+        if name in _SINGLE:
+            return {qubits[0]: _SINGLE[name]}
+        if name == "cx":
+            return {qubits[0]: "*", qubits[1]: "X"}
+        if name == "cz":
+            return {qubits[0]: "*", qubits[1]: "Z"}
+        if name == "swap":
+            return {qubits[0]: "x", qubits[1]: "x"}
+        if name == "ccx":
+            return {qubits[0]: "*", qubits[1]: "*", qubits[2]: "X"}
+        if name == "ccz":
+            return {qubits[0]: "*", qubits[1]: "*", qubits[2]: "Z"}
+        if name == "cswap":
+            return {qubits[0]: "*", qubits[1]: "x", qubits[2]: "x"}
+        if name == "cphase":
+            return {qubits[0]: "*", qubits[1]: "P"}
+        if name == "ccphase":
+            return {qubits[0]: "*", qubits[1]: "*", qubits[2]: "P"}
+        return {q: "?" for q in qubits}  # pragma: no cover
+    if isinstance(op, Measurement):
+        return {op.qubit: "Mx" if op.basis == "x" else "M"}
+    if isinstance(op, Conditional):
+        cells: Dict[int, str] = {}
+        for inner in op.body:
+            inner_cells = _cells_for(inner)
+            if inner_cells:
+                for q, text in inner_cells.items():
+                    cells[q] = f"?{text}"
+        return cells
+    if isinstance(op, MBUBlock):
+        cells = {op.qubit: "~M"}
+        for inner in op.body:
+            inner_cells = _cells_for(inner)
+            if inner_cells:
+                for q, text in inner_cells.items():
+                    if q != op.qubit:
+                        cells.setdefault(q, "~")
+        return cells
+    return None
+
+
+def draw(circuit: Circuit, max_width: int = 2000) -> str:
+    """Render ``circuit`` as ASCII art; labels from ``circuit.qubit_labels``."""
+    columns: List[Tuple[Dict[int, str], Tuple[int, int]]] = []
+    for op in circuit.ops:
+        if isinstance(op, Annotation):
+            continue
+        cells = _cells_for(op)
+        if not cells:
+            continue
+        span = (min(cells), max(cells))
+        placed = False
+        if columns:
+            last_cells, last_span = columns[-1]
+            if span[1] < last_span[0] or span[0] > last_span[1]:
+                last_cells.update(cells)
+                columns[-1] = (
+                    last_cells,
+                    (min(last_span[0], span[0]), max(last_span[1], span[1])),
+                )
+                placed = True
+        if not placed:
+            columns.append((dict(cells), span))
+
+    labels = [f"{label}: " for label in circuit.qubit_labels]
+    label_width = max((len(lbl) for lbl in labels), default=0)
+    lines = [lbl.rjust(label_width) for lbl in labels]
+
+    for cells, span in columns:
+        width = max((len(text) for text in cells.values()), default=1)
+        lo, hi = span
+        for q in range(circuit.num_qubits):
+            if q in cells:
+                cell = cells[q].center(width, "-")
+            elif lo < q < hi:
+                cell = "|".center(width, "-")
+            else:
+                cell = "-" * width
+            lines[q] += "-" + cell
+        if len(lines[0]) > max_width:
+            lines = [line + " ..." for line in lines]
+            break
+
+    return "\n".join(lines)

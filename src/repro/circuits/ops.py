@@ -1,0 +1,203 @@
+"""Primitive and composite circuit operations.
+
+The IR is deliberately small.  Unitary primitives are instances of
+:class:`Gate`; the non-unitary / classically-fed-forward parts of the paper
+are covered by three structured operations:
+
+* :class:`Measurement` — projective measurement in the Z or X basis (an
+  X-basis measurement is a Hadamard followed by a Z measurement, and is
+  counted as such).
+* :class:`Conditional` — a block of operations executed when a classical bit
+  has a given value, annotated with an *a-priori execution probability* used
+  by the ``expected`` resource-counting mode.  The measurement-based
+  uncomputation of a temporary logical-AND (Gidney, fig. 11) is a
+  ``Measurement(basis='x')`` followed by a ``Conditional`` holding a CZ (and
+  an X that returns the ancilla to |0>), each with probability 1/2.
+* :class:`MBUBlock` — the single-qubit measurement-based uncomputation of
+  Lemma 4.1, holding the correction body ``(H, U_g ..., H, X)`` that runs
+  when the X-basis measurement yields 1.
+
+``Annotation`` ops carry structural labels (e.g. ``("begin", "QFT")``) so the
+resource counter can report block-level costs (QFT units, PCQFT units) the way
+Table 1 does for the Draper rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterator, Tuple, Union
+
+__all__ = [
+    "Gate",
+    "Measurement",
+    "Conditional",
+    "MBUBlock",
+    "Annotation",
+    "Operation",
+    "GATE_ARITY",
+    "SELF_ADJOINT_GATES",
+    "PARAMETRIC_GATES",
+    "adjoint_gate",
+    "iter_flat",
+]
+
+# Gate name -> number of qubits.  Parametric gates take one angle parameter.
+GATE_ARITY = {
+    "x": 1,
+    "y": 1,
+    "z": 1,
+    "h": 1,
+    "s": 1,
+    "sdg": 1,
+    "t": 1,
+    "tdg": 1,
+    "cx": 2,
+    "cz": 2,
+    "swap": 2,
+    "ccx": 3,
+    "ccz": 3,
+    "cswap": 3,
+    "phase": 1,  # diag(1, e^{i*theta})
+    "cphase": 2,  # controlled-phase
+    "ccphase": 3,  # doubly controlled phase
+    "rz": 1,
+}
+
+SELF_ADJOINT_GATES = frozenset({"x", "y", "z", "h", "cx", "cz", "swap", "ccx", "ccz", "cswap"})
+
+PARAMETRIC_GATES = frozenset({"phase", "cphase", "ccphase", "rz"})
+
+_ADJOINT_NAME = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A unitary gate applied to concrete qubit indices.
+
+    ``qubits`` lists controls first, target last (for controlled gates); the
+    distinction is irrelevant for the symmetric gates (cz, ccz, swap, phase
+    family) but maintained for readability.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    param: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.name not in GATE_ARITY:
+            raise ValueError(f"unknown gate {self.name!r}")
+        if len(self.qubits) != GATE_ARITY[self.name]:
+            raise ValueError(
+                f"gate {self.name!r} expects {GATE_ARITY[self.name]} qubits, "
+                f"got {len(self.qubits)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.name!r} applied to duplicate qubits {self.qubits}")
+
+    @property
+    def is_self_adjoint(self) -> bool:
+        return self.name in SELF_ADJOINT_GATES
+
+    def adjoint(self) -> "Gate":
+        return adjoint_gate(self)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Projective single-qubit measurement into classical bit ``bit``.
+
+    ``basis='z'`` is a computational-basis measurement; ``basis='x'`` applies
+    a Hadamard first (and is costed as 1 H + 1 measurement).  The post-
+    measurement state is the computational basis state |m> in both cases.
+    """
+
+    qubit: int
+    bit: int
+    basis: str = "z"
+
+    def __post_init__(self) -> None:
+        if self.basis not in ("z", "x"):
+            raise ValueError(f"measurement basis must be 'z' or 'x', got {self.basis!r}")
+
+
+@dataclass(frozen=True)
+class Conditional:
+    """Execute ``body`` when classical ``bit`` equals ``value``.
+
+    ``probability`` is the a-priori chance the condition holds, used by the
+    ``expected`` counting mode; it defaults to 1/2, the MBU case.  Nested
+    conditionals multiply probabilities.
+    """
+
+    bit: int
+    body: Tuple["Operation", ...]
+    value: int = 1
+    probability: Fraction = field(default_factory=lambda: Fraction(1, 2))
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError("conditional value must be 0 or 1")
+        if not 0 <= self.probability <= 1:
+            raise ValueError("probability must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class MBUBlock:
+    """Measurement-based uncomputation of a single garbage qubit (Lemma 4.1).
+
+    Semantics: measure ``qubit`` in the X basis into ``bit``; on outcome 1,
+    execute ``body`` — by construction ``(H(q), U_g ops..., H(q), X(q))`` —
+    which removes the kicked-back phase and resets the qubit.  ``body`` is
+    stored explicitly so simulators can run it literally and so the resource
+    counter can weight it by 1/2.
+
+    The classical (basis-state) simulator uses the algebraic fact that on a
+    computational-basis input the whole correction acts as identity on the
+    data register and maps the garbage qubit |1> -> |0> up to global phase;
+    see ``repro.sim.classical``.
+    """
+
+    qubit: int
+    bit: int
+    body: Tuple["Operation", ...]
+
+    @property
+    def probability(self) -> Fraction:
+        return Fraction(1, 2)
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """Structural marker, ignored by simulators.
+
+    ``kind`` is one of ``'begin'``/``'end'`` (block delimiters, ``label`` is
+    the block name, e.g. ``'QFT'``) or ``'note'``.
+    """
+
+    kind: str
+    label: str
+
+
+Operation = Union[Gate, Measurement, Conditional, MBUBlock, Annotation]
+
+
+def adjoint_gate(gate: Gate) -> Gate:
+    """Return the adjoint of a unitary primitive."""
+    if gate.name in SELF_ADJOINT_GATES:
+        return gate
+    if gate.name in _ADJOINT_NAME:
+        return Gate(_ADJOINT_NAME[gate.name], gate.qubits)
+    if gate.name in PARAMETRIC_GATES:
+        return Gate(gate.name, gate.qubits, -gate.param)
+    raise ValueError(f"no adjoint rule for gate {gate.name!r}")  # pragma: no cover
+
+
+def iter_flat(ops: Tuple[Operation, ...] | list) -> Iterator[Operation]:
+    """Yield all operations, descending into conditional/MBU bodies."""
+    for op in ops:
+        yield op
+        if isinstance(op, Conditional):
+            yield from iter_flat(op.body)
+        elif isinstance(op, MBUBlock):
+            yield from iter_flat(op.body)

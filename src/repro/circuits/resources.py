@@ -1,0 +1,289 @@
+"""Resource accounting: gate counts, expected counts, depth, block counts.
+
+Counting modes
+--------------
+``worst``
+    Every conditional branch is assumed taken (probability 1).
+``expected``
+    Conditional bodies are weighted by their execution probability; this is
+    the paper's "with MBU, in expectation" accounting (each MBU correction
+    and each logical-AND uncomputation CZ weighs 1/2).
+``best``
+    No conditional branch is taken.
+
+An X-basis measurement contributes 1 ``h`` and 1 ``measure`` (it *is* a
+Hadamard plus a Z measurement).  An :class:`MBUBlock` contributes the same
+plus its body at weight 1/2 (``expected``), 1 (``worst``) or 0 (``best``).
+
+Counts are kept as :class:`fractions.Fraction` so expected values like
+``3.5n`` Toffolis are exact.
+
+Depth is computed by ASAP levelization over qubits and classical bits; a
+conditional block is scheduled after its bit and serializes on the union of
+the qubits its body touches (a reasonable model for feed-forward on an
+error-corrected machine).  ``toffoli_depth`` levelizes only ccx/ccz layers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from .circuit import Circuit
+from .ops import Annotation, Conditional, Gate, MBUBlock, Measurement, Operation
+
+__all__ = [
+    "GateCounts",
+    "count_gates",
+    "count_blocks",
+    "depth",
+    "toffoli_depth",
+    "TOFFOLI_GATES",
+]
+
+TOFFOLI_GATES = frozenset({"ccx", "ccz"})
+
+# Gates the paper groups into its "CNOT,CZ" column.
+CNOT_CZ_GATES = frozenset({"cx", "cz"})
+
+
+@dataclass
+class GateCounts:
+    """A multiset of gate names with Fraction multiplicities."""
+
+    counts: Dict[str, Fraction] = field(default_factory=dict)
+
+    def add(self, name: str, weight: Fraction = Fraction(1)) -> None:
+        if weight == 0:
+            return
+        self.counts[name] = self.counts.get(name, Fraction(0)) + weight
+
+    def __getitem__(self, name: str) -> Fraction:
+        return self.counts.get(name, Fraction(0))
+
+    def get(self, name: str, default: Fraction = Fraction(0)) -> Fraction:
+        return self.counts.get(name, default)
+
+    @property
+    def toffoli(self) -> Fraction:
+        return sum((v for k, v in self.counts.items() if k in TOFFOLI_GATES), Fraction(0))
+
+    @property
+    def cnot_cz(self) -> Fraction:
+        return sum((v for k, v in self.counts.items() if k in CNOT_CZ_GATES), Fraction(0))
+
+    @property
+    def x(self) -> Fraction:
+        return self.counts.get("x", Fraction(0))
+
+    @property
+    def h(self) -> Fraction:
+        return self.counts.get("h", Fraction(0))
+
+    @property
+    def measurements(self) -> Fraction:
+        return self.counts.get("measure", Fraction(0))
+
+    def total(self, names: Iterable[str] | None = None) -> Fraction:
+        if names is None:
+            return sum(self.counts.values(), Fraction(0))
+        return sum((self.counts.get(name, Fraction(0)) for name in names), Fraction(0))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GateCounts):
+            mine = {k: v for k, v in self.counts.items() if v != 0}
+            theirs = {k: v for k, v in other.counts.items() if v != 0}
+            return mine == theirs
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover
+        inner = ", ".join(f"{k}={_fmt(v)}" for k, v in sorted(self.counts.items()))
+        return f"GateCounts({inner})"
+
+
+def _fmt(value: Fraction) -> str:
+    return str(value.numerator) if value.denominator == 1 else f"{float(value):g}"
+
+
+def _mode_weight(mode: str, probability: Fraction) -> Fraction:
+    if mode == "worst":
+        return Fraction(1)
+    if mode == "expected":
+        return probability
+    if mode == "best":
+        return Fraction(0)
+    raise ValueError(f"unknown counting mode {mode!r}")
+
+
+def count_gates(circuit: Circuit | Sequence[Operation], mode: str = "expected") -> GateCounts:
+    """Count gates; conditional bodies weighted according to ``mode``."""
+    ops = circuit.ops if isinstance(circuit, Circuit) else circuit
+    totals = GateCounts()
+    _count_into(ops, Fraction(1), mode, totals)
+    return totals
+
+
+def _count_into(
+    ops: Sequence[Operation], weight: Fraction, mode: str, totals: GateCounts
+) -> None:
+    for op in ops:
+        if isinstance(op, Gate):
+            totals.add(op.name, weight)
+        elif isinstance(op, Measurement):
+            if op.basis == "x":
+                totals.add("h", weight)
+            totals.add("measure", weight)
+        elif isinstance(op, Conditional):
+            branch = weight * _mode_weight(mode, op.probability)
+            _count_into(op.body, branch, mode, totals)
+        elif isinstance(op, MBUBlock):
+            totals.add("h", weight)  # the X-basis measurement's Hadamard
+            totals.add("measure", weight)
+            branch = weight * _mode_weight(mode, op.probability)
+            _count_into(op.body, branch, mode, totals)
+        elif isinstance(op, Annotation):
+            continue
+        else:  # pragma: no cover
+            raise TypeError(f"unknown operation {op!r}")
+
+
+def count_blocks(circuit: Circuit | Sequence[Operation], mode: str = "expected") -> Dict[str, Fraction]:
+    """Count named ``begin`` blocks, weighted by enclosing branch probability.
+
+    This reproduces Table 1's Draper rows, which measure cost in QFT /
+    PCQFT units rather than individual rotations.
+    """
+    ops = circuit.ops if isinstance(circuit, Circuit) else circuit
+    totals: Dict[str, Fraction] = defaultdict(Fraction)
+    _count_blocks_into(ops, Fraction(1), mode, totals)
+    return dict(totals)
+
+
+def _count_blocks_into(
+    ops: Sequence[Operation], weight: Fraction, mode: str, totals: Dict[str, Fraction]
+) -> None:
+    for op in ops:
+        if isinstance(op, Annotation) and op.kind == "begin":
+            totals[op.label] += weight
+        elif isinstance(op, Conditional):
+            _count_blocks_into(op.body, weight * _mode_weight(mode, op.probability), mode, totals)
+        elif isinstance(op, MBUBlock):
+            _count_blocks_into(op.body, weight * _mode_weight(mode, op.probability), mode, totals)
+
+
+def _op_qubits_bits(op: Operation) -> Tuple[Set[int], Set[int]]:
+    """All qubits/bits an operation touches (worst case for conditionals)."""
+    if isinstance(op, Gate):
+        return set(op.qubits), set()
+    if isinstance(op, Measurement):
+        return {op.qubit}, {op.bit}
+    if isinstance(op, Conditional):
+        qubits: Set[int] = set()
+        bits: Set[int] = {op.bit}
+        for inner in op.body:
+            q, b = _op_qubits_bits(inner)
+            qubits |= q
+            bits |= b
+        return qubits, bits
+    if isinstance(op, MBUBlock):
+        qubits, bits = {op.qubit}, {op.bit}
+        for inner in op.body:
+            q, b = _op_qubits_bits(inner)
+            qubits |= q
+            bits |= b
+        return qubits, bits
+    return set(), set()
+
+
+def depth(circuit: Circuit | Sequence[Operation]) -> int:
+    """ASAP circuit depth; conditionals/MBU blocks count as one time slot
+    occupying every qubit their body may touch."""
+    return _levelize(circuit, lambda op: True)
+
+
+def toffoli_depth(
+    circuit: Circuit | Sequence[Operation], include_conditional: bool = True
+) -> int:
+    """Depth counting only Toffoli-equivalent layers (ccx/ccz).
+
+    Non-Toffoli gates still order operations (they advance qubit
+    availability to the current level without consuming a layer).
+    ``include_conditional=False`` gives the lucky-branch depth (no MBU
+    correction fires); the paper's expected-depth saving is the average of
+    the two branches, since each correction runs with probability 1/2.
+    """
+    ops = circuit.ops if isinstance(circuit, Circuit) else circuit
+    if not include_conditional:
+        ops = _strip_conditionals(ops)
+    qubit_level: Dict[int, int] = defaultdict(int)
+    bit_level: Dict[int, int] = defaultdict(int)
+    max_level = 0
+    for op in _flatten_for_depth(ops):
+        qubits, bits = _op_qubits_bits(op)
+        level = 0
+        for q in qubits:
+            level = max(level, qubit_level[q])
+        for b in bits:
+            level = max(level, bit_level[b])
+        is_toffoli = isinstance(op, Gate) and op.name in TOFFOLI_GATES
+        new_level = level + 1 if is_toffoli else level
+        for q in qubits:
+            qubit_level[q] = new_level
+        for b in bits:
+            bit_level[b] = new_level
+        max_level = max(max_level, new_level)
+    return max_level
+
+
+def _levelize(circuit: Circuit | Sequence[Operation], counts) -> int:
+    ops = circuit.ops if isinstance(circuit, Circuit) else circuit
+    qubit_level: Dict[int, int] = defaultdict(int)
+    bit_level: Dict[int, int] = defaultdict(int)
+    max_level = 0
+    for op in ops:
+        if isinstance(op, Annotation):
+            continue
+        qubits, bits = _op_qubits_bits(op)
+        level = 0
+        for q in qubits:
+            level = max(level, qubit_level[q])
+        for b in bits:
+            level = max(level, bit_level[b])
+        level += 1
+        for q in qubits:
+            qubit_level[q] = level
+        for b in bits:
+            bit_level[b] = level
+        max_level = max(max_level, level)
+    return max_level
+
+
+def _strip_conditionals(ops: Sequence[Operation]) -> List[Operation]:
+    """Drop conditional/MBU bodies (keep their measurements)."""
+    out: List[Operation] = []
+    for op in ops:
+        if isinstance(op, Conditional):
+            continue
+        if isinstance(op, MBUBlock):
+            out.append(Measurement(op.qubit, op.bit, "x"))
+        else:
+            out.append(op)
+    return out
+
+
+def _flatten_for_depth(ops: Sequence[Operation]) -> List[Operation]:
+    """Flatten conditionals for Toffoli-depth: bodies scheduled in-line."""
+    out: List[Operation] = []
+    for op in ops:
+        if isinstance(op, Annotation):
+            continue
+        if isinstance(op, Conditional):
+            out.extend(_flatten_for_depth(op.body))
+        elif isinstance(op, MBUBlock):
+            out.append(Measurement(op.qubit, op.bit, "x"))
+            out.extend(_flatten_for_depth(op.body))
+        else:
+            out.append(op)
+    return out

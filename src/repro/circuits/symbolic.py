@@ -1,0 +1,172 @@
+"""Linear symbolic cost expressions.
+
+The paper's tables express gate counts as linear functions of the register
+width ``n`` and the Hamming weights ``|p|``, ``|a|`` of the classical
+constants.  :class:`LinearCost` models exactly that: a linear combination of
+named symbols with exact :class:`fractions.Fraction` coefficients (fractions
+appear in the "in expectation" columns, e.g. ``3.5n`` Toffolis).
+
+>>> n, wp = LinearCost.symbol("n"), LinearCost.symbol("wp")
+>>> cost = 8 * n
+>>> cost - 2 * n + wp + 1
+LinearCost(6n + wp + 1)
+>>> (7 * n).evaluate(n=4)
+Fraction(28, 1)
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+from typing import Dict, Mapping, Union
+
+__all__ = ["LinearCost", "N", "WP", "WA", "ONE"]
+
+Scalar = Union[int, Fraction]
+
+# Pretty-printing names for the symbols used throughout the repo.
+_SYMBOL_DISPLAY = {
+    "n": "n",
+    "wp": "|p|",
+    "wa": "|a|",
+    "wpa": "|p-a|",
+    "one": "",
+}
+
+
+class LinearCost:
+    """An immutable linear expression ``sum_i c_i * sym_i + c0``."""
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs: Mapping[str, Scalar] | None = None) -> None:
+        clean: Dict[str, Fraction] = {}
+        for key, value in (coeffs or {}).items():
+            frac = Fraction(value)
+            if frac != 0:
+                clean[key] = frac
+        object.__setattr__(self, "coeffs", clean)
+
+    def __setattr__(self, *args) -> None:  # pragma: no cover
+        raise AttributeError("LinearCost is immutable")
+
+    # -- constructors ----------------------------------------------------
+
+    @staticmethod
+    def symbol(name: str) -> "LinearCost":
+        return LinearCost({name: 1})
+
+    @staticmethod
+    def const(value: Scalar) -> "LinearCost":
+        return LinearCost({"one": value})
+
+    @staticmethod
+    def coerce(value: "LinearCost | Scalar") -> "LinearCost":
+        if isinstance(value, LinearCost):
+            return value
+        if isinstance(value, (int, Fraction)) or isinstance(value, Rational):
+            return LinearCost.const(value)
+        raise TypeError(f"cannot coerce {value!r} to LinearCost")
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other: "LinearCost | Scalar") -> "LinearCost":
+        other = LinearCost.coerce(other)
+        merged = dict(self.coeffs)
+        for key, value in other.coeffs.items():
+            merged[key] = merged.get(key, Fraction(0)) + value
+        return LinearCost(merged)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinearCost":
+        return LinearCost({k: -v for k, v in self.coeffs.items()})
+
+    def __sub__(self, other: "LinearCost | Scalar") -> "LinearCost":
+        return self + (-LinearCost.coerce(other))
+
+    def __rsub__(self, other: "LinearCost | Scalar") -> "LinearCost":
+        return LinearCost.coerce(other) + (-self)
+
+    def __mul__(self, scalar: Scalar) -> "LinearCost":
+        frac = Fraction(scalar)
+        return LinearCost({k: v * frac for k, v in self.coeffs.items()})
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Scalar) -> "LinearCost":
+        return self * (Fraction(1) / Fraction(scalar))
+
+    # -- evaluation / comparison ------------------------------------------
+
+    def evaluate(self, **symbols: Scalar) -> Fraction:
+        """Evaluate with concrete symbol values (``one`` is implicit)."""
+        total = Fraction(0)
+        for key, coeff in self.coeffs.items():
+            if key == "one":
+                total += coeff
+            elif key in symbols:
+                total += coeff * Fraction(symbols[key])
+            else:
+                raise KeyError(f"no value supplied for symbol {key!r}")
+        return total
+
+    def coefficient(self, name: str) -> Fraction:
+        return self.coeffs.get(name, Fraction(0))
+
+    @property
+    def constant(self) -> Fraction:
+        return self.coeffs.get("one", Fraction(0))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = LinearCost.const(other)
+        if not isinstance(other, LinearCost):
+            return NotImplemented
+        return self.coeffs == other.coeffs
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.coeffs.items()))
+
+    # -- display ------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self.coeffs:
+            return "0"
+        parts = []
+        order = sorted(self.coeffs, key=lambda k: (k == "one", k))
+        for key in order:
+            coeff = self.coeffs[key]
+            sym = _SYMBOL_DISPLAY.get(key, key)
+            if key == "one":
+                term = _format_fraction(coeff)
+            elif coeff == 1:
+                term = sym
+            elif coeff == -1:
+                term = f"-{sym}"
+            else:
+                term = f"{_format_fraction(coeff)}{sym}"
+            parts.append(term)
+        text = parts[0]
+        for term in parts[1:]:
+            text += f" - {term[1:]}" if term.startswith("-") else f" + {term}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"LinearCost({self})"
+
+
+def _format_fraction(value: Fraction) -> str:
+    if value.denominator == 1:
+        return str(value.numerator)
+    as_float = float(value)
+    if as_float == round(as_float, 3):
+        return f"{as_float:g}"
+    return f"{value.numerator}/{value.denominator}"
+
+
+# Convenience singletons used across formulas.
+N = LinearCost.symbol("n")
+WP = LinearCost.symbol("wp")
+WA = LinearCost.symbol("wa")
+ONE = LinearCost.const(1)

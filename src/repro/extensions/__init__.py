@@ -1,0 +1,16 @@
+"""Extensions beyond the paper's explicit constructions: modular
+multiplication / exponentiation from (MBU) modular adders."""
+
+from .mulmod import (
+    build_inplace_mul_const_mod,
+    build_modexp,
+    build_mul_const_mod,
+    modexp_cost,
+)
+
+__all__ = [
+    "build_mul_const_mod",
+    "build_inplace_mul_const_mod",
+    "build_modexp",
+    "modexp_cost",
+]

@@ -1,0 +1,29 @@
+"""Measurement-based uncomputation (section 4).
+
+* :func:`emit_mbu_uncompute` — Lemma 4.1 as a reusable primitive;
+* two-sided comparison (thm 4.13) in :mod:`repro.mbu.comparator`;
+* every section-4 MBU circuit (thms 4.2-4.12) is the ``mbu=True`` variant
+  of the corresponding builder in :mod:`repro.modular` — see
+  :mod:`repro.mbu.theorems` for a theorem-indexed map.
+"""
+
+from .comparator import build_in_range, emit_in_range
+from .lemma import emit_mbu_uncompute
+
+__all__ = [
+    "emit_mbu_uncompute",
+    "emit_in_range",
+    "build_in_range",
+    "THEOREMS",
+    "build",
+]
+
+
+def __getattr__(name: str):
+    # Lazy import: theorems.py pulls in every builder (incl. repro.modular,
+    # which imports this package), so resolve it on first access.
+    if name in ("THEOREMS", "build"):
+        from . import theorems
+
+        return getattr(theorems, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,72 @@
+"""Two-sided comparison (thm 4.13): t ^= [x in (y, z)].
+
+Checks whether a register's value lies strictly between two other
+registers' values:
+
+1. ``h ^= [y < x]``            (plain comparator, cost r);
+2. ``t ^= h * [x < z]``        (controlled comparator, cost r');
+3. uncompute ``h``             (plain comparator again — cost r, or r/2
+                                expected with MBU).
+
+Total ``2r + r'`` Toffolis, reduced to ``1.5r + r'`` with MBU — the
+paper's ~25% saving on the uncomputation side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+from ..arithmetic.builders import Built
+from ..arithmetic.families import KITS, AdderKit
+from .lemma import emit_mbu_uncompute
+
+__all__ = ["emit_in_range", "build_in_range"]
+
+
+def emit_in_range(
+    circ: Circuit,
+    x: Sequence[int],
+    y: Sequence[int],
+    z: Sequence[int],
+    t: int,
+    helper: int,
+    anc: Sequence[int],
+    kit: AdderKit,
+    mbu: bool = False,
+) -> None:
+    """t ^= [y < x AND x < z]; ``helper`` is a clean qubit, returned clean."""
+    n = len(x)
+    comp_anc = anc[: kit.compare_ancillas(n)]
+    # 1. helper ^= [x > y]  ==  [y < x]
+    kit.emit_compare_gt(circ, x, y, helper, comp_anc)
+    # 2. t ^= helper * [z > x]  ==  helper * [x < z]
+    kit.emit_compare_gt(circ, z, x, t, comp_anc, ctrl=helper)
+
+    # 3. uncompute helper
+    def oracle() -> None:
+        kit.emit_compare_gt(circ, x, y, helper, comp_anc)
+
+    if mbu:
+        emit_mbu_uncompute(circ, helper, oracle)
+    else:
+        oracle()
+
+
+def build_in_range(n: int, family: str | AdderKit = "cdkpm", mbu: bool = False) -> Built:
+    """|x>|y>|z>|t> -> |x>|y>|z>|t ^ [x in (y, z)]>  (thm 4.13)."""
+    kit = KITS[family] if isinstance(family, str) else family
+    circ = Circuit(f"inrange[{kit.name},n={n},mbu={mbu}]")
+    x = circ.add_register("x", n)
+    y = circ.add_register("y", n)
+    z = circ.add_register("z", n)
+    t = circ.add_register("t", 1)
+    helper = circ.add_register("h", 1)
+    anc = circ.add_register("anc", kit.compare_ancillas(n))
+    emit_in_range(
+        circ, x.qubits, y.qubits, z.qubits, t[0], helper[0], anc.qubits, kit, mbu=mbu
+    )
+    return Built(
+        circ, n, ("h", "anc"),
+        {"op": "in_range", "family": kit.name, "mbu": mbu},
+    )

@@ -1,0 +1,46 @@
+"""Lemma 4.1 — measurement-based uncomputation of a single-qubit register.
+
+Given a garbage qubit ``g`` holding ``g(x)`` (entangled with the data) and a
+self-adjoint XOR-oracle ``U_g`` (``|x>|b> -> |x>|b XOR g(x)>``), the MBU
+circuit (fig 24) is:
+
+1. measure ``g`` in the X basis (1 H + 1 measurement);
+2. outcome 0 (probability 1/2): done — the register is |0> and no phase
+   was kicked;
+3. outcome 1: the state is ``sum_x a_x (-1)^{g(x)} |x> |1>``; apply H (to
+   reach |->), ``U_g`` (phase kickback cancels the (-1)^{g(x)}), H and X.
+
+The correction therefore costs ``U_g`` + 2 H + 1 X *with probability 1/2* —
+in expectation, half the oracle.  :func:`emit_mbu_uncompute` packages this
+as an :class:`~repro.circuits.ops.MBUBlock` so the resource counter weights
+the body by 1/2 in ``expected`` mode and both simulators execute it with
+the right semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..circuits.circuit import Circuit
+
+__all__ = ["emit_mbu_uncompute"]
+
+
+def emit_mbu_uncompute(
+    circ: Circuit, garbage: int, emit_oracle: Callable[[], None]
+) -> int:
+    """Uncompute ``garbage`` via Lemma 4.1; returns the classical bit.
+
+    ``emit_oracle`` must emit a self-adjoint circuit that XORs the garbage
+    function into ``garbage`` (it runs inside the correction branch, where
+    ``garbage`` is held in the |-> state — the oracle's writes to it become
+    phase kickback).  The oracle may itself contain measurement-based
+    pieces (e.g. a Gidney comparator); on computational-basis data these
+    leave no residual phase, so the lemma still applies.
+    """
+    with circ.capture() as body:
+        circ.h(garbage)
+        emit_oracle()
+        circ.h(garbage)
+        circ.x(garbage)
+    return circ.mbu(garbage, body)

@@ -1,0 +1,171 @@
+"""Theorem-indexed registry: every numbered statement of the paper mapped
+to the code that implements it.
+
+>>> from repro.mbu.theorems import THEOREMS, build
+>>> THEOREMS["thm 4.3"].title
+'MBU modular adder - CDKPM'
+>>> built = build("thm 4.3", n=8, p=251)   # a ready-to-simulate circuit
+
+The registry serves three purposes: discoverability (find the builder for
+a statement you are reading), the per-experiment index of DESIGN.md in
+executable form, and a single place the tests iterate to guarantee every
+claimed statement actually constructs and simulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..arithmetic import (
+    build_add_const,
+    build_adder,
+    build_comparator,
+    build_compare_lt_const,
+    build_controlled_add_const,
+    build_controlled_adder,
+    build_controlled_comparator,
+    build_controlled_compare_lt_const,
+    build_sub_const,
+    build_subtractor,
+)
+from ..arithmetic.builders import Built
+from ..extensions import build_modexp, build_mul_const_mod
+from ..modular import (
+    build_controlled_modadd,
+    build_controlled_modadd_const,
+    build_modadd,
+    build_modadd_const,
+    build_modadd_const_draper,
+    build_modadd_draper,
+    build_modadd_vbe_original,
+)
+from .comparator import build_in_range
+
+__all__ = ["Statement", "THEOREMS", "build"]
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One numbered statement of the paper and its implementation."""
+
+    ref: str  # e.g. "thm 4.3"
+    title: str  # the paper's naming-convention title
+    builder: Callable[..., Built]
+    defaults: Dict[str, Any]
+    notes: str = ""
+
+    def build(self, **overrides) -> Built:
+        kwargs = {**self.defaults, **overrides}
+        return self.builder(**kwargs)
+
+
+def _s(ref, title, builder, notes="", **defaults) -> Statement:
+    return Statement(ref, title, builder, defaults, notes)
+
+
+_STATEMENTS = [
+    # -- section 2: plain arithmetic ------------------------------------
+    _s("prop 2.2", "VBE plain adder", build_adder, family="vbe"),
+    _s("prop 2.3", "CDKPM plain adder", build_adder, family="cdkpm"),
+    _s("prop 2.4", "Gidney adder", build_adder, family="gidney"),
+    _s("prop 2.5", "Draper's plain adder", build_adder, family="draper",
+       notes="cor 2.7 wraps PhiADD in QFT/IQFT"),
+    _s("thm 2.9", "Controlled adder - with n extra ancillas and 2n extra Tof",
+       build_controlled_adder, family="cdkpm", method="load_toffoli"),
+    _s("cor 2.10", "Controlled adder - n extra ancillas and n extra Tof",
+       build_controlled_adder, family="cdkpm", method="load_and"),
+    _s("prop 2.11", "Controlled adder - Gidney - with 1 extra ancilla",
+       build_controlled_adder, family="gidney", method="native"),
+    _s("thm 2.12", "Controlled adder - CDKPM - with 1 ancilla",
+       build_controlled_adder, family="cdkpm", method="native"),
+    _s("thm 2.14", "Controlled adder - Draper - with 1 ancilla",
+       build_controlled_adder, family="draper"),
+    _s("prop 2.16", "Adder by a constant", build_add_const, family="cdkpm"),
+    _s("prop 2.17", "Adder by a constant - Draper", build_add_const, family="draper"),
+    _s("prop 2.19", "Controlled adder by a constant",
+       build_controlled_add_const, family="cdkpm"),
+    _s("prop 2.20", "Controlled adder by a constant - Draper",
+       build_controlled_add_const, family="draper"),
+    _s("thm 2.22", "Quantum subtractor (complement sandwich)",
+       build_subtractor, family="cdkpm", method="sandwich"),
+    _s("rem 2.23", "Subtraction with a measurement-based adder",
+       build_subtractor, family="gidney", method="default",
+       notes="the Gidney adder has no adjoint; the sandwich is used"),
+    _s("prop 2.27", "Comparator - CDKPM - using half a subtractor",
+       build_comparator, family="cdkpm"),
+    _s("prop 2.28", "Comparator - Gidney - using half a subtractor",
+       build_comparator, family="gidney"),
+    _s("prop 2.26", "Comparator - Draper/Beauregard", build_comparator, family="draper"),
+    _s("prop 2.30", "Controlled comparator - CDKPM",
+       build_controlled_comparator, family="cdkpm"),
+    _s("prop 2.31", "Controlled comparator - Gidney",
+       build_controlled_comparator, family="gidney"),
+    _s("prop 2.34", "Comparator by a classical constant",
+       build_compare_lt_const, family="cdkpm"),
+    _s("prop 2.36", "Comparator by a classical constant - Draper/Beauregard",
+       build_compare_lt_const, family="draper"),
+    _s("thm 2.38", "Controlled comparator by a classical constant - CDKPM",
+       build_controlled_compare_lt_const, family="cdkpm"),
+    # -- section 3: modular addition ------------------------------------
+    _s("prop 3.2", "Modular adder - Vedral's architecture (original 5-adder)",
+       build_modadd_vbe_original),
+    _s("prop 3.4", "Modular adder - CDKPM", build_modadd, family="cdkpm"),
+    _s("prop 3.5", "Modular adder - Gidney", build_modadd, family="gidney"),
+    _s("thm 3.6", "Modular adder - Gidney + CDKPM",
+       build_modadd, family="gidney", mid_family="cdkpm"),
+    _s("prop 3.7", "Modular adder - Draper/Beauregard", build_modadd_draper),
+    _s("prop 3.10", "Controlled modular adder - CDKPM",
+       build_controlled_modadd, family="cdkpm"),
+    _s("prop 3.11", "Controlled modular adder - Gidney",
+       build_controlled_modadd, family="gidney"),
+    _s("prop 3.13", "Modular adder by a constant (generic)",
+       build_modadd_const, family="cdkpm", architecture="generic"),
+    _s("thm 3.14", "Modular adder by a constant - in VBE architecture",
+       build_modadd_const, family="cdkpm", architecture="vbe"),
+    _s("prop 3.15", "Modular adder by a constant - in Takahashi architecture",
+       build_modadd_const, family="cdkpm", architecture="takahashi"),
+    _s("thm 3.17", "Controlled modular adder by a constant (generic)",
+       build_controlled_modadd_const, family="cdkpm", architecture="generic"),
+    _s("prop 3.18", "Controlled modular adder by a constant - in VBE architecture",
+       build_controlled_modadd_const, family="cdkpm", architecture="vbe"),
+    _s("prop 3.19", "Controlled modular adder by a constant - Beauregard",
+       build_modadd_const_draper, num_controls=1),
+    _s("fig 23", "Beauregard's doubly-controlled constant modular adder",
+       build_modadd_const_draper, num_controls=2),
+    # -- section 4: MBU --------------------------------------------------
+    _s("thm 4.2", "MBU modular adder - VBE architecture",
+       build_modadd_vbe_original, mbu=True),
+    _s("thm 4.3", "MBU modular adder - CDKPM", build_modadd, family="cdkpm", mbu=True),
+    _s("thm 4.4", "MBU modular adder - Gidney", build_modadd, family="gidney", mbu=True),
+    _s("thm 4.5", "MBU modular adder - Gidney + CDKPM",
+       build_modadd, family="gidney", mid_family="cdkpm", mbu=True),
+    _s("thm 4.6", "MBU modular adder - Draper/Beauregard",
+       build_modadd_draper, mbu=True),
+    _s("thm 4.8", "MBU controlled modular adder - CDKPM",
+       build_controlled_modadd, family="cdkpm", mbu=True),
+    _s("thm 4.9", "MBU controlled modular adder - Gidney",
+       build_controlled_modadd, family="gidney", mbu=True),
+    _s("thm 4.10", "MBU modular addition by a constant - VBE architecture",
+       build_modadd_const, family="cdkpm", architecture="vbe", mbu=True),
+    _s("thm 4.11", "MBU modular adder by a constant - Takahashi architecture",
+       build_modadd_const, family="cdkpm", architecture="takahashi", mbu=True),
+    _s("thm 4.12", "MBU controlled modular adder by a constant - VBE architecture",
+       build_controlled_modadd_const, family="cdkpm", architecture="vbe", mbu=True),
+    _s("thm 4.13", "Two-sided comparator", build_in_range, family="cdkpm", mbu=True),
+    # -- extensions (the paper's future work) -----------------------------
+    _s("ext mul", "Modular multiplication by a constant",
+       build_mul_const_mod, family="cdkpm", mbu=True),
+    _s("ext modexp", "Modular exponentiation (Shor kernel)",
+       build_modexp, family="cdkpm", mbu=True),
+]
+
+THEOREMS: Dict[str, Statement] = {s.ref: s for s in _STATEMENTS}
+
+
+def build(ref: str, **overrides) -> Built:
+    """Build the circuit of a numbered statement, e.g. ``build('thm 4.3',
+    n=8, p=251)``.  Overrides are passed to the underlying builder."""
+    if ref not in THEOREMS:
+        raise KeyError(f"unknown statement {ref!r}; known: {sorted(THEOREMS)}")
+    return THEOREMS[ref].build(**overrides)

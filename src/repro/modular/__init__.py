@@ -1,0 +1,24 @@
+"""Section-3 modular addition circuits (and their section-4 MBU variants,
+via the ``mbu=True`` flag on every builder)."""
+
+from .architecture import (
+    build_controlled_modadd,
+    build_modadd,
+    emit_modadd,
+    work_pool_size,
+)
+from .beauregard import build_modadd_const_draper, build_modadd_draper
+from .constant import build_controlled_modadd_const, build_modadd_const
+from .vbe_original import build_modadd_vbe_original
+
+__all__ = [
+    "emit_modadd",
+    "work_pool_size",
+    "build_modadd",
+    "build_controlled_modadd",
+    "build_modadd_const",
+    "build_controlled_modadd_const",
+    "build_modadd_draper",
+    "build_modadd_const_draper",
+    "build_modadd_vbe_original",
+]

@@ -1,0 +1,181 @@
+"""The VBE modular-addition architecture (prop 3.2) and its controlled
+variant (prop 3.9), parametric in the adder/comparator families — plus the
+MBU-optimised versions (thms 4.2 / 4.7).
+
+Structure (fig 22 / fig 25):
+
+1. ``QADD``            — plain (or controlled) addition: y <- x + y;
+2. ``QCOMP(p)``        — t ^= [x + y < p] (constant comparator, the sum is
+                         n+1 bits so remark 2.32's ``b_extra`` handles the
+                         top qubit); then X(t) so t = [x + y >= p];
+3. ``C-QSUB(p)``       — controlled on t, subtract p (controlled constant
+                         load + plain adder inside a complement sandwich);
+4. ``Q'COMP``          — uncompute t via t ^= [x > (x+y) mod p], which
+                         equals t (proof of prop 3.2).  With ``mbu=True``
+                         this step is wrapped in Lemma 4.1, halving its
+                         expected cost (thm 4.2).
+
+The two *slots* follow the paper's mixing rule (thm 3.6): ``kit_add`` serves
+steps 1 and 4, ``kit_mid`` serves steps 2 and 3.  CDKPM/CDKPM gives prop
+3.4, Gidney/Gidney prop 3.5, Gidney/CDKPM thm 3.6.
+
+Register/ancilla layout: a single ``work`` pool provides the constant
+register (low n qubits, holding p only during steps 2-3) and each slot's
+carry ancillas, sized to the maximum simultaneous need.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+from ..arithmetic.builders import Built
+from ..arithmetic.constant import (
+    emit_load_constant,
+    emit_load_constant_controlled,
+)
+from ..arithmetic.families import KITS, AdderKit
+from ..mbu.lemma import emit_mbu_uncompute
+
+__all__ = [
+    "work_pool_size",
+    "emit_modadd",
+    "build_modadd",
+    "build_controlled_modadd",
+]
+
+
+def work_pool_size(n: int, kit_add: AdderKit, kit_mid: AdderKit) -> int:
+    """Scratch qubits needed: the constant register (n) coexists with the
+    mid-family ancillas; the add-family ancillas reuse the same pool."""
+    mid_need = n + max(kit_mid.compare_ancillas(n), kit_mid.add_ancillas(n))
+    add_need = max(kit_add.add_ancillas(n), kit_add.compare_ancillas(n))
+    if kit_add.emit_add_ctrl is not None and kit_add.ctrl_add_ancillas is not None:
+        add_need = max(add_need, kit_add.ctrl_add_ancillas(n))
+    return max(mid_need, add_need)
+
+
+def emit_modadd(
+    circ: Circuit,
+    x: Sequence[int],
+    y: Sequence[int],
+    t: int,
+    p: int,
+    work: Sequence[int],
+    kit_add: AdderKit,
+    kit_mid: AdderKit,
+    mbu: bool = False,
+    ctrl: int | None = None,
+) -> None:
+    """y <- (x + y) mod p (definition 3.1), optionally controlled on ``ctrl``.
+
+    Preconditions: 0 <= x, y < p < 2**n; ``y`` has n+1 qubits (top 0);
+    ``t`` and ``work`` are clean and returned clean.
+    """
+    n = len(x)
+    if len(y) != n + 1:
+        raise ValueError("y register must have n+1 qubits")
+    if not 0 < p < (1 << n):
+        raise ValueError("modulus must satisfy 0 < p < 2**n")
+    if len(work) < work_pool_size(n, kit_add, kit_mid):
+        raise ValueError("work pool too small")
+    const = work[:n]
+    mid_anc = work[n:]
+    y_low, y_top = y[:n], y[n]
+
+    # 1. (controlled) plain addition: y <- y + [ctrl]*x
+    if ctrl is None:
+        kit_add.emit_add(circ, x, y, work[: kit_add.add_ancillas(n)])
+    else:
+        if kit_add.emit_add_ctrl is None:
+            raise ValueError(f"family {kit_add.name!r} has no controlled adder")
+        kit_add.emit_add_ctrl(circ, ctrl, x, y, work[: kit_add.ctrl_add_ancillas(n)])
+
+    # 2. t ^= [x + y < p]  ==  [p > x+y], with the n+1-bit sum handled by
+    #    remark 2.32's b_extra; then flip so t = [x + y >= p].
+    emit_load_constant(circ, const, p)
+    kit_mid.emit_compare_gt(
+        circ, const, y_low, t, mid_anc[: kit_mid.compare_ancillas(n)], b_extra=y_top
+    )
+    emit_load_constant(circ, const, p)
+    circ.x(t)
+
+    # 3. controlled subtraction of p (complement sandwich, prop 2.19 load)
+    for q in y:
+        circ.x(q)
+    emit_load_constant_controlled(circ, t, const, p)
+    kit_mid.emit_add(circ, const, y, mid_anc[: kit_mid.add_ancillas(n)])
+    emit_load_constant_controlled(circ, t, const, p)
+    for q in y:
+        circ.x(q)
+
+    # 4. uncompute t: t ^= [x > (x+y) mod p]  (== c*[...] when controlled)
+    final_anc = work[: kit_add.compare_ancillas(n)]
+
+    def oracle() -> None:
+        kit_add.emit_compare_gt(circ, x, y_low, t, final_anc, ctrl=ctrl)
+
+    if mbu:
+        emit_mbu_uncompute(circ, t, oracle)
+    else:
+        oracle()
+
+
+def _resolve(kit: str | AdderKit) -> AdderKit:
+    return KITS[kit] if isinstance(kit, str) else kit
+
+
+def build_modadd(
+    n: int,
+    p: int,
+    family: str | AdderKit = "cdkpm",
+    mid_family: str | AdderKit | None = None,
+    mbu: bool = False,
+) -> Built:
+    """Definition 3.1 as a circuit (props 3.4/3.5, thms 3.6/4.3/4.4/4.5).
+
+    ``family`` serves the plain addition and the final comparator;
+    ``mid_family`` (default: same) serves the constant comparison and the
+    controlled subtraction — pass ``family='gidney', mid_family='cdkpm'``
+    for thm 3.6's hybrid.
+    """
+    kit_add = _resolve(family)
+    kit_mid = _resolve(mid_family if mid_family is not None else family)
+    name = f"modadd[{kit_add.name}+{kit_mid.name},n={n},p={p},mbu={mbu}]"
+    circ = Circuit(name)
+    x = circ.add_register("x", n)
+    y = circ.add_register("y", n + 1)
+    t = circ.add_register("t", 1)
+    work = circ.add_register("work", work_pool_size(n, kit_add, kit_mid))
+    emit_modadd(circ, x.qubits, y.qubits, t[0], p, work.qubits, kit_add, kit_mid, mbu=mbu)
+    return Built(
+        circ, n, ("t", "work"),
+        {"op": "modadd", "p": p, "family": kit_add.name, "mid": kit_mid.name, "mbu": mbu},
+    )
+
+
+def build_controlled_modadd(
+    n: int,
+    p: int,
+    family: str | AdderKit = "cdkpm",
+    mid_family: str | AdderKit | None = None,
+    mbu: bool = False,
+) -> Built:
+    """Definition 3.8 as a circuit (props 3.10/3.11, thms 4.8/4.9)."""
+    kit_add = _resolve(family)
+    kit_mid = _resolve(mid_family if mid_family is not None else family)
+    name = f"cmodadd[{kit_add.name}+{kit_mid.name},n={n},p={p},mbu={mbu}]"
+    circ = Circuit(name)
+    ctrl = circ.add_register("ctrl", 1)
+    x = circ.add_register("x", n)
+    y = circ.add_register("y", n + 1)
+    t = circ.add_register("t", 1)
+    work = circ.add_register("work", work_pool_size(n, kit_add, kit_mid))
+    emit_modadd(
+        circ, x.qubits, y.qubits, t[0], p, work.qubits, kit_add, kit_mid,
+        mbu=mbu, ctrl=ctrl[0],
+    )
+    return Built(
+        circ, n, ("t", "work"),
+        {"op": "cmodadd", "p": p, "family": kit_add.name, "mid": kit_mid.name, "mbu": mbu},
+    )

@@ -1,0 +1,142 @@
+"""QFT-based modular addition (Draper/Beauregard) — prop 3.7, prop 3.19,
+fig 23 — with MBU variants (thm 4.6).
+
+Beauregard's trick fuses the constant comparator with the conditional
+subtraction: after ``PhiADD(x)`` the circuit *subtracts* ``p`` outright,
+reads the sign bit (one IQFT/QFT round-trip), and adds ``p`` back
+*controlled on the sign* — so one constant block does double duty.  The
+garbage sign bit is then uncomputed by comparing with ``x`` (or ``c*a``).
+
+With ``mbu=True`` the final comparator is wrapped in Lemma 4.1 *while the
+target register is still in the Fourier basis*: the correction oracle is
+the Fourier-interior comparator ``PhiSUB - IQFT - (X)cx(X) - QFT - PhiADD``
+(self-adjoint), and the trailing IQFT stays unconditional.  That is how
+thm 4.6 reaches its half-integer expected block counts (2.5 QFT etc.).
+
+All builders delimit QFT-sized blocks with markers, so
+``count_blocks(circ, mode='expected')`` reproduces Table 1's Draper rows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+from ..arithmetic.builders import Built
+from ..arithmetic.draper import (
+    emit_ccphi_add_const,
+    emit_cphi_add_const,
+    emit_iqft,
+    emit_phi_add,
+    emit_phi_add_const,
+    emit_phi_sub,
+    emit_phi_sub_const,
+    emit_qft,
+)
+from ..mbu.lemma import emit_mbu_uncompute
+
+__all__ = ["build_modadd_draper", "build_modadd_const_draper"]
+
+
+def build_modadd_draper(n: int, p: int, mbu: bool = False) -> Built:
+    """|x>_n |y>_{n+1} -> |x>|x+y mod p>  (prop 3.7; MBU: thm 4.6)."""
+    if not 0 < p < (1 << n):
+        raise ValueError("modulus must satisfy 0 < p < 2**n")
+    circ = Circuit(f"modadd[draper,n={n},p={p},mbu={mbu}]")
+    x = circ.add_register("x", n)
+    y = circ.add_register("y", n + 1)
+    t = circ.add_register("t", 1)
+    yq = y.qubits
+
+    emit_qft(circ, yq)
+    emit_phi_add(circ, x.qubits, yq)  # phi(x + y)
+    emit_phi_sub_const(circ, yq, p)  # phi(x + y - p): sign in the top qubit
+    emit_iqft(circ, yq)
+    circ.cx(y[n], t[0])  # t = [x + y < p]
+    emit_qft(circ, yq)
+    emit_cphi_add_const(circ, t[0], yq, p)  # add p back iff we went negative
+
+    def oracle() -> None:
+        # Fourier-interior comparator: t ^= NOT [mod < x]  ==  [x + y < p]
+        emit_phi_sub(circ, x.qubits, yq)
+        emit_iqft(circ, yq)
+        circ.x(y[n])
+        circ.cx(y[n], t[0])
+        circ.x(y[n])
+        emit_qft(circ, yq)
+        emit_phi_add(circ, x.qubits, yq)
+
+    if mbu:
+        emit_mbu_uncompute(circ, t[0], oracle)
+    else:
+        oracle()
+    emit_iqft(circ, yq)
+    return Built(
+        circ, n, ("t",),
+        {"op": "modadd", "arch": "beauregard", "p": p, "mbu": mbu},
+    )
+
+
+def build_modadd_const_draper(
+    n: int,
+    p: int,
+    a: int,
+    num_controls: int = 0,
+    mbu: bool = False,
+) -> Built:
+    """|x>_{n+1} -> |x + a mod p>  in the Fourier architecture.
+
+    ``num_controls=0`` is the plain constant modular adder;
+    ``num_controls=1`` is prop 3.19; ``num_controls=2`` is Beauregard's
+    original doubly-controlled circuit (fig 23, as used in Shor's
+    algorithm).  MBU wraps the final comparator (thm 4.6 style).
+    """
+    if not 0 < p < (1 << n):
+        raise ValueError("modulus must satisfy 0 < p < 2**n")
+    if not 0 <= a < p:
+        raise ValueError("constant must satisfy 0 <= a < p")
+    if num_controls not in (0, 1, 2):
+        raise ValueError("num_controls must be 0, 1 or 2")
+    circ = Circuit(
+        f"modaddc[draper,n={n},p={p},a={a},c={num_controls},mbu={mbu}]"
+    )
+    ctrls = circ.add_register("ctrl", num_controls).qubits if num_controls else ()
+    x = circ.add_register("x", n + 1)
+    t = circ.add_register("t", 1)
+    xq = x.qubits
+
+    def add_a(sign: int) -> None:
+        if num_controls == 0:
+            emit_phi_add_const(circ, xq, a, sign=sign)
+        elif num_controls == 1:
+            emit_cphi_add_const(circ, ctrls[0], xq, a, sign=sign)
+        else:
+            emit_ccphi_add_const(circ, ctrls[0], ctrls[1], xq, a, sign=sign)
+
+    emit_qft(circ, xq)
+    add_a(1)  # phi(x + c*a)
+    emit_phi_sub_const(circ, xq, p)
+    emit_iqft(circ, xq)
+    circ.cx(x[n], t[0])  # t = [x + c*a < p]
+    emit_qft(circ, xq)
+    emit_cphi_add_const(circ, t[0], xq, p)
+
+    def oracle() -> None:
+        add_a(-1)  # phi(mod - c*a)
+        emit_iqft(circ, xq)
+        circ.x(x[n])
+        circ.cx(x[n], t[0])  # t ^= NOT [mod < c*a]  ==  [x + c*a < p]
+        circ.x(x[n])
+        emit_qft(circ, xq)
+        add_a(1)
+
+    if mbu:
+        emit_mbu_uncompute(circ, t[0], oracle)
+    else:
+        oracle()
+    emit_iqft(circ, xq)
+    return Built(
+        circ, n, ("t",),
+        {"op": "modaddc", "arch": "beauregard", "p": p, "a": a,
+         "controls": num_controls, "mbu": mbu},
+    )

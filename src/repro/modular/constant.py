@@ -1,0 +1,227 @@
+"""Modular addition by a classical constant — defs 3.12 / 3.16.
+
+Three architectures, each with an MBU variant:
+
+* ``'generic'``   — prop 3.13 / thm 3.17: load ``a`` into a fresh register
+  and run the quantum-quantum modular adder;
+* ``'vbe'``       — thm 3.14 / prop 3.18 (MBU: thms 4.10 / 4.12): the VBE
+  architecture with the plain addition replaced by a constant addition;
+* ``'takahashi'`` — prop 3.15 (MBU: thm 4.11): subtract ``p - a``, add
+  ``p`` back controlled on the sign, uncompute the sign with a constant
+  comparator — one fewer arithmetic block than the VBE architecture.
+
+The QFT-based constant modular adder (Beauregard, prop 3.19 / fig 23)
+lives in ``repro.modular.beauregard``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..circuits.circuit import Circuit
+from ..arithmetic.builders import Built
+from ..arithmetic.constant import (
+    emit_load_constant,
+    emit_load_constant_controlled,
+)
+from ..arithmetic.families import KITS, AdderKit
+from ..mbu.lemma import emit_mbu_uncompute
+from .architecture import emit_modadd, work_pool_size
+
+__all__ = [
+    "build_modadd_const",
+    "build_controlled_modadd_const",
+]
+
+
+def _pool(n: int, kit: AdderKit) -> int:
+    return n + max(kit.add_ancillas(n), kit.compare_ancillas(n))
+
+
+def _emit_modadd_const_vbe_arch(
+    circ: Circuit,
+    x: Sequence[int],
+    t: int,
+    p: int,
+    a: int,
+    work: Sequence[int],
+    kit: AdderKit,
+    mbu: bool,
+    ctrl: int | None,
+) -> None:
+    """Thm 3.14 (plain) / prop 3.18 (controlled); MBU: thms 4.10 / 4.12."""
+    n = len(x) - 1
+    const = work[:n]
+    anc = work[n:]
+    x_low, x_top = x[:n], x[n]
+
+    def load_a() -> None:
+        if ctrl is None:
+            emit_load_constant(circ, const, a)
+        else:
+            emit_load_constant_controlled(circ, ctrl, const, a)
+
+    # 1. x += [ctrl]*a  (props 2.16 / 2.19: only the load sees the control)
+    load_a()
+    kit.emit_add(circ, const, x, anc[: kit.add_ancillas(n)])
+    load_a()
+
+    # 2. t ^= [x + a < p]; flip
+    emit_load_constant(circ, const, p)
+    kit.emit_compare_gt(circ, const, x_low, t, anc[: kit.compare_ancillas(n)], b_extra=x_top)
+    emit_load_constant(circ, const, p)
+    circ.x(t)
+
+    # 3. controlled subtraction of p
+    for q in x:
+        circ.x(q)
+    emit_load_constant_controlled(circ, t, const, p)
+    kit.emit_add(circ, const, x, anc[: kit.add_ancillas(n)])
+    emit_load_constant_controlled(circ, t, const, p)
+    for q in x:
+        circ.x(q)
+
+    # 4. uncompute t ^= [(x+a mod p) < [ctrl]*a]
+    def oracle() -> None:
+        load_a()
+        kit.emit_compare_gt(circ, const, x_low, t, anc[: kit.compare_ancillas(n)])
+        load_a()
+
+    if mbu:
+        emit_mbu_uncompute(circ, t, oracle)
+    else:
+        oracle()
+
+
+def _emit_modadd_const_takahashi(
+    circ: Circuit,
+    x: Sequence[int],
+    t: int,
+    p: int,
+    a: int,
+    work: Sequence[int],
+    kit: AdderKit,
+    mbu: bool,
+) -> None:
+    """Prop 3.15 / thm 4.11 (no controlled form in the paper)."""
+    n = len(x) - 1
+    const = work[:n]
+    anc = work[n:]
+    x_low, x_top = x[:n], x[n]
+
+    # 1. x -= (p - a): the sign (top bit) becomes [x + a < p]
+    for q in x:
+        circ.x(q)
+    emit_load_constant(circ, const, p - a)
+    kit.emit_add(circ, const, x, anc[: kit.add_ancillas(n)])
+    emit_load_constant(circ, const, p - a)
+    for q in x:
+        circ.x(q)
+
+    # 2. copy the sign; controlled on it, add p back (clears the top bit)
+    circ.cx(x_top, t)
+    emit_load_constant_controlled(circ, t, const, p)
+    kit.emit_add(circ, const, x, anc[: kit.add_ancillas(n)])
+    emit_load_constant_controlled(circ, t, const, p)
+
+    # 3. uncompute t = [x + a < p] via t ^= NOT [(x+a mod p) < a]
+    def oracle() -> None:
+        emit_load_constant(circ, const, a)
+        kit.emit_compare_gt(circ, const, x_low, t, anc[: kit.compare_ancillas(n)])
+        emit_load_constant(circ, const, a)
+        circ.x(t)
+
+    if mbu:
+        emit_mbu_uncompute(circ, t, oracle)
+    else:
+        oracle()
+
+
+def build_modadd_const(
+    n: int,
+    p: int,
+    a: int,
+    family: str | AdderKit = "cdkpm",
+    architecture: str = "takahashi",
+    mbu: bool = False,
+) -> Built:
+    """|x>_{n+1} -> |x + a mod p>_{n+1}  (def 3.12), 0 <= a, x < p < 2**n."""
+    kit = KITS[family] if isinstance(family, str) else family
+    if not 0 < p < (1 << n):
+        raise ValueError("modulus must satisfy 0 < p < 2**n")
+    if not 0 <= a < p:
+        raise ValueError("constant must satisfy 0 <= a < p")
+    circ = Circuit(f"modaddc[{architecture},{kit.name},n={n},p={p},a={a},mbu={mbu}]")
+    x = circ.add_register("x", n + 1)
+    t = circ.add_register("t", 1)
+
+    if architecture == "generic":
+        a_reg = circ.add_register("a", n)
+        work = circ.add_register("work", work_pool_size(n, kit, kit))
+        emit_load_constant(circ, a_reg.qubits, a)
+        emit_modadd(circ, a_reg.qubits, x.qubits, t[0], p, work.qubits, kit, kit, mbu=mbu)
+        emit_load_constant(circ, a_reg.qubits, a)
+        anc_names = ("a", "t", "work")
+    elif architecture == "vbe":
+        work = circ.add_register("work", _pool(n, kit))
+        _emit_modadd_const_vbe_arch(
+            circ, x.qubits, t[0], p, a, work.qubits, kit, mbu, ctrl=None
+        )
+        anc_names = ("t", "work")
+    elif architecture == "takahashi":
+        work = circ.add_register("work", _pool(n, kit))
+        _emit_modadd_const_takahashi(circ, x.qubits, t[0], p, a, work.qubits, kit, mbu)
+        anc_names = ("t", "work")
+    else:
+        raise ValueError(f"unknown architecture {architecture!r}")
+    return Built(
+        circ, n, anc_names,
+        {"op": "modaddc", "arch": architecture, "family": kit.name,
+         "p": p, "a": a, "mbu": mbu},
+    )
+
+
+def build_controlled_modadd_const(
+    n: int,
+    p: int,
+    a: int,
+    family: str | AdderKit = "cdkpm",
+    architecture: str = "vbe",
+    mbu: bool = False,
+) -> Built:
+    """|c>|x>_{n+1} -> |c>|x + c*a mod p>_{n+1}  (def 3.16).
+
+    ``architecture='vbe'`` is prop 3.18 (MBU: thm 4.12);
+    ``architecture='generic'`` is thm 3.17 (load ``c*a`` and reuse the
+    quantum-quantum modular adder).
+    """
+    kit = KITS[family] if isinstance(family, str) else family
+    if not 0 < p < (1 << n):
+        raise ValueError("modulus must satisfy 0 < p < 2**n")
+    if not 0 <= a < p:
+        raise ValueError("constant must satisfy 0 <= a < p")
+    circ = Circuit(f"cmodaddc[{architecture},{kit.name},n={n},p={p},a={a},mbu={mbu}]")
+    ctrl = circ.add_register("ctrl", 1)
+    x = circ.add_register("x", n + 1)
+    t = circ.add_register("t", 1)
+
+    if architecture == "generic":
+        a_reg = circ.add_register("a", n)
+        work = circ.add_register("work", work_pool_size(n, kit, kit))
+        emit_load_constant_controlled(circ, ctrl[0], a_reg.qubits, a)
+        emit_modadd(circ, a_reg.qubits, x.qubits, t[0], p, work.qubits, kit, kit, mbu=mbu)
+        emit_load_constant_controlled(circ, ctrl[0], a_reg.qubits, a)
+        anc_names = ("a", "t", "work")
+    elif architecture == "vbe":
+        work = circ.add_register("work", _pool(n, kit))
+        _emit_modadd_const_vbe_arch(
+            circ, x.qubits, t[0], p, a, work.qubits, kit, mbu, ctrl=ctrl[0]
+        )
+        anc_names = ("t", "work")
+    else:
+        raise ValueError(f"unknown architecture {architecture!r}")
+    return Built(
+        circ, n, anc_names,
+        {"op": "cmodaddc", "arch": architecture, "family": kit.name,
+         "p": p, "a": a, "mbu": mbu},
+    )

@@ -1,0 +1,75 @@
+"""Recover closed-form linear costs from measured gate counts.
+
+Every cost in the paper is (affine-)linear in the register width ``n`` and
+the Hamming weights of the classical constants.  Given measured counts over
+a sweep of parameter points, :func:`fit_linear` solves the least-squares
+system and returns an exact :class:`~repro.circuits.symbolic.LinearCost`
+(coefficients snapped to nearby rationals).  :func:`fit_exact` additionally
+verifies the fit reproduces every sample exactly — which is how the tests
+prove statements like "the CDKPM modular adder costs exactly 8n Toffolis".
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from ..circuits.symbolic import LinearCost
+
+__all__ = ["fit_linear", "fit_exact", "FitError"]
+
+
+class FitError(RuntimeError):
+    """The measured counts are not (exactly) linear in the parameters."""
+
+
+def fit_linear(
+    samples: Sequence[Mapping[str, int]],
+    values: Sequence[Fraction | int | float],
+    max_denominator: int = 64,
+) -> LinearCost:
+    """Least-squares fit ``value ~ c0 + sum_i c_sym * sym``.
+
+    ``samples`` maps symbol names to their values at each measurement point;
+    the constant term uses the reserved symbol ``one``.  Coefficients are
+    snapped to fractions with denominator <= ``max_denominator``.
+    """
+    if len(samples) != len(values):
+        raise ValueError("samples and values must have equal length")
+    if not samples:
+        raise ValueError("need at least one sample")
+    symbols = sorted({name for sample in samples for name in sample})
+    columns = symbols + ["one"]
+    matrix = np.array(
+        [[float(sample.get(sym, 0)) for sym in symbols] + [1.0] for sample in samples]
+    )
+    rhs = np.array([float(v) for v in values])
+    solution, *_ = np.linalg.lstsq(matrix, rhs, rcond=None)
+    coeffs: Dict[str, Fraction] = {}
+    for name, value in zip(columns, solution):
+        frac = Fraction(value).limit_denominator(max_denominator)
+        if frac != 0:
+            coeffs[name] = frac
+    return LinearCost(coeffs)
+
+
+def fit_exact(
+    samples: Sequence[Mapping[str, int]],
+    values: Sequence[Fraction | int],
+    max_denominator: int = 64,
+) -> LinearCost:
+    """:func:`fit_linear` + verification that every sample is matched exactly.
+
+    Raises :class:`FitError` when the data is not linear, listing the first
+    offending sample — a unit-test-friendly way of asserting closed forms.
+    """
+    cost = fit_linear(samples, values, max_denominator)
+    for sample, value in zip(samples, values):
+        predicted = cost.evaluate(**{k: v for k, v in sample.items()})
+        if predicted != Fraction(value):
+            raise FitError(
+                f"fit {cost} predicts {predicted} at {dict(sample)}, measured {value}"
+            )
+    return cost

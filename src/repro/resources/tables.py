@@ -1,0 +1,336 @@
+"""Regenerate the paper's Tables 1-6 from constructed circuits.
+
+Each ``table*`` function builds the row's circuit(s) at a concrete ``n``
+(and modulus/constant), measures gate counts in ``expected`` mode, and
+returns rows carrying *paper formula*, *paper value at n*, and *measured
+value* side by side.  ``render_rows`` pretty-prints them; the benchmark
+harness and ``examples/regenerate_tables.py`` drive these.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Dict, List, Sequence
+
+from ..arithmetic import (
+    build_add_const,
+    build_adder,
+    build_comparator,
+    build_controlled_add_const,
+    build_controlled_adder,
+)
+from ..arithmetic.builders import Built
+from ..arithmetic.draper import PCQFT_UNIT_LABELS, QFT_UNIT_LABELS
+from ..boolarith import hamming_weight
+from ..circuits.symbolic import LinearCost
+from ..modular import (
+    build_modadd,
+    build_modadd_draper,
+    build_modadd_vbe_original,
+)
+from .formulas import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLE6,
+)
+
+__all__ = [
+    "qft_units",
+    "pcqft_units",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "mbu_savings",
+    "render_rows",
+]
+
+
+def qft_units(built: Built, mode: str = "expected") -> Fraction:
+    """Total QFT-sized blocks (QFT, IQFT, PhiADD/PhiSUB — remark 2.6)."""
+    blocks = built.blocks(mode)
+    return sum((v for k, v in blocks.items() if k in QFT_UNIT_LABELS), Fraction(0))
+
+
+def pcqft_units(built: Built, mode: str = "expected") -> Fraction:
+    """Total classically-determined rotation blocks (the PCQFT unit)."""
+    blocks = built.blocks(mode)
+    return sum((v for k, v in blocks.items() if k in PCQFT_UNIT_LABELS), Fraction(0))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, LinearCost):
+        return str(value)
+    if isinstance(value, Fraction):
+        return str(value.numerator) if value.denominator == 1 else f"{float(value):g}"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _paper(table: Dict, row: str, metric: str, **symbols):
+    cost = table.get(row, {}).get(metric)
+    if cost is None:
+        return None, None
+    return cost, cost.evaluate(**{k: v for k, v in symbols.items() if k in cost.coeffs or True})
+
+
+TABLE1_LABELS = {
+    "vbe5": "(5 adder) VBE",
+    "vbe4": "(4 adder) VBE",
+    "cdkpm": "CDKPM",
+    "gidney": "Gidney",
+    "hybrid": "CDKPM+Gidney",
+    "draper": "Draper",
+    "draper_expect": "Draper (Expect)",
+}
+
+
+def table1(n: int, p: int | None = None) -> List[Dict[str, Any]]:
+    """Table 1: modular addition, with and without MBU."""
+    if p is None:
+        p = (1 << n) - 1  # worst-case Hamming weight, as the |p| terms assume
+    wp = hamming_weight(p)
+    builders = {
+        "vbe5": lambda mbu: build_modadd_vbe_original(n, p, mbu=mbu),
+        "vbe4": lambda mbu: build_modadd(n, p, "vbe", mbu=mbu),
+        "cdkpm": lambda mbu: build_modadd(n, p, "cdkpm", mbu=mbu),
+        "gidney": lambda mbu: build_modadd(n, p, "gidney", mbu=mbu),
+        "hybrid": lambda mbu: build_modadd(n, p, "gidney", "cdkpm", mbu=mbu),
+    }
+    rows: List[Dict[str, Any]] = []
+    for key, make in builders.items():
+        plain, mbu = make(False), make(True)
+        counts, counts_mbu = plain.counts("expected"), mbu.counts("expected")
+        row: Dict[str, Any] = {"row": TABLE1_LABELS[key], "n": n, "p": p}
+        for metric, measured in [
+            ("qubits", plain.logical_qubits),
+            ("toffoli", counts.toffoli),
+            ("toffoli_mbu", counts_mbu.toffoli),
+            ("cnot_cz", counts.cnot_cz),
+            ("cnot_cz_mbu", counts_mbu.cnot_cz),
+            ("x", counts.x),
+            ("x_mbu", counts_mbu.x),
+        ]:
+            formula = PAPER_TABLE1[key].get(metric)
+            row[metric] = measured
+            row[f"{metric}_paper"] = formula.evaluate(n=n, wp=wp) if formula else None
+        rows.append(row)
+
+    for key, amortized in [("draper", False), ("draper_expect", True)]:
+        plain, mbu = build_modadd_draper(n, p), build_modadd_draper(n, p, mbu=True)
+        discount = 2 if amortized else 0  # first QFT + last IQFT amortised away
+        row = {
+            "row": TABLE1_LABELS[key],
+            "n": n,
+            "p": p,
+            "qubits": plain.logical_qubits,
+            "qubits_paper": PAPER_TABLE1[key]["qubits"].evaluate(n=n),
+            "qft_units": qft_units(plain) - discount,
+            "qft_units_paper": PAPER_TABLE1[key]["qft_units"].evaluate(n=n),
+            "qft_units_mbu": qft_units(mbu) - discount,
+            "qft_units_mbu_paper": PAPER_TABLE1[key]["qft_units_mbu"].evaluate(n=n),
+            "pcqft_units": pcqft_units(plain),
+            "pcqft_units_paper": PAPER_TABLE1[key]["pcqft_units"].evaluate(n=n),
+        }
+        rows.append(row)
+    return rows
+
+
+def table2(n: int) -> List[Dict[str, Any]]:
+    """Table 2: plain adders."""
+    rows = []
+    for family in ("vbe", "cdkpm", "gidney"):
+        built = build_adder(n, family)
+        counts = built.counts("expected")
+        paper = PAPER_TABLE2[family]
+        rows.append({
+            "row": family.upper(),
+            "toffoli": counts.toffoli,
+            "toffoli_paper": paper["toffoli"].evaluate(n=n),
+            "ancillas": built.ancilla_count,
+            "ancillas_paper": paper["ancillas"].evaluate(n=n),
+            "cnot": counts["cx"],
+            "cnot_paper": paper["cnot"].evaluate(n=n),
+        })
+    built = build_adder(n, "draper")
+    rows.append({
+        "row": "Draper",
+        "qft_units": qft_units(built),
+        "qft_units_paper": PAPER_TABLE2["draper"]["qft_units"].evaluate(n=n),
+        "ancillas": built.ancilla_count,
+        "ancillas_paper": 0,
+    })
+    return rows
+
+
+def table3(n: int) -> List[Dict[str, Any]]:
+    """Table 3: controlled addition."""
+    rows = []
+    for family in ("cdkpm", "gidney"):
+        built = build_controlled_adder(n, family, "native")
+        counts = built.counts("expected")
+        paper = PAPER_TABLE3[family]
+        rows.append({
+            "row": family.upper(),
+            "toffoli": counts.toffoli,
+            "toffoli_paper": paper["toffoli"].evaluate(n=n),
+            "ancillas": built.ancilla_count,
+            "ancillas_paper": paper["ancillas"].evaluate(n=n),
+            "cnot": counts["cx"],
+            "cnot_paper": paper["cnot"].evaluate(n=n),
+        })
+    built = build_controlled_adder(n, "draper")
+    rows.append({
+        "row": "Draper",
+        "toffoli": built.counts().toffoli,
+        "toffoli_paper": PAPER_TABLE3["draper"]["toffoli"].evaluate(n=n),
+        "ancillas": built.ancilla_count,
+        "ancillas_paper": 1,
+        "qft_units": qft_units(built),
+        "qft_units_paper": PAPER_TABLE3["draper"]["qft_units"].evaluate(n=n),
+    })
+    return rows
+
+
+def _constant_table(n: int, a: int | None, controlled: bool) -> List[Dict[str, Any]]:
+    if a is None:
+        a = (1 << n) - 1
+    wa = hamming_weight(a)
+    paper_table = PAPER_TABLE5 if controlled else PAPER_TABLE4
+    make = build_controlled_add_const if controlled else build_add_const
+    rows = []
+    for family in ("cdkpm", "gidney"):
+        built = make(n, a, family)
+        counts = built.counts("expected")
+        paper = paper_table[family]
+        rows.append({
+            "row": family.upper(),
+            "a": a,
+            "toffoli": counts.toffoli,
+            "toffoli_paper": paper["toffoli"].evaluate(n=n, wa=wa),
+            "ancillas": built.ancilla_count,
+            "ancillas_paper": paper["ancillas"].evaluate(n=n, wa=wa),
+            "cnot": counts["cx"],
+            "cnot_paper": paper["cnot"].evaluate(n=n, wa=wa),
+        })
+    built = make(n, a, "draper")
+    rows.append({
+        "row": "Draper",
+        "a": a,
+        "qft_units": qft_units(built),
+        "qft_units_paper": paper_table["draper"]["qft_units"].evaluate(n=n),
+        "pcqft_units": pcqft_units(built),
+        "pcqft_units_paper": paper_table["draper"]["pcqft_units"].evaluate(n=n),
+        "ancillas": built.ancilla_count,
+        "ancillas_paper": 0,
+    })
+    return rows
+
+
+def table4(n: int, a: int | None = None) -> List[Dict[str, Any]]:
+    """Table 4: addition by a constant."""
+    return _constant_table(n, a, controlled=False)
+
+
+def table5(n: int, a: int | None = None) -> List[Dict[str, Any]]:
+    """Table 5: controlled addition by a constant."""
+    return _constant_table(n, a, controlled=True)
+
+
+def table6(n: int) -> List[Dict[str, Any]]:
+    """Table 6: comparators."""
+    rows = []
+    for family in ("cdkpm", "gidney"):
+        built = build_comparator(n, family)
+        counts = built.counts("expected")
+        paper = PAPER_TABLE6[family]
+        rows.append({
+            "row": family.upper(),
+            "toffoli": counts.toffoli,
+            "toffoli_paper": paper["toffoli"].evaluate(n=n),
+            "ancillas": built.ancilla_count,
+            "ancillas_paper": paper["ancillas"].evaluate(n=n),
+            "cnot": counts["cx"],
+            "cnot_paper": paper["cnot"].evaluate(n=n),
+        })
+    built = build_comparator(n, "draper")
+    rows.append({
+        "row": "Draper",
+        "qft_units": qft_units(built),
+        "qft_units_paper": PAPER_TABLE6["draper"]["qft_units"].evaluate(n=n),
+        "ancillas": built.ancilla_count,
+        "ancillas_paper": 1,
+    })
+    return rows
+
+
+def mbu_savings(n: int, p: int | None = None) -> Dict[str, float]:
+    """Section-1.1 headline: relative expected-Toffoli savings from MBU."""
+    if p is None:
+        p = (1 << n) - 1
+    from ..modular import build_modadd_const
+
+    out: Dict[str, float] = {}
+    for key, make in {
+        "vbe5": lambda mbu: build_modadd_vbe_original(n, p, mbu=mbu),
+        "vbe4": lambda mbu: build_modadd(n, p, "vbe", mbu=mbu),
+        "cdkpm": lambda mbu: build_modadd(n, p, "cdkpm", mbu=mbu),
+        "gidney": lambda mbu: build_modadd(n, p, "gidney", mbu=mbu),
+        "hybrid": lambda mbu: build_modadd(n, p, "gidney", "cdkpm", mbu=mbu),
+    }.items():
+        base = make(False).counts("expected").toffoli
+        with_mbu = make(True).counts("expected").toffoli
+        out[key] = float(1 - with_mbu / base)
+    base = qft_units(build_modadd_draper(n, p))
+    with_mbu = qft_units(build_modadd_draper(n, p, mbu=True))
+    out["draper"] = float(1 - with_mbu / base)
+    taka = build_modadd_const(n, p, p // 2, "cdkpm", "takahashi")
+    taka_mbu = build_modadd_const(n, p, p // 2, "cdkpm", "takahashi", mbu=True)
+    out["takahashi"] = float(
+        1 - taka_mbu.counts("expected").toffoli / taka.counts("expected").toffoli
+    )
+    return out
+
+
+def render_rows(rows: Sequence[Dict[str, Any]], title: str = "") -> str:
+    """ASCII-render table rows; '<metric> (paper)' columns interleaved."""
+    metrics: List[str] = []
+    for row in rows:
+        for key in row:
+            if key.endswith("_paper") or key in ("row", "n", "p", "a"):
+                continue
+            if key not in metrics:
+                metrics.append(key)
+    header = ["row"] + [m for m in metrics]
+    lines = []
+    widths: Dict[str, int] = {}
+
+    def cell(row: Dict[str, Any], metric: str) -> str:
+        if metric == "row":
+            return str(row.get("row", ""))
+        if metric not in row or row[metric] is None:
+            return "-"
+        text = _fmt(row[metric])
+        paper = row.get(f"{metric}_paper")
+        if paper is not None:
+            text += f" ({_fmt(paper)})"
+        return text
+
+    table_cells = [[cell(row, m) for m in header] for row in rows]
+    for j, name in enumerate(header):
+        widths[name] = max([len(name)] + [len(r[j]) for r in table_cells])
+    out_lines = []
+    if title:
+        out_lines.append(title)
+    out_lines.append("  ".join(name.ljust(widths[name]) for name in header))
+    out_lines.append("  ".join("-" * widths[name] for name in header))
+    for r in table_cells:
+        out_lines.append("  ".join(v.ljust(widths[h]) for v, h in zip(r, header)))
+    out_lines.append("(measured value first, paper formula value in parentheses)")
+    return "\n".join(out_lines)

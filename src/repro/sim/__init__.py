@@ -1,0 +1,24 @@
+"""Simulators: dense statevector (ground truth) and classical basis-state."""
+
+from .classical import ClassicalSimulator, UnsupportedGateError, run_classical
+from .outcomes import (
+    ConstantOutcomes,
+    ForcedOutcomes,
+    ImpossibleOutcomeError,
+    OutcomeProvider,
+    RandomOutcomes,
+)
+from .statevector import StatevectorSimulator, run_statevector
+
+__all__ = [
+    "ClassicalSimulator",
+    "StatevectorSimulator",
+    "UnsupportedGateError",
+    "run_classical",
+    "run_statevector",
+    "OutcomeProvider",
+    "RandomOutcomes",
+    "ForcedOutcomes",
+    "ConstantOutcomes",
+    "ImpossibleOutcomeError",
+]

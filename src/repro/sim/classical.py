@@ -1,0 +1,253 @@
+"""Classical (computational-basis) simulation of reversible circuits.
+
+Ripple-carry arithmetic circuits are permutations of the computational
+basis, so on basis-state inputs they can be simulated by tracking one bit
+per qubit.  This simulator handles registers of 64+ qubits instantly, which
+is how the test-suite verifies every adder exhaustively at small ``n`` and
+property-based at large ``n``.
+
+Semantics notes
+---------------
+* Diagonal gates (z, s, t, cz, ccz, phase, cphase, ccphase, rz) act on a
+  basis state as a *global* phase, which the simulator tracks (and tests can
+  inspect) but which never affects register values.  This is exactly why the
+  classically-controlled CZ of Gidney's logical-AND uncomputation is free on
+  basis inputs.
+* ``h`` is not representable on a bit and raises, with two exceptions that
+  implement the paper's measurement patterns:
+
+  - an X-basis :class:`Measurement` (H + measure) yields an unbiased coin
+    and leaves the qubit in the measured state;
+  - an :class:`MBUBlock` (Lemma 4.1) uses the algebraic fact that on a basis
+    input the correction branch acts as identity on the data register and
+    resets the garbage qubit, up to a global phase.  Inside the correction
+    body, Hadamards on the garbage qubit and bit-flips *targeting* it are
+    phase-only and are skipped; everything else (including nested logical-
+    AND uncomputations) runs normally.  All ops in a taken branch are added
+    to the executed-gate tally, so Monte-Carlo expected costs are faithful.
+
+The statevector simulator is the ground truth; ``tests/test_sim_cross.py``
+checks the two agree on random circuits.
+"""
+
+from __future__ import annotations
+
+import cmath
+from typing import Dict, List, Mapping, Sequence
+
+from ..circuits.circuit import Circuit, Register
+from ..circuits.ops import (
+    Annotation,
+    Conditional,
+    Gate,
+    MBUBlock,
+    Measurement,
+    Operation,
+)
+from ..circuits.resources import GateCounts
+from .outcomes import OutcomeProvider, RandomOutcomes
+
+__all__ = ["ClassicalSimulator", "UnsupportedGateError", "run_classical"]
+
+
+class UnsupportedGateError(RuntimeError):
+    """Gate has no computational-basis semantics (e.g. a bare Hadamard)."""
+
+
+_DIAGONAL_PHASES = {
+    "z": cmath.pi,
+    "s": cmath.pi / 2,
+    "sdg": -cmath.pi / 2,
+    "t": cmath.pi / 4,
+    "tdg": -cmath.pi / 4,
+}
+
+
+class ClassicalSimulator:
+    """Simulate a circuit on a computational-basis input state."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        outcomes: OutcomeProvider | None = None,
+        tally: bool = True,
+    ) -> None:
+        self.circuit = circuit
+        self.outcomes = outcomes or RandomOutcomes(0)
+        self.qubits: List[int] = [0] * circuit.num_qubits
+        self.bits: List[int] = [0] * circuit.num_bits
+        self.global_phase = 0.0  # radians, modulo 2*pi
+        self.tally = GateCounts() if tally else None
+
+    # -- state preparation ------------------------------------------------
+
+    def set_qubit(self, qubit: int, value: int) -> None:
+        self.qubits[qubit] = value & 1
+
+    def set_register(self, register: Register | Sequence[int], value: int) -> None:
+        qubits = register.qubits if isinstance(register, Register) else tuple(register)
+        if value < 0 or value >= (1 << len(qubits)):
+            raise ValueError(f"value {value} does not fit in {len(qubits)} qubits")
+        for i, q in enumerate(qubits):
+            self.qubits[q] = (value >> i) & 1
+
+    def get_register(self, register: Register | Sequence[int] | str) -> int:
+        if isinstance(register, str):
+            register = self.circuit.registers[register]
+        qubits = register.qubits if isinstance(register, Register) else tuple(register)
+        return sum(self.qubits[q] << i for i, q in enumerate(qubits))
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> "ClassicalSimulator":
+        self._execute(self.circuit.ops)
+        return self
+
+    def _record(self, op: Operation) -> None:
+        if self.tally is None:
+            return
+        if isinstance(op, Gate):
+            self.tally.add(op.name)
+        elif isinstance(op, Measurement):
+            if op.basis == "x":
+                self.tally.add("h")
+            self.tally.add("measure")
+
+    def _execute(self, ops: Sequence[Operation]) -> None:
+        for op in ops:
+            self._apply(op)
+
+    def _apply(self, op: Operation) -> None:
+        if isinstance(op, Gate):
+            self._record(op)
+            self._apply_gate(op)
+        elif isinstance(op, Measurement):
+            self._record(op)
+            self._apply_measurement(op)
+        elif isinstance(op, Conditional):
+            if self.bits[op.bit] == op.value:
+                self._execute(op.body)
+        elif isinstance(op, MBUBlock):
+            self._apply_mbu(op)
+        elif isinstance(op, Annotation):
+            return
+        else:  # pragma: no cover
+            raise TypeError(f"unknown operation {op!r}")
+
+    def _apply_gate(self, gate: Gate) -> None:
+        name, q = gate.name, gate.qubits
+        bits = self.qubits
+        if name == "x":
+            bits[q[0]] ^= 1
+        elif name == "cx":
+            bits[q[1]] ^= bits[q[0]]
+        elif name == "ccx":
+            bits[q[2]] ^= bits[q[0]] & bits[q[1]]
+        elif name == "swap":
+            bits[q[0]], bits[q[1]] = bits[q[1]], bits[q[0]]
+        elif name == "cswap":
+            if bits[q[0]]:
+                bits[q[1]], bits[q[2]] = bits[q[2]], bits[q[1]]
+        elif name == "y":
+            self.global_phase += cmath.pi / 2 if bits[q[0]] == 0 else -cmath.pi / 2
+            bits[q[0]] ^= 1
+        elif name in _DIAGONAL_PHASES:
+            if bits[q[0]]:
+                self.global_phase += _DIAGONAL_PHASES[name]
+        elif name == "rz":
+            self.global_phase += gate.param / 2 * (1 if bits[q[0]] else -1)
+        elif name == "phase":
+            if bits[q[0]]:
+                self.global_phase += gate.param
+        elif name == "cz":
+            if bits[q[0]] and bits[q[1]]:
+                self.global_phase += cmath.pi
+        elif name == "ccz":
+            if bits[q[0]] and bits[q[1]] and bits[q[2]]:
+                self.global_phase += cmath.pi
+        elif name == "cphase":
+            if bits[q[0]] and bits[q[1]]:
+                self.global_phase += gate.param
+        elif name == "ccphase":
+            if bits[q[0]] and bits[q[1]] and bits[q[2]]:
+                self.global_phase += gate.param
+        elif name == "h":
+            raise UnsupportedGateError(
+                "bare Hadamard has no basis-state semantics; use an X-basis "
+                "Measurement or an MBUBlock"
+            )
+        else:  # pragma: no cover
+            raise UnsupportedGateError(f"gate {name!r} unsupported classically")
+
+    def _apply_measurement(self, meas: Measurement) -> None:
+        if meas.basis == "z":
+            outcome = self.qubits[meas.qubit]
+        else:  # X basis: H then measure -> unbiased coin, post-state |m>
+            outcome = self.outcomes.sample(0.5)
+            self.qubits[meas.qubit] = outcome
+        self.bits[meas.bit] = outcome
+
+    # -- MBU block ------------------------------------------------------------
+
+    def _apply_mbu(self, block: MBUBlock) -> None:
+        """Lemma 4.1 on a basis state: coin; on 1 the correction acts as
+        identity on the data register, resetting the garbage qubit."""
+        if self.tally is not None:
+            self.tally.add("h")
+            self.tally.add("measure")
+        outcome = self.outcomes.sample(0.5)
+        self.bits[block.bit] = outcome
+        if outcome:
+            self._execute_mbu_body(block.body, block.qubit)
+        self.qubits[block.qubit] = 0
+
+    def _execute_mbu_body(self, ops: Sequence[Operation], garbage: int) -> None:
+        """Run the correction body with the garbage qubit held in |+->.
+
+        Bit-flips whose *target* is the garbage qubit only kick a (global,
+        on basis inputs) phase and are skipped; any other interaction with
+        the garbage qubit is not basis-preserving and raises.
+        """
+        for op in ops:
+            if isinstance(op, Gate):
+                self._record(op)
+                if garbage in op.qubits:
+                    flips_garbage = (
+                        op.name in ("x", "cx", "ccx") and op.qubits[-1] == garbage
+                    ) or op.name == "h" and op.qubits == (garbage,)
+                    if flips_garbage:
+                        continue  # phase-only on the +/- basis
+                    raise UnsupportedGateError(
+                        f"MBU correction gate {op} uses the garbage qubit in a "
+                        "way the classical simulator cannot track"
+                    )
+                self._apply_gate(op)
+            elif isinstance(op, Measurement):
+                if op.qubit == garbage:
+                    raise UnsupportedGateError("measurement of garbage qubit inside MBU body")
+                self._record(op)
+                self._apply_measurement(op)
+            elif isinstance(op, Conditional):
+                if self.bits[op.bit] == op.value:
+                    self._execute_mbu_body(op.body, garbage)
+            elif isinstance(op, MBUBlock):
+                if op.qubit == garbage:
+                    raise UnsupportedGateError("nested MBU on the same garbage qubit")
+                self._apply_mbu(op)
+            elif isinstance(op, Annotation):
+                continue
+            else:  # pragma: no cover
+                raise TypeError(f"unknown operation {op!r}")
+
+
+def run_classical(
+    circuit: Circuit,
+    inputs: Mapping[str, int] | None = None,
+    outcomes: OutcomeProvider | None = None,
+) -> Dict[str, int]:
+    """Convenience wrapper: run on a basis state, return register values."""
+    sim = ClassicalSimulator(circuit, outcomes=outcomes)
+    for name, value in (inputs or {}).items():
+        sim.set_register(circuit.registers[name], value)
+    sim.run()
+    return {name: sim.get_register(reg) for name, reg in circuit.registers.items()}

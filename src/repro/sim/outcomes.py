@@ -1,0 +1,100 @@
+"""Measurement-outcome providers.
+
+Both simulators draw measurement outcomes from an :class:`OutcomeProvider`,
+so tests can (a) seed randomness reproducibly, (b) force a specific branch
+sequence (e.g. "every MBU correction fires" / "no correction fires"), or
+(c) enumerate branches exhaustively.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+__all__ = [
+    "OutcomeProvider",
+    "RandomOutcomes",
+    "ForcedOutcomes",
+    "ConstantOutcomes",
+]
+
+_TOL = 1e-9
+
+
+class OutcomeProvider:
+    """Interface: produce a 0/1 outcome given the probability of 1."""
+
+    def sample(self, p_one: float) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover - optional
+        pass
+
+
+class RandomOutcomes(OutcomeProvider):
+    """Seeded pseudo-random outcomes (the default)."""
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def sample(self, p_one: float) -> int:
+        return 1 if self._rng.random() < p_one else 0
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
+
+class ConstantOutcomes(OutcomeProvider):
+    """Always returns ``value`` when both outcomes are possible.
+
+    ``ConstantOutcomes(1)`` forces every MBU correction branch to run;
+    ``ConstantOutcomes(0)`` forces the lucky branch.  If the requested
+    outcome has (numerically) zero probability the other one is returned,
+    because forcing an impossible outcome is not physical.
+    """
+
+    def __init__(self, value: int) -> None:
+        if value not in (0, 1):
+            raise ValueError("outcome must be 0 or 1")
+        self.value = value
+
+    def sample(self, p_one: float) -> int:
+        if self.value == 1:
+            return 1 if p_one > _TOL else 0
+        return 0 if p_one < 1.0 - _TOL else 1
+
+
+class ForcedOutcomes(OutcomeProvider):
+    """Replay an explicit outcome sequence (error when exhausted).
+
+    Raises :class:`ImpossibleOutcomeError` if a forced outcome has zero
+    probability — that catches tests that force a branch which the circuit
+    can never take.
+    """
+
+    def __init__(self, outcomes: Iterable[int]) -> None:
+        self._script: List[int] = list(outcomes)
+        self._cursor = 0
+
+    def sample(self, p_one: float) -> int:
+        if self._cursor >= len(self._script):
+            raise IndexError("forced outcome sequence exhausted")
+        outcome = self._script[self._cursor]
+        self._cursor += 1
+        if outcome == 1 and p_one <= _TOL:
+            raise ImpossibleOutcomeError("forced outcome 1 has probability ~0")
+        if outcome == 0 and p_one >= 1.0 - _TOL:
+            raise ImpossibleOutcomeError("forced outcome 0 has probability ~0")
+        return outcome
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    @property
+    def consumed(self) -> int:
+        return self._cursor
+
+
+class ImpossibleOutcomeError(RuntimeError):
+    """A forced measurement outcome had (numerically) zero probability."""

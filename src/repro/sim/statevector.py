@@ -1,0 +1,267 @@
+"""Dense statevector simulation with mid-circuit measurement and feedback.
+
+This is the ground-truth simulator: it executes every operation literally
+(including Hadamards inside MBU correction bodies), supports projective
+measurement with pluggable outcome providers, and classical feed-forward.
+Practical up to ~20 qubits, which covers every construction in the paper at
+small register sizes.
+
+Index convention: basis state ``|b_{n-1} ... b_1 b_0>`` has amplitude at
+flat index ``sum_i b_i 2**i`` — qubit ``i`` is bit ``i`` (little-endian,
+matching :class:`~repro.circuits.circuit.Register`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit, Register
+from ..circuits.ops import (
+    Annotation,
+    Conditional,
+    Gate,
+    MBUBlock,
+    Measurement,
+    Operation,
+)
+from ..circuits.resources import GateCounts
+from .outcomes import OutcomeProvider, RandomOutcomes
+
+__all__ = ["StatevectorSimulator", "run_statevector"]
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+_MATRICES: Dict[str, np.ndarray] = {
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "h": np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex),
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "t": np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex),
+    "tdg": np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex),
+}
+
+
+def _gate_matrix(gate: Gate) -> np.ndarray:
+    """Dense matrix for a gate, in qubit order ``gate.qubits`` (q0 = LSB)."""
+    name = gate.name
+    if name in _MATRICES:
+        return _MATRICES[name]
+    if name == "phase":
+        return np.diag([1.0, np.exp(1j * gate.param)])
+    if name == "rz":
+        return np.diag([np.exp(-0.5j * gate.param), np.exp(0.5j * gate.param)])
+    if name == "cx":
+        m = np.eye(4, dtype=complex)
+        # qubit order (control, target): control is bit 0 of the local index
+        m[[1, 3]] = m[[3, 1]]
+        return m
+    if name == "cz":
+        return np.diag([1, 1, 1, -1]).astype(complex)
+    if name == "swap":
+        m = np.eye(4, dtype=complex)
+        m[[1, 2]] = m[[2, 1]]
+        return m
+    if name == "cphase":
+        return np.diag([1, 1, 1, np.exp(1j * gate.param)])
+    if name == "ccx":
+        m = np.eye(8, dtype=complex)
+        # controls are local bits 0,1; target is local bit 2
+        m[[3, 7]] = m[[7, 3]]
+        return m
+    if name == "ccz":
+        d = np.ones(8, dtype=complex)
+        d[7] = -1
+        return np.diag(d)
+    if name == "ccphase":
+        d = np.ones(8, dtype=complex)
+        d[7] = np.exp(1j * gate.param)
+        return np.diag(d)
+    if name == "cswap":
+        m = np.eye(8, dtype=complex)
+        # control = local bit 0; swap local bits 1 and 2: indices 0b011 <-> 0b101
+        m[[3, 5]] = m[[5, 3]]
+        return m
+    raise ValueError(f"no matrix for gate {name!r}")  # pragma: no cover
+
+
+class StatevectorSimulator:
+    """Execute a circuit on a dense statevector."""
+
+    MAX_QUBITS = 26
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        outcomes: OutcomeProvider | None = None,
+        tally: bool = True,
+    ) -> None:
+        if circuit.num_qubits > self.MAX_QUBITS:
+            raise ValueError(
+                f"{circuit.num_qubits} qubits exceeds the dense-simulation "
+                f"limit of {self.MAX_QUBITS}"
+            )
+        self.circuit = circuit
+        self.outcomes = outcomes or RandomOutcomes(0)
+        self.n = circuit.num_qubits
+        self.state = np.zeros(1 << self.n, dtype=complex)
+        self.state[0] = 1.0
+        self.bits: List[int] = [0] * circuit.num_bits
+        self.tally = GateCounts() if tally else None
+
+    # -- preparation ----------------------------------------------------------
+
+    def set_basis_state(self, values: Mapping[str, int]) -> None:
+        """Prepare the basis state given by per-register integer values."""
+        index = 0
+        for name, value in values.items():
+            reg = self.circuit.registers[name]
+            if value < 0 or value >= (1 << len(reg)):
+                raise ValueError(f"value {value} does not fit register {name!r}")
+            for i, q in enumerate(reg.qubits):
+                index |= ((value >> i) & 1) << q
+        self.state[:] = 0.0
+        self.state[index] = 1.0
+
+    def set_state(self, vector: np.ndarray) -> None:
+        vector = np.asarray(vector, dtype=complex)
+        if vector.shape != self.state.shape:
+            raise ValueError("state vector has the wrong dimension")
+        norm = np.linalg.norm(vector)
+        if not math.isclose(norm, 1.0, rel_tol=0, abs_tol=1e-9):
+            raise ValueError("state vector must be normalised")
+        self.state = vector.copy()
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> "StatevectorSimulator":
+        self._execute(self.circuit.ops)
+        return self
+
+    def _execute(self, ops: Sequence[Operation]) -> None:
+        for op in ops:
+            if isinstance(op, Gate):
+                if self.tally is not None:
+                    self.tally.add(op.name)
+                self._apply_gate(op)
+            elif isinstance(op, Measurement):
+                if self.tally is not None:
+                    if op.basis == "x":
+                        self.tally.add("h")
+                    self.tally.add("measure")
+                self._apply_measurement(op)
+            elif isinstance(op, Conditional):
+                if self.bits[op.bit] == op.value:
+                    self._execute(op.body)
+            elif isinstance(op, MBUBlock):
+                if self.tally is not None:
+                    self.tally.add("h")
+                    self.tally.add("measure")
+                self._apply_gate(Gate("h", (op.qubit,)))
+                outcome = self._project(op.qubit)
+                self.bits[op.bit] = outcome
+                if outcome:
+                    self._execute(op.body)
+            elif isinstance(op, Annotation):
+                continue
+            else:  # pragma: no cover
+                raise TypeError(f"unknown operation {op!r}")
+
+    def _apply_gate(self, gate: Gate) -> None:
+        qubits = gate.qubits
+        k = len(qubits)
+        matrix = _gate_matrix(gate)
+        # View the state as a rank-n tensor; axis j corresponds to qubit
+        # (n-1-j) because numpy reshape is C-ordered (row-major).
+        tensor = self.state.reshape([2] * self.n)
+        axes = [self.n - 1 - q for q in qubits]
+        # Move the gate's qubits to the front, LSB (qubits[0]) innermost.
+        # After moveaxis the leading axes are ordered qubits[::-1], so the
+        # flattened local index is sum_i b_{qubits[i]} << i — matching the
+        # matrix convention of _gate_matrix.
+        order = [axes[i] for i in reversed(range(k))]
+        tensor = np.moveaxis(tensor, order, range(k))
+        shape = tensor.shape
+        flat = tensor.reshape(1 << k, -1)
+        flat = matrix @ flat
+        tensor = flat.reshape(shape)
+        tensor = np.moveaxis(tensor, range(k), order)
+        self.state = np.ascontiguousarray(tensor).reshape(-1)
+
+    def _prob_one(self, qubit: int) -> float:
+        tensor = self.state.reshape([2] * self.n)
+        axis = self.n - 1 - qubit
+        tensor = np.moveaxis(tensor, axis, 0)
+        return float(np.sum(np.abs(tensor[1]) ** 2))
+
+    def _project(self, qubit: int) -> int:
+        p_one = self._prob_one(qubit)
+        outcome = self.outcomes.sample(p_one)
+        tensor = self.state.reshape([2] * self.n).copy()
+        axis = self.n - 1 - qubit
+        tensor = np.moveaxis(tensor, axis, 0)
+        tensor[1 - outcome] = 0.0
+        tensor = np.moveaxis(tensor, 0, axis)
+        state = tensor.reshape(-1)
+        norm = np.linalg.norm(state)
+        if norm < 1e-12:  # pragma: no cover - forced impossible outcome
+            raise RuntimeError("projective measurement produced a null state")
+        self.state = state / norm
+        return outcome
+
+    def _apply_measurement(self, meas: Measurement) -> None:
+        if meas.basis == "x":
+            self._apply_gate(Gate("h", (meas.qubit,)))
+        self.bits[meas.bit] = self._project(meas.qubit)
+
+    # -- inspection -------------------------------------------------------------
+
+    def probability_one(self, qubit: int) -> float:
+        return self._prob_one(qubit)
+
+    def register_values(
+        self, registers: Sequence[str] | None = None, tol: float = 1e-9
+    ) -> Dict[Tuple[int, ...], complex]:
+        """Joint register-value amplitudes of the current state.
+
+        Returns ``{(v_reg1, v_reg2, ...): amplitude}`` over basis states with
+        |amplitude| > tol.  Basis states that differ only outside the listed
+        registers are rejected (a ValueError) if they carry amplitude, since
+        that would mean the hidden qubits are entangled with the listed ones.
+        """
+        names = list(registers or self.circuit.registers)
+        regs = [self.circuit.registers[name] for name in names]
+        listed = {q for reg in regs for q in reg.qubits}
+        hidden = [q for q in range(self.n) if q not in listed]
+        out: Dict[Tuple[int, ...], complex] = {}
+        for index, amp in enumerate(self.state):
+            if abs(amp) <= tol:
+                continue
+            if any((index >> q) & 1 for q in hidden):
+                raise ValueError(
+                    f"basis state {index:0{self.n}b} has amplitude {amp:.3g} on "
+                    "a qubit outside the listed registers (garbage not cleaned?)"
+                )
+            key = tuple(
+                sum(((index >> q) & 1) << i for i, q in enumerate(reg.qubits))
+                for reg in regs
+            )
+            out[key] = out.get(key, 0.0) + amp
+        return out
+
+
+def run_statevector(
+    circuit: Circuit,
+    inputs: Mapping[str, int] | None = None,
+    outcomes: OutcomeProvider | None = None,
+) -> StatevectorSimulator:
+    """Prepare a basis state, run, and return the simulator."""
+    sim = StatevectorSimulator(circuit, outcomes=outcomes)
+    if inputs:
+        sim.set_basis_state(inputs)
+    sim.run()
+    return sim

@@ -1,0 +1,32 @@
+"""Shared helpers for arithmetic-circuit tests."""
+
+from __future__ import annotations
+
+from repro.arithmetic import Built
+from repro.sim import ClassicalSimulator, RandomOutcomes, run_statevector
+
+
+def run_ripple(built: Built, inputs: dict, seed: int = 0) -> dict:
+    """Run a ripple-family circuit classically; assert ancillas come back
+    clean; return register values."""
+    sim = ClassicalSimulator(built.circuit, outcomes=RandomOutcomes(seed))
+    for name, value in inputs.items():
+        sim.set_register(built.circuit.registers[name], value)
+    sim.run()
+    out = {name: sim.get_register(reg) for name, reg in built.circuit.registers.items()}
+    for name in built.ancilla_names:
+        assert out[name] == 0, f"ancilla register {name!r} left dirty: {out[name]}"
+    return out
+
+
+def run_draper(built: Built, inputs: dict, seed: int = 0) -> dict:
+    """Run a Draper-family circuit on the statevector simulator; assert the
+    result is a single basis state with clean ancillas; return values."""
+    sim = run_statevector(built.circuit, inputs, outcomes=RandomOutcomes(seed))
+    values = sim.register_values(tol=1e-6)
+    assert len(values) == 1, f"output is not a basis state: {values}"
+    names = list(built.circuit.registers)
+    out = dict(zip(names, next(iter(values))))
+    for name in built.ancilla_names:
+        assert out[name] == 0, f"ancilla register {name!r} left dirty"
+    return out

@@ -1,0 +1,138 @@
+"""Functional tests for the plain adders (props 2.2-2.5, cor 2.7).
+
+Exhaustive at small n on the classical simulator (statevector for Draper),
+property-based with hypothesis at large n for the ripple families.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arithmetic import build_adder
+from tests.arith_helpers import run_draper, run_ripple
+
+RIPPLE = ["vbe", "cdkpm", "gidney"]
+
+
+@pytest.mark.parametrize("family", RIPPLE)
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_adder_exhaustive(family, n):
+    for x in range(1 << n):
+        for y in range(1 << n):
+            built = build_adder(n, family)
+            out = run_ripple(built, {"x": x, "y": y}, seed=x * 31 + y)
+            assert out["y"] == x + y
+            assert out["x"] == x
+
+
+@pytest.mark.parametrize("family", RIPPLE)
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_adder_random_wide(family, data):
+    n = data.draw(st.integers(min_value=4, max_value=48))
+    x = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    y = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    built = build_adder(n, family)
+    out = run_ripple(built, {"x": x, "y": y}, seed=n)
+    assert out["y"] == x + y
+
+
+@pytest.mark.parametrize("family", RIPPLE)
+@given(data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_adder_wraps_mod_2_n_plus_1(family, data):
+    """On arbitrary (n+1)-bit y the ripple adders add modulo 2**(n+1) —
+    the property the subtraction sandwich and modular adders rely on."""
+    n = data.draw(st.integers(min_value=2, max_value=16))
+    x = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    y = data.draw(st.integers(min_value=0, max_value=(1 << (n + 1)) - 1))
+    built = build_adder(n, family)
+    out = run_ripple(built, {"x": x, "y": y}, seed=7)
+    assert out["y"] == (x + y) % (1 << (n + 1))
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_draper_adder_exhaustive(n):
+    for x in range(1 << n):
+        for y in range(1 << n):
+            built = build_adder(n, "draper")
+            out = run_draper(built, {"x": x, "y": y})
+            assert out["y"] == x + y
+
+
+def test_draper_adder_wraps():
+    built = build_adder(2, "draper")
+    out = run_draper(built, {"x": 3, "y": 6})
+    assert out["y"] == (3 + 6) % 8
+
+
+def test_draper_adder_preserves_superposition():
+    """Linearity check: sum over a superposition of x values."""
+    from repro.circuits import Circuit
+    from repro.arithmetic.draper import emit_draper_add
+    from repro.sim import run_statevector
+
+    circ = Circuit()
+    x = circ.add_register("x", 2)
+    y = circ.add_register("y", 3)
+    circ.h(x[0])
+    circ.h(x[1])
+    emit_draper_add(circ, x.qubits, y.qubits)
+    sim = run_statevector(circ, {"y": 2})
+    values = sim.register_values()
+    assert set(values) == {(xv, 2 + xv) for xv in range(4)}
+    for amp in values.values():
+        assert abs(amp) == pytest.approx(0.5)
+
+
+def test_unknown_family_rejected():
+    with pytest.raises(ValueError):
+        build_adder(3, "kogge-stone")
+
+
+@pytest.mark.parametrize("family", RIPPLE + ["draper"])
+def test_wrong_register_sizes_rejected(family):
+    from repro.circuits import Circuit
+    from repro.arithmetic.cdkpm import emit_cdkpm_add
+    from repro.arithmetic.gidney import emit_gidney_add
+    from repro.arithmetic.vbe import emit_vbe_add
+    from repro.arithmetic.draper import emit_draper_add
+
+    circ = Circuit()
+    x = circ.add_register("x", 3)
+    y = circ.add_register("y", 3)  # missing the overflow qubit
+    anc = circ.add_register("anc", 3)
+    with pytest.raises(ValueError):
+        if family == "cdkpm":
+            emit_cdkpm_add(circ, x.qubits, y.qubits, anc[0])
+        elif family == "gidney":
+            emit_gidney_add(circ, x.qubits, y.qubits, anc.qubits)
+        elif family == "vbe":
+            emit_vbe_add(circ, x.qubits, y.qubits, anc.qubits)
+        else:
+            emit_draper_add(circ, x.qubits, y.qubits)
+
+
+def test_gidney_adder_without_c0():
+    """Fig 13's remark: C_0 never changes and can be elided."""
+    from repro.circuits import Circuit, count_gates
+    from repro.arithmetic.gidney import emit_gidney_add
+    from tests.arith_helpers import run_ripple
+    from repro.arithmetic import Built
+
+    n = 3
+    for x in range(8):
+        for y in range(8):
+            circ = Circuit()
+            xr = circ.add_register("x", n)
+            yr = circ.add_register("y", n + 1)
+            anc = circ.add_register("anc", n - 1)
+            emit_gidney_add(circ, xr.qubits, yr.qubits, anc.qubits, include_c0=False)
+            built = Built(circ, n, ("anc",), {})
+            out = run_ripple(built, {"x": x, "y": y}, seed=x + y)
+            assert out["y"] == x + y
+    # eliding c0 saves 5 CNOTs (3 in its MAJ block, 2 in its UMA block)
+    # and one ancilla
+    with_c0 = build_adder(n, "gidney")
+    assert count_gates(circ)["cx"] == with_c0.counts()["cx"] - 5
+    assert built.ancilla_count == with_c0.ancilla_count - 1

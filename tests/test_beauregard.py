@@ -1,0 +1,89 @@
+"""QFT-based modular adders (prop 3.7, prop 3.19, fig 23, thm 4.6)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arithmetic.draper import PCQFT_UNIT_LABELS, QFT_UNIT_LABELS
+from repro.modular import build_modadd_const_draper, build_modadd_draper
+from repro.sim import ConstantOutcomes, RandomOutcomes, run_statevector
+
+
+def _run(built, inputs, mbu, seed):
+    outcomes = ConstantOutcomes(seed % 2) if mbu else RandomOutcomes(seed)
+    sim = run_statevector(built.circuit, inputs, outcomes=outcomes)
+    values = sim.register_values(tol=1e-6)
+    assert len(values) == 1, values
+    names = list(built.circuit.registers)
+    return dict(zip(names, next(iter(values))))
+
+
+class TestBeauregardModAdd:
+    @pytest.mark.parametrize("mbu", [False, True])
+    @pytest.mark.parametrize("p", [3, 5, 7])
+    def test_exhaustive(self, mbu, p):
+        n = 3
+        for x in range(p):
+            for y in range(p):
+                built = build_modadd_draper(n, p, mbu=mbu)
+                out = _run(built, {"x": x, "y": y}, mbu, seed=x + y)
+                assert out["y"] == (x + y) % p
+                assert out["x"] == x and out["t"] == 0
+
+    def test_qft_unit_counts_match_thm_4_6(self):
+        """W/o MBU: 3 QFT + 3 IQFT + 2 PhiADD + 1 PhiSUB = 9 QFT-units.
+        With MBU: 2.5 + 2.5 + 1.5 + 0.5 = 7 expected (thm 4.6)."""
+        n, p = 6, 61
+        plain = build_modadd_draper(n, p).blocks()
+        assert plain["QFT"] == 3 and plain["IQFT"] == 3
+        assert plain["PhiADD"] == 2 and plain["PhiSUB"] == 1
+        mbu = build_modadd_draper(n, p, mbu=True).blocks("expected")
+        assert mbu["QFT"] == Fraction(5, 2)
+        assert mbu["IQFT"] == Fraction(5, 2)
+        assert mbu["PhiADD"] == Fraction(3, 2)
+        assert mbu["PhiSUB"] == Fraction(1, 2)
+
+    def test_qft_unit_totals(self):
+        n, p = 5, 19
+        for mbu, expected in [(False, 9), (True, 7)]:
+            blocks = build_modadd_draper(n, p, mbu=mbu).blocks("expected")
+            total = sum(v for k, v in blocks.items() if k in QFT_UNIT_LABELS)
+            assert total == expected
+            pcqft = sum(v for k, v in blocks.items() if k in PCQFT_UNIT_LABELS)
+            assert pcqft == 2  # PhiSUB(p) + the conditional add-back of p
+
+    def test_zero_toffolis_in_plain_variant(self):
+        built = build_modadd_draper(4, 11)
+        assert built.counts().toffoli == 0
+
+
+class TestBeauregardConstant:
+    @pytest.mark.parametrize("num_controls", [0, 1, 2])
+    @pytest.mark.parametrize("mbu", [False, True])
+    def test_exhaustive(self, num_controls, mbu):
+        n, p = 3, 5
+        for a in range(p):
+            for x in range(p):
+                for cval in range(1 << num_controls):
+                    built = build_modadd_const_draper(
+                        n, p, a, num_controls=num_controls, mbu=mbu
+                    )
+                    inputs = {"x": x}
+                    if num_controls:
+                        inputs["ctrl"] = cval
+                    out = _run(built, inputs, mbu, seed=a * p + x)
+                    effective = a if cval == (1 << num_controls) - 1 else 0
+                    assert out["x"] == (x + effective) % p
+                    assert out["t"] == 0
+
+    def test_fig23_doubly_controlled_uses_ccphase(self):
+        built = build_modadd_const_draper(4, 11, 6, num_controls=2)
+        assert built.counts()["ccphase"] > 0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            build_modadd_const_draper(3, 9, 2)  # p >= 2**n
+        with pytest.raises(ValueError):
+            build_modadd_const_draper(3, 5, 6)  # a >= p
+        with pytest.raises(ValueError):
+            build_modadd_const_draper(3, 5, 2, num_controls=3)

@@ -1,0 +1,117 @@
+"""Property-based tests of the appendix-A bit-string reference model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.boolarith import (
+    bitstring_add,
+    bitstring_sub,
+    borrow_sequence,
+    carry_sequence,
+    decode_signed,
+    encode_signed,
+    hamming_weight,
+    maj,
+    ones_complement,
+    to_bits,
+    from_bits,
+    twos_complement,
+)
+
+widths = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def width_and_values(draw, count=2):
+    width = draw(widths)
+    values = [draw(st.integers(min_value=0, max_value=(1 << width) - 1)) for _ in range(count)]
+    return (width, *values)
+
+
+class TestBasics:
+    def test_maj_truth_table(self):
+        assert [maj(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)] == [
+            0, 0, 0, 1, 0, 1, 1, 1,
+        ]
+
+    @given(width_and_values(count=1))
+    def test_bits_roundtrip(self, wv):
+        width, x = wv
+        assert from_bits(to_bits(x, width)) == x
+
+    def test_to_bits_range_checked(self):
+        with pytest.raises(ValueError):
+            to_bits(4, 2)
+        with pytest.raises(ValueError):
+            to_bits(-1, 2)
+
+    @given(width_and_values(count=1))
+    def test_complements(self, wv):
+        width, x = wv
+        assert ones_complement(x, width) == (1 << width) - 1 - x
+        assert twos_complement(x, width) == (-x) % (1 << width)
+
+    def test_hamming_weight(self):
+        assert hamming_weight(0) == 0
+        assert hamming_weight(0b1011) == 3
+
+
+class TestAdditionSubtraction:
+    @given(width_and_values())
+    def test_addition_matches_integers(self, wvv):
+        """Remark A.2: the carry-chain addition is integer addition."""
+        width, x, y = wvv
+        assert bitstring_add(x, y, width) == x + y
+
+    @given(width_and_values())
+    def test_subtraction_is_twos_complement_add(self, wvv):
+        """Proposition A.1: x - y = x + twos_complement(y), taking the
+        complement over the full (width+1)-bit output width."""
+        width, x, y = wvv
+        direct = bitstring_sub(x, y, width)
+        via_complement = (x + twos_complement(y, width + 1)) % (1 << (width + 1))
+        assert direct == via_complement
+
+    @given(width_and_values())
+    def test_sign_bit_is_comparison(self, wvv):
+        """Proposition A.3: (x - y) top bit == [x < y]."""
+        width, x, y = wvv
+        diff = bitstring_sub(x, y, width)
+        assert (diff >> width) & 1 == (1 if x < y else 0)
+
+    @given(width_and_values())
+    def test_subtraction_signed_value(self, wvv):
+        """Proposition A.5: the (width+1)-bit string encodes x - y signed."""
+        width, x, y = wvv
+        diff = bitstring_sub(x, y, width)
+        assert decode_signed(diff, width + 1) == x - y
+
+    @given(width_and_values())
+    def test_carry_borrow_relationship(self, wvv):
+        """Lemma inside prop A.1: borrows of x-y are complements of the
+        carries of x + ~y + 1."""
+        width, x, y = wvv
+        borrows = borrow_sequence(x, y, width)
+        assert borrows[width] == (1 if x < y else 0)
+
+    @given(width_and_values())
+    def test_signed_addition(self, wvv):
+        """Proposition A.6 (essence): an unsigned adder adds 2's-complement
+        signed integers correctly modulo 2**width."""
+        width, xu, yu = wvv
+        x, y = decode_signed(xu, width), decode_signed(yu, width)
+        assert (xu + yu) % (1 << width) == (x + y) % (1 << width)
+
+    @given(width_and_values(count=1))
+    def test_signed_roundtrip(self, wv):
+        width, xu = wv
+        signed = decode_signed(xu, width)
+        assert encode_signed(signed, width) == xu
+
+    def test_encode_signed_range_checked(self):
+        with pytest.raises(ValueError):
+            encode_signed(2, 2)
+        assert encode_signed(-2, 2) == 2
+        assert decode_signed(2, 2) == -2

@@ -1,0 +1,153 @@
+"""Unit tests for the circuit IR: ops, registers, capture, adjoint."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import (
+    Annotation,
+    Circuit,
+    Conditional,
+    Gate,
+    MBUBlock,
+    Measurement,
+    adjoint_gate,
+    iter_flat,
+)
+
+
+class TestGate:
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (0,))
+        with pytest.raises(ValueError):
+            Gate("x", (0, 1))
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("foo", (0,))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (3, 3))
+        with pytest.raises(ValueError):
+            Gate("ccx", (1, 2, 1))
+
+    def test_self_adjoint(self):
+        for name, qubits in [("x", (0,)), ("h", (0,)), ("cx", (0, 1)), ("ccx", (0, 1, 2))]:
+            gate = Gate(name, qubits)
+            assert adjoint_gate(gate) == gate
+
+    def test_s_t_adjoints(self):
+        assert adjoint_gate(Gate("s", (0,))) == Gate("sdg", (0,))
+        assert adjoint_gate(Gate("tdg", (0,))) == Gate("t", (0,))
+
+    def test_parametric_adjoint_negates_angle(self):
+        gate = Gate("cphase", (0, 1), 0.75)
+        assert adjoint_gate(gate) == Gate("cphase", (0, 1), -0.75)
+
+
+class TestCircuitBuilding:
+    def test_registers_are_disjoint_and_little_endian(self):
+        circ = Circuit()
+        a = circ.add_register("a", 3)
+        b = circ.add_register("b", 2)
+        assert a.qubits == (0, 1, 2)
+        assert b.qubits == (3, 4)
+        assert circ.num_qubits == 5
+        assert circ.qubit_labels[3] == "b[0]"
+
+    def test_duplicate_register_name_rejected(self):
+        circ = Circuit()
+        circ.add_register("a", 1)
+        with pytest.raises(ValueError):
+            circ.add_register("a", 2)
+
+    def test_gate_qubit_range_validated(self):
+        circ = Circuit()
+        circ.add_register("a", 1)
+        with pytest.raises(ValueError):
+            circ.cx(0, 5)
+
+    def test_measure_allocates_bit(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        bit = circ.measure(q)
+        assert bit == 0
+        assert circ.num_bits == 1
+        assert isinstance(circ.ops[-1], Measurement)
+
+    def test_capture_records_instead_of_appending(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        circ.x(q)
+        with circ.capture() as body:
+            circ.h(q)
+            circ.z(q)
+        assert len(circ.ops) == 1
+        assert [op.name for op in body] == ["h", "z"]
+
+    def test_cond_and_mbu_wrap_bodies(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        r = circ.add_qubit("r")
+        bit = circ.new_bit()
+        with circ.capture() as body:
+            circ.cz(q, r)
+        circ.cond(bit, body)
+        assert isinstance(circ.ops[-1], Conditional)
+        with circ.capture() as body2:
+            circ.h(q)
+            circ.x(q)
+        mbit = circ.mbu(q, body2)
+        block = circ.ops[-1]
+        assert isinstance(block, MBUBlock)
+        assert block.bit == mbit
+        assert block.probability == Fraction(1, 2)
+
+    def test_iter_flat_descends_into_bodies(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        bit = circ.new_bit()
+        with circ.capture() as body:
+            circ.x(q)
+        circ.cond(bit, body)
+        kinds = [type(op).__name__ for op in iter_flat(circ.ops)]
+        assert kinds == ["Conditional", "Gate"]
+
+
+class TestAdjoint:
+    def test_adjoint_reverses_and_conjugates(self):
+        circ = Circuit()
+        a = circ.add_register("a", 2)
+        circ.h(a[0])
+        circ.s(a[0])
+        circ.cx(a[0], a[1])
+        adj = circ.adjoint_ops()
+        names = [op.name for op in adj if isinstance(op, Gate)]
+        assert names == ["cx", "sdg", "h"]
+
+    def test_adjoint_rejects_measurement(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        circ.measure(q)
+        with pytest.raises(ValueError, match="remark 2.23"):
+            circ.adjoint_ops()
+
+    def test_adjoint_swaps_block_markers(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        with circ.block("QFT"):
+            circ.h(q)
+        adj = circ.adjoint_ops()
+        marks = [(op.kind, op.label) for op in adj if isinstance(op, Annotation)]
+        assert marks == [("begin", "QFT"), ("end", "QFT")]
+
+    def test_adjoint_is_involution(self):
+        circ = Circuit()
+        a = circ.add_register("a", 3)
+        circ.t(a[0])
+        circ.ccx(a[0], a[1], a[2])
+        circ.cphase(a[1], a[2], 0.3)
+        twice = circ.adjoint_ops(circ.adjoint_ops())
+        assert twice == circ.ops

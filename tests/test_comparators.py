@@ -1,0 +1,155 @@
+"""Comparators (defs 2.24/2.29/2.33/2.37; props 2.25-2.36, thm 2.38)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arithmetic import (
+    build_comparator,
+    build_compare_lt_const,
+    build_controlled_comparator,
+    build_controlled_compare_lt_const,
+)
+from tests.arith_helpers import run_draper, run_ripple
+
+RIPPLE = ["vbe", "cdkpm", "gidney"]
+
+
+class TestComparator:
+    @pytest.mark.parametrize("family", RIPPLE)
+    def test_exhaustive(self, family):
+        n = 3
+        for x in range(1 << n):
+            for y in range(1 << n):
+                for t in (0, 1):
+                    built = build_comparator(n, family)
+                    out = run_ripple(built, {"x": x, "y": y, "t": t}, seed=x + y)
+                    assert out["t"] == t ^ (1 if x > y else 0)
+                    assert out["x"] == x and out["y"] == y
+
+    @pytest.mark.parametrize("family", RIPPLE)
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_wide(self, family, data):
+        n = data.draw(st.integers(min_value=4, max_value=32))
+        x = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        y = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        built = build_comparator(n, family)
+        out = run_ripple(built, {"x": x, "y": y}, seed=n)
+        assert out["t"] == (1 if x > y else 0)
+
+    def test_draper(self):
+        n = 2
+        for x in range(1 << n):
+            for y in range(1 << n):
+                for t in (0, 1):
+                    built = build_comparator(n, "draper")
+                    out = run_draper(built, {"x": x, "y": y, "t": t})
+                    assert out["t"] == t ^ (1 if x > y else 0)
+
+    def test_toffoli_counts(self):
+        """Table 6: CDKPM 2n, Gidney n, (VBE-flavoured 4n)."""
+        n = 9
+        assert build_comparator(n, "cdkpm").counts().toffoli == 2 * n
+        assert build_comparator(n, "gidney").counts().toffoli == n
+        assert build_comparator(n, "vbe").counts().toffoli == 4 * n
+        assert build_comparator(n, "cdkpm").ancilla_count == 1
+
+
+class TestControlledComparator:
+    @pytest.mark.parametrize("family", RIPPLE + ["draper"])
+    def test_exhaustive(self, family):
+        n = 2
+        runner = run_draper if family == "draper" else run_ripple
+        for ctrl in (0, 1):
+            for x in range(1 << n):
+                for y in range(1 << n):
+                    built = build_controlled_comparator(n, family)
+                    out = runner(built, {"ctrl": ctrl, "x": x, "y": y}, seed=x)
+                    assert out["t"] == (ctrl if x > y else 0)
+
+    def test_one_extra_toffoli(self):
+        """Props 2.30/2.31: control costs exactly one extra Toffoli."""
+        n = 7
+        for family in RIPPLE:
+            plain = build_comparator(n, family).counts().toffoli
+            ctrl = build_controlled_comparator(n, family).counts().toffoli
+            assert ctrl == plain + 1
+
+
+class TestConstantComparator:
+    @pytest.mark.parametrize("family", RIPPLE)
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_lt_const(self, family, data):
+        n = data.draw(st.integers(min_value=1, max_value=24))
+        a = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        x = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        built = build_compare_lt_const(n, a, family)
+        out = run_ripple(built, {"x": x}, seed=5)
+        assert out["t"] == (1 if x < a else 0)
+
+    @pytest.mark.parametrize("family", RIPPLE + ["draper"])
+    def test_controlled_lt_const(self, family):
+        n = 3
+        runner = run_draper if family == "draper" else run_ripple
+        for ctrl in (0, 1):
+            for a in range(1 << n):
+                for x in range(1 << n):
+                    built = build_controlled_compare_lt_const(n, a, family)
+                    out = runner(built, {"ctrl": ctrl, "x": x}, seed=a)
+                    assert out["t"] == (1 if x < ctrl * a else 0)
+
+    def test_draper_lt_const(self):
+        n = 3
+        for a in range(1 << n):
+            for x in range(1 << n):
+                built = build_compare_lt_const(n, a, "draper")
+                out = run_draper(built, {"x": x})
+                assert out["t"] == (1 if x < a else 0)
+
+
+class TestUnequalWidths:
+    """Remark 2.32: comparing an m-bit with an (m+1)-bit register costs one
+    extra Toffoli instead of a padded chain."""
+
+    @pytest.mark.parametrize("family", RIPPLE)
+    def test_b_extra(self, family):
+        from repro.circuits import Circuit
+        from repro.arithmetic.families import KITS
+        from repro.sim import run_classical, RandomOutcomes
+
+        kit = KITS[family]
+        m = 3
+        for a in range(1 << m):
+            for b in range(1 << (m + 1)):
+                circ = Circuit()
+                ar = circ.add_register("a", m)
+                br = circ.add_register("b", m + 1)
+                tr = circ.add_register("t", 1)
+                anc = circ.add_register("anc", kit.compare_ancillas(m))
+                kit.emit_compare_gt(
+                    circ, ar.qubits, br.qubits[:m], tr[0], anc.qubits,
+                    b_extra=br.qubits[m],
+                )
+                out = run_classical(
+                    circ, {"a": a, "b": b}, outcomes=RandomOutcomes(a + b)
+                )
+                assert out["t"] == (1 if a > b else 0), (family, a, b)
+                assert out["a"] == a and out["b"] == b
+
+    def test_b_extra_and_ctrl_exclusive(self):
+        from repro.circuits import Circuit
+        from repro.arithmetic.cdkpm import emit_cdkpm_compare_gt
+
+        circ = Circuit()
+        a = circ.add_register("a", 2)
+        b = circ.add_register("b", 2)
+        extra = circ.add_register("e", 2)
+        t = circ.add_register("t", 1)
+        c0 = circ.add_register("c0", 1)
+        with pytest.raises(ValueError):
+            emit_cdkpm_compare_gt(
+                circ, a.qubits, b.qubits, t[0], c0[0],
+                b_extra=extra[0], ctrl=extra[1],
+            )

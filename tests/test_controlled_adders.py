@@ -1,0 +1,81 @@
+"""Controlled addition (def 2.8): thm 2.9, cor 2.10, prop 2.11, thms 2.12/2.14."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arithmetic import build_controlled_adder
+from tests.arith_helpers import run_draper, run_ripple
+
+RIPPLE = ["vbe", "cdkpm", "gidney"]
+METHODS = ["native", "load_and", "load_toffoli"]
+
+
+@pytest.mark.parametrize("family", RIPPLE)
+@pytest.mark.parametrize("method", METHODS)
+def test_controlled_adder_exhaustive(family, method):
+    n = 2
+    for ctrl in (0, 1):
+        for x in range(1 << n):
+            for y in range(1 << n):
+                built = build_controlled_adder(n, family, method)
+                out = run_ripple(built, {"ctrl": ctrl, "x": x, "y": y}, seed=x ^ y)
+                assert out["y"] == y + ctrl * x
+                assert out["x"] == x and out["ctrl"] == ctrl
+
+
+@pytest.mark.parametrize("family", RIPPLE)
+@given(data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_controlled_adder_random_wide(family, data):
+    n = data.draw(st.integers(min_value=3, max_value=32))
+    ctrl = data.draw(st.integers(min_value=0, max_value=1))
+    x = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    y = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    built = build_controlled_adder(n, family, "native")
+    out = run_ripple(built, {"ctrl": ctrl, "x": x, "y": y}, seed=n)
+    assert out["y"] == y + ctrl * x
+
+
+@pytest.mark.parametrize("ctrl", [0, 1])
+def test_draper_controlled_adder(ctrl):
+    n = 2
+    for x in range(1 << n):
+        for y in range(1 << n):
+            built = build_controlled_adder(n, "draper")
+            out = run_draper(built, {"ctrl": ctrl, "x": x, "y": y}, seed=x + y)
+            assert out["y"] == y + ctrl * x
+
+
+def test_toffoli_counts_native_vs_generic():
+    """Thm 2.9 costs r+2n, cor 2.10 costs r+n; natives beat both."""
+    n = 8
+    from repro.arithmetic import build_adder
+
+    for family in RIPPLE:
+        r = build_adder(n, family).counts().toffoli
+        toffoli = {
+            method: build_controlled_adder(n, family, method).counts().toffoli
+            for method in METHODS
+        }
+        assert toffoli["load_toffoli"] == r + 2 * n
+        assert toffoli["load_and"] == r + n
+        assert toffoli["native"] <= toffoli["load_and"] + 1
+
+
+def test_cdkpm_native_uses_one_ancilla():
+    built = build_controlled_adder(8, "cdkpm", "native")
+    assert built.ancilla_count == 1  # thm 2.12
+    assert built.counts().toffoli == 3 * 8 + 1
+
+
+def test_gidney_native_counts():
+    built = build_controlled_adder(8, "gidney", "native")
+    assert built.ancilla_count == 8 + 1  # prop 2.11
+    assert built.counts().toffoli == 2 * 8 + 1
+
+
+def test_draper_controlled_toffoli_count_is_n():
+    built = build_controlled_adder(8, "draper")
+    assert built.counts().toffoli == 8  # thm 2.14
+    assert built.ancilla_count == 1

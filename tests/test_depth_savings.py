@@ -1,0 +1,57 @@
+"""Toffoli-depth claims: MBU reduces expected depth 10-15% (section 1.1).
+
+The worst-case depth is unchanged (the correction branch contains the full
+uncomputation oracle); the saving is in expectation: with probability 1/2
+the final comparator never runs.  Expected depth = (lucky + unlucky) / 2.
+"""
+
+import pytest
+
+from repro.circuits import toffoli_depth
+from repro.modular import build_modadd, build_modadd_vbe_original
+
+
+def expected_toffoli_depth(circuit) -> float:
+    worst = toffoli_depth(circuit, include_conditional=True)
+    best = toffoli_depth(circuit, include_conditional=False)
+    return (worst + best) / 2
+
+
+@pytest.mark.parametrize("family", ["cdkpm", "gidney"])
+def test_worst_case_depth_unchanged(family):
+    n, p = 12, (1 << 12) - 1
+    plain = build_modadd(n, p, family)
+    mbu = build_modadd(n, p, family, mbu=True)
+    assert toffoli_depth(mbu.circuit) == toffoli_depth(plain.circuit)
+
+
+@pytest.mark.parametrize("family,lo,hi", [
+    ("cdkpm", 0.10, 0.15),
+    ("gidney", 0.10, 0.15),
+])
+def test_expected_depth_saving_in_paper_range(family, lo, hi):
+    n, p = 24, (1 << 24) - 1
+    plain = build_modadd(n, p, family)
+    mbu = build_modadd(n, p, family, mbu=True)
+    base = toffoli_depth(plain.circuit)
+    saving = 1 - expected_toffoli_depth(mbu.circuit) / base
+    assert lo <= saving <= hi, saving
+
+
+def test_vbe5_expected_depth_saving():
+    """The 5-adder design uncomputes with two full adders: ~20% depth off."""
+    n, p = 16, (1 << 16) - 1
+    plain = build_modadd_vbe_original(n, p)
+    mbu = build_modadd_vbe_original(n, p, mbu=True)
+    base = toffoli_depth(plain.circuit)
+    saving = 1 - expected_toffoli_depth(mbu.circuit) / base
+    assert 0.15 <= saving <= 0.25, saving
+
+
+def test_lucky_branch_skips_the_final_comparator():
+    n, p = 16, (1 << 16) - 1
+    mbu = build_modadd(n, p, "cdkpm", mbu=True)
+    worst = toffoli_depth(mbu.circuit, include_conditional=True)
+    best = toffoli_depth(mbu.circuit, include_conditional=False)
+    # the final CDKPM comparator contributes ~2n Toffoli layers
+    assert worst - best >= 2 * n - 4

@@ -1,0 +1,50 @@
+"""ASCII drawer smoke tests."""
+
+from repro.circuits import Circuit, draw
+
+
+def test_draw_basic_gates():
+    circ = Circuit()
+    a = circ.add_register("a", 3)
+    circ.h(a[0])
+    circ.cx(a[0], a[1])
+    circ.ccx(a[0], a[1], a[2])
+    art = draw(circ)
+    lines = art.splitlines()
+    assert len(lines) == 3
+    assert "H" in lines[0]
+    assert "*" in lines[0] and "X" in lines[1]
+
+
+def test_draw_packs_disjoint_columns():
+    circ = Circuit()
+    a = circ.add_register("a", 4)
+    circ.x(a[0])
+    circ.x(a[3])  # disjoint: same column
+    art = draw(circ)
+    width0 = len(art.splitlines()[0])
+    assert all(len(line) == width0 for line in art.splitlines())
+    # both X's share one column => only one gate column
+    assert art.splitlines()[0].count("X") == 1
+
+
+def test_draw_measurement_and_mbu():
+    circ = Circuit()
+    q = circ.add_qubit("q")
+    r = circ.add_qubit("r")
+    circ.measure(q, basis="x")
+    with circ.capture() as body:
+        circ.h(r)
+        circ.x(r)
+    circ.mbu(r, body)
+    art = draw(circ)
+    assert "Mx" in art
+    assert "~M" in art
+
+
+def test_draw_vertical_connector_spans_gap():
+    circ = Circuit()
+    a = circ.add_register("a", 3)
+    circ.cx(a[0], a[2])
+    art = draw(circ).splitlines()
+    assert "|" in art[1]

@@ -1,0 +1,125 @@
+"""Gate-level checks of the paper's figure decompositions (figs 4, 6, 7,
+9, 16, 17): the CARRY/SUM and MAJ/UMA families, both UMA variants, and
+the controlled UMA — verified against their specified truth tables.
+"""
+
+import itertools
+
+import pytest
+
+from repro.arithmetic.cdkpm import (
+    emit_cuma,
+    emit_maj,
+    emit_maj_adj,
+    emit_uma,
+    emit_uma3,
+)
+from repro.arithmetic.vbe import emit_carry, emit_carry_adj, emit_sum
+from repro.boolarith import maj
+from repro.circuits import Circuit
+from repro.sim import ClassicalSimulator
+
+
+def _apply(emit, n_qubits, bits):
+    circ = Circuit()
+    q = circ.add_register("q", n_qubits)
+    emit(circ, *q.qubits)
+    sim = ClassicalSimulator(circ)
+    for i, b in enumerate(bits):
+        sim.set_qubit(q[i], b)
+    sim.run()
+    return tuple(sim.qubits[q[i]] for i in range(n_qubits))
+
+
+class TestVBEGates:
+    def test_carry_truth_table(self):
+        """Fig 4: |c,x,y,c'> -> |c, x, y^x, c' ^ maj(x,y,c)>."""
+        for c, x, y, cn in itertools.product((0, 1), repeat=4):
+            out = _apply(emit_carry, 4, (c, x, y, cn))
+            assert out == (c, x, y ^ x, cn ^ maj(x, y, c))
+
+    def test_carry_adj_inverts(self):
+        for bits in itertools.product((0, 1), repeat=4):
+            def both(circ, a, b, c, d):
+                emit_carry(circ, a, b, c, d)
+                emit_carry_adj(circ, a, b, c, d)
+            assert _apply(both, 4, bits) == bits
+
+    def test_sum_truth_table(self):
+        """Fig 4: |c,x,y> -> |c, x, y ^ x ^ c>."""
+        for c, x, y in itertools.product((0, 1), repeat=3):
+            assert _apply(emit_sum, 3, (c, x, y)) == (c, x, y ^ x ^ c)
+
+
+class TestCDKPMGates:
+    def test_maj_truth_table(self):
+        """Fig 6: |c,y,x> -> |c^x, y^x, maj(x,y,c)>."""
+        for c, y, x in itertools.product((0, 1), repeat=3):
+            assert _apply(emit_maj, 3, (c, y, x)) == (c ^ x, y ^ x, maj(x, y, c))
+
+    def test_maj_adj_inverts(self):
+        for bits in itertools.product((0, 1), repeat=3):
+            def both(circ, a, b, c):
+                emit_maj(circ, a, b, c)
+                emit_maj_adj(circ, a, b, c)
+            assert _apply(both, 3, bits) == bits
+
+    @pytest.mark.parametrize("uma", [emit_uma, emit_uma3])
+    def test_maj_uma_writes_sum(self, uma):
+        """Fig 9: MAJ then UMA restores c and x and writes s = x^y^c."""
+        for c, y, x in itertools.product((0, 1), repeat=3):
+            def pair(circ, a, b, d):
+                emit_maj(circ, a, b, d)
+                uma(circ, a, b, d)
+            assert _apply(pair, 3, (c, y, x)) == (c, x ^ y ^ c, x)
+
+    def test_uma_variants_agree(self):
+        """Fig 7: the 2-CNOT and 3-CNOT UMA compute the same function."""
+        for bits in itertools.product((0, 1), repeat=3):
+            assert _apply(emit_uma, 3, bits) == _apply(emit_uma3, 3, bits)
+
+    def test_uma3_gate_mix(self):
+        circ = Circuit()
+        q = circ.add_register("q", 3)
+        emit_uma3(circ, *q.qubits)
+        from repro.circuits import count_gates
+        counts = count_gates(circ)
+        assert counts["ccx"] == 1 and counts["cx"] == 3 and counts["x"] == 2
+
+    def test_cuma_controlled_write(self):
+        """Figs 16-17: MAJ + C-UMA restores everything when ctrl=0 and
+        behaves like MAJ+UMA when ctrl=1."""
+        for ctrl in (0, 1):
+            for c, y, x in itertools.product((0, 1), repeat=3):
+                def pair(circ, k, a, b, d):
+                    emit_maj(circ, a, b, d)
+                    emit_cuma(circ, k, a, b, d)
+                out = _apply(pair, 4, (ctrl, c, y, x))
+                expected_y = (x ^ y ^ c) if ctrl else y
+                assert out == (ctrl, c, expected_y, x)
+
+
+class TestUMA3InsideAdder:
+    def test_adder_with_uma3_blocks(self):
+        """A CDKPM adder assembled with the 3-CNOT UMA is still an adder."""
+        from repro.arithmetic.cdkpm import emit_maj
+
+        n = 4
+        for x in (0, 3, 9, 15):
+            for y in (0, 5, 11, 15):
+                circ = Circuit()
+                xr = circ.add_register("x", n)
+                yr = circ.add_register("y", n + 1)
+                c0 = circ.add_register("c0", 1)
+                chain = [c0[0]] + list(xr.qubits)
+                for i in range(n):
+                    emit_maj(circ, chain[i], yr[i], xr[i])
+                circ.cx(xr[n - 1], yr[n])
+                for i in range(n - 1, -1, -1):
+                    emit_uma3(circ, chain[i], yr[i], xr[i])
+                sim = ClassicalSimulator(circ)
+                sim.set_register(xr, x)
+                sim.set_register(yr, y)
+                sim.run()
+                assert sim.get_register(yr) == x + y
+                assert sim.get_register(xr) == x

@@ -1,0 +1,51 @@
+"""Two-sided comparison (thm 4.13)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mbu import build_in_range
+from repro.sim import ConstantOutcomes, RandomOutcomes, run_classical
+
+
+@pytest.mark.parametrize("family", ["cdkpm", "gidney", "vbe"])
+@pytest.mark.parametrize("mbu", [False, True])
+def test_exhaustive_small(family, mbu):
+    n = 2
+    for x in range(4):
+        for y in range(4):
+            for z in range(4):
+                built = build_in_range(n, family, mbu=mbu)
+                outcomes = ConstantOutcomes((x + z) % 2) if mbu else RandomOutcomes(x)
+                out = run_classical(
+                    built.circuit, {"x": x, "y": y, "z": z}, outcomes=outcomes
+                )
+                assert out["t"] == (1 if y < x < z else 0)
+                assert out["h"] == 0 and out["anc"] == 0
+                assert (out["x"], out["y"], out["z"]) == (x, y, z)
+
+
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_random_wide(data):
+    n = data.draw(st.integers(min_value=3, max_value=24))
+    x = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    y = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    z = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    mbu = data.draw(st.booleans())
+    built = build_in_range(n, "cdkpm", mbu=mbu)
+    outcomes = ConstantOutcomes(n % 2) if mbu else RandomOutcomes(n)
+    out = run_classical(built.circuit, {"x": x, "y": y, "z": z}, outcomes=outcomes)
+    assert out["t"] == (1 if y < x < z else 0)
+
+
+def test_cost_reduction_matches_thm_4_13():
+    """2r + r' without MBU -> 1.5r + r' expected with MBU."""
+    n = 12
+    for family, r, r_ctrl in [("cdkpm", 2 * n, 2 * n + 1), ("gidney", n, n + 1)]:
+        plain = build_in_range(n, family).counts("expected").toffoli
+        mbu = build_in_range(n, family, mbu=True).counts("expected").toffoli
+        assert plain == 2 * r + r_ctrl
+        assert mbu == plain - r / 2
+    # relative saving on the uncomputation: exactly 25% of one comparator
+    # (the paper's "nearly 25%" refers to the uncompute share of the cost)

@@ -1,0 +1,131 @@
+"""Cross-cutting integration tests.
+
+* statevector vs classical simulation of complete MBU modular adders with
+  identical forced measurement scripts;
+* the generic sub/add comparator (prop 2.25) composed from kit emitters;
+* chained modular additions (associativity through the circuit).
+"""
+
+import itertools
+
+import pytest
+
+from repro.arithmetic.compare import emit_compare_gt_via_sub_add
+from repro.arithmetic.families import KITS
+from repro.circuits import Circuit
+from repro.modular import build_modadd
+from repro.sim import (
+    ClassicalSimulator,
+    ConstantOutcomes,
+    StatevectorSimulator,
+    run_classical,
+)
+
+
+class TestCrossSimulatorModAdd:
+    @pytest.mark.parametrize("outcome", [0, 1])
+    def test_mbu_cdkpm_agrees(self, outcome):
+        n, p = 3, 5
+        for x, y in itertools.product(range(p), repeat=2):
+            built = build_modadd(n, p, "cdkpm", mbu=True)
+            classical = ClassicalSimulator(built.circuit, outcomes=ConstantOutcomes(outcome))
+            classical.set_register(built.circuit.registers["x"], x)
+            classical.set_register(built.circuit.registers["y"], y)
+            classical.run()
+
+            sv = StatevectorSimulator(built.circuit, outcomes=ConstantOutcomes(outcome))
+            sv.set_basis_state({"x": x, "y": y})
+            sv.run()
+            values = sv.register_values(tol=1e-6)
+            assert len(values) == 1
+            key = next(iter(values))
+            names = list(built.circuit.registers)
+            sv_out = dict(zip(names, key))
+            cl_out = {name: classical.get_register(name) for name in names}
+            assert sv_out == cl_out
+            assert sv_out["y"] == (x + y) % p
+
+    @pytest.mark.parametrize("outcome", [0, 1])
+    def test_mbu_gidney_agrees(self, outcome):
+        """Gidney circuits also contain inner AND-uncompute measurements;
+        with ConstantOutcomes both simulators follow the same branch."""
+        n, p = 2, 3
+        for x, y in itertools.product(range(p), repeat=2):
+            built = build_modadd(n, p, "gidney", mbu=True)
+            classical = ClassicalSimulator(built.circuit, outcomes=ConstantOutcomes(outcome))
+            classical.set_register(built.circuit.registers["x"], x)
+            classical.set_register(built.circuit.registers["y"], y)
+            classical.run()
+
+            sv = StatevectorSimulator(built.circuit, outcomes=ConstantOutcomes(outcome))
+            sv.set_basis_state({"x": x, "y": y})
+            sv.run()
+            values = sv.register_values(tol=1e-6)
+            names = list(built.circuit.registers)
+            sv_out = dict(zip(names, next(iter(values))))
+            assert sv_out["y"] == classical.get_register("y") == (x + y) % p
+            assert classical.bits == sv.bits
+
+
+class TestGenericComparator:
+    """Prop 2.25: a comparator from any adder + subtractor pair."""
+
+    @pytest.mark.parametrize("family", ["vbe", "cdkpm", "gidney"])
+    def test_sub_add_comparator(self, family):
+        kit = KITS[family]
+        n = 3
+        for x, y in itertools.product(range(1 << n), repeat=2):
+            circ = Circuit()
+            xr = circ.add_register("x", n)
+            yr = circ.add_register("y", n + 1)
+            tr = circ.add_register("t", 1)
+            anc = circ.add_register("anc", kit.add_ancillas(n))
+            emit_compare_gt_via_sub_add(
+                circ,
+                yr.qubits,
+                tr[0],
+                emit_sub=lambda: kit.emit_sub(circ, xr.qubits, yr.qubits, anc.qubits),
+                emit_add=lambda: kit.emit_add(circ, xr.qubits, yr.qubits, anc.qubits),
+            )
+            out = run_classical(circ, {"x": x, "y": y})
+            assert out["t"] == (1 if x > y else 0), (family, x, y)
+            assert out["y"] == y and out["x"] == x
+
+    def test_costs_one_adder_plus_one_subtractor(self):
+        from repro.circuits import count_gates
+
+        kit = KITS["cdkpm"]
+        n = 10
+        circ = Circuit()
+        xr = circ.add_register("x", n)
+        yr = circ.add_register("y", n + 1)
+        tr = circ.add_register("t", 1)
+        anc = circ.add_register("anc", 1)
+        emit_compare_gt_via_sub_add(
+            circ,
+            yr.qubits,
+            tr[0],
+            emit_sub=lambda: kit.emit_sub(circ, xr.qubits, yr.qubits, anc.qubits),
+            emit_add=lambda: kit.emit_add(circ, xr.qubits, yr.qubits, anc.qubits),
+        )
+        # two CDKPM adders = 4n Toffoli: double the half-subtractor trick
+        assert count_gates(circ).toffoli == 4 * n
+
+
+class TestChainedModAdds:
+    def test_three_additions_accumulate(self):
+        """y += x1; y += x2 through two circuits: matches (y+x1+x2) mod p."""
+        n, p = 4, 13
+        y = 7
+        for x1 in (0, 5, 12):
+            for x2 in (1, 6, 11):
+                built = build_modadd(n, p, "cdkpm", mbu=True)
+                out = run_classical(
+                    built.circuit, {"x": x1, "y": y}, outcomes=ConstantOutcomes(1)
+                )
+                built2 = build_modadd(n, p, "cdkpm", mbu=True)
+                out2 = run_classical(
+                    built2.circuit, {"x": x2, "y": out["y"]},
+                    outcomes=ConstantOutcomes(0),
+                )
+                assert out2["y"] == (y + x1 + x2) % p

@@ -1,0 +1,126 @@
+"""Quantum-quantum modular addition (props 3.2-3.11, thms 3.6/4.2-4.9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modular import (
+    build_controlled_modadd,
+    build_modadd,
+    build_modadd_vbe_original,
+)
+from repro.sim import ConstantOutcomes, RandomOutcomes, run_classical
+
+VARIANTS = [
+    ("cdkpm", None),  # prop 3.4
+    ("gidney", None),  # prop 3.5
+    ("vbe", None),  # the "(4 adder) VBE" row
+    ("gidney", "cdkpm"),  # thm 3.6 hybrid
+]
+
+
+def _run(built, inputs, mbu, seed):
+    outcomes = ConstantOutcomes(seed % 2) if mbu else RandomOutcomes(seed)
+    return run_classical(built.circuit, inputs, outcomes=outcomes)
+
+
+class TestModAdd:
+    @pytest.mark.parametrize("family,mid", VARIANTS)
+    @pytest.mark.parametrize("mbu", [False, True])
+    def test_exhaustive_n3(self, family, mid, mbu):
+        n, p = 3, 7
+        for x in range(p):
+            for y in range(p):
+                built = build_modadd(n, p, family, mid, mbu=mbu)
+                out = _run(built, {"x": x, "y": y}, mbu, seed=x * p + y)
+                assert out["y"] == (x + y) % p
+                assert out["x"] == x
+                assert out["t"] == 0 and out["work"] == 0
+
+    @pytest.mark.parametrize("mbu", [False, True])
+    def test_both_mbu_branches(self, mbu):
+        """Force the MBU correction branch on and off explicitly."""
+        n, p = 3, 5
+        for outcome in (0, 1):
+            built = build_modadd(n, p, "cdkpm", mbu=True)
+            out = run_classical(
+                built.circuit, {"x": 3, "y": 4}, outcomes=ConstantOutcomes(outcome)
+            )
+            assert out["y"] == (3 + 4) % p
+            assert out["t"] == 0
+
+    @pytest.mark.parametrize("family,mid", VARIANTS)
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_random_wide(self, family, mid, data):
+        n = data.draw(st.integers(min_value=4, max_value=20))
+        p = data.draw(st.integers(min_value=2, max_value=(1 << n) - 1))
+        x = data.draw(st.integers(min_value=0, max_value=p - 1))
+        y = data.draw(st.integers(min_value=0, max_value=p - 1))
+        mbu = data.draw(st.booleans())
+        built = build_modadd(n, p, family, mid, mbu=mbu)
+        out = _run(built, {"x": x, "y": y}, mbu, seed=n + p)
+        assert out["y"] == (x + y) % p
+
+    def test_non_coprime_and_small_moduli(self):
+        """p need not be prime or odd."""
+        for p in (2, 4, 6, 8):
+            n = 4
+            for x in range(p):
+                for y in range(p):
+                    built = build_modadd(n, p, "cdkpm")
+                    out = _run(built, {"x": x, "y": y}, False, seed=0)
+                    assert out["y"] == (x + y) % p
+
+    def test_bad_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            build_modadd(3, 8, "cdkpm")
+        with pytest.raises(ValueError):
+            build_modadd(3, 0, "cdkpm")
+
+
+class TestVBEOriginal:
+    @pytest.mark.parametrize("mbu", [False, True])
+    def test_exhaustive(self, mbu):
+        n, p = 3, 7
+        for x in range(p):
+            for y in range(p):
+                built = build_modadd_vbe_original(n, p, mbu=mbu)
+                out = _run(built, {"x": x, "y": y}, mbu, seed=x + y)
+                assert out["y"] == (x + y) % p
+                assert out["t"] == 0 and out["N"] == 0 and out["carries"] == 0
+
+    def test_qubit_count_matches_table1(self):
+        """Table 1: the 5-adder VBE design uses 4n + 2 logical qubits."""
+        for n in (4, 9):
+            built = build_modadd_vbe_original(n, (1 << n) - 1)
+            assert built.logical_qubits == 4 * n + 2
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_random_wide(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=16))
+        p = data.draw(st.integers(min_value=2, max_value=(1 << n) - 1))
+        x = data.draw(st.integers(min_value=0, max_value=p - 1))
+        y = data.draw(st.integers(min_value=0, max_value=p - 1))
+        built = build_modadd_vbe_original(n, p, mbu=True)
+        out = _run(built, {"x": x, "y": y}, True, seed=p)
+        assert out["y"] == (x + y) % p
+
+
+class TestControlledModAdd:
+    @pytest.mark.parametrize("family,mid", [("cdkpm", None), ("gidney", None), ("gidney", "cdkpm")])
+    @pytest.mark.parametrize("mbu", [False, True])
+    def test_exhaustive_small(self, family, mid, mbu):
+        n, p = 3, 5
+        for ctrl in (0, 1):
+            for x in range(p):
+                for y in range(p):
+                    built = build_controlled_modadd(n, p, family, mid, mbu=mbu)
+                    out = _run(built, {"ctrl": ctrl, "x": x, "y": y}, mbu, seed=x - y)
+                    assert out["y"] == (ctrl * x + y) % p
+                    assert out["t"] == 0 and out["ctrl"] == ctrl
+
+    def test_vbe_has_no_controlled_adder(self):
+        with pytest.raises(ValueError, match="no controlled adder"):
+            build_controlled_modadd(3, 5, "vbe")

@@ -1,0 +1,101 @@
+"""Modular addition by a constant (props 3.13-3.19, thms 3.14/3.17/4.10-4.12)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modular import (
+    build_controlled_modadd_const,
+    build_modadd_const,
+)
+from repro.sim import ConstantOutcomes, RandomOutcomes, run_classical
+
+ARCHS = ["generic", "vbe", "takahashi"]
+
+
+def _run(built, inputs, mbu, seed):
+    outcomes = ConstantOutcomes(seed % 2) if mbu else RandomOutcomes(seed)
+    return run_classical(built.circuit, inputs, outcomes=outcomes)
+
+
+class TestModAddConst:
+    @pytest.mark.parametrize("arch", ARCHS)
+    @pytest.mark.parametrize("family", ["cdkpm", "gidney"])
+    @pytest.mark.parametrize("mbu", [False, True])
+    def test_exhaustive_small(self, arch, family, mbu):
+        n, p = 3, 7
+        for a in range(p):
+            for x in range(p):
+                built = build_modadd_const(n, p, a, family, arch, mbu=mbu)
+                out = _run(built, {"x": x}, mbu, seed=a + x)
+                assert out["x"] == (x + a) % p
+                assert out["t"] == 0
+
+    @pytest.mark.parametrize("arch", ARCHS)
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_random_wide(self, arch, data):
+        n = data.draw(st.integers(min_value=4, max_value=20))
+        p = data.draw(st.integers(min_value=2, max_value=(1 << n) - 1))
+        a = data.draw(st.integers(min_value=0, max_value=p - 1))
+        x = data.draw(st.integers(min_value=0, max_value=p - 1))
+        mbu = data.draw(st.booleans())
+        built = build_modadd_const(n, p, a, "cdkpm", arch, mbu=mbu)
+        out = _run(built, {"x": x}, mbu, seed=p ^ a)
+        assert out["x"] == (x + a) % p
+
+    def test_constant_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            build_modadd_const(3, 5, 5, "cdkpm")
+        with pytest.raises(ValueError):
+            build_modadd_const(3, 5, -1, "cdkpm")
+
+    def test_takahashi_beats_vbe_arch(self):
+        """Prop 3.15 merges the first two VBE-architecture blocks: for the
+        same family it needs strictly fewer Toffolis."""
+        n, p, a = 16, 65521, 12345
+        taka = build_modadd_const(n, p, a, "cdkpm", "takahashi").counts().toffoli
+        vbe = build_modadd_const(n, p, a, "cdkpm", "vbe").counts().toffoli
+        assert taka < vbe
+
+    def test_takahashi_tof_count_is_6n(self):
+        """Prop 3.15 with CDKPM parts: exactly 6n Toffolis; thm 4.11's MBU
+        version: exactly 5n expected (the paper's 16.7% saving)."""
+        n, p, a = 12, 4001, 1234
+        plain = build_modadd_const(n, p, a, "cdkpm", "takahashi")
+        mbu = build_modadd_const(n, p, a, "cdkpm", "takahashi", mbu=True)
+        assert plain.counts().toffoli == 6 * n
+        assert mbu.counts("expected").toffoli == 5 * n
+        assert mbu.counts("worst").toffoli == 6 * n
+        assert mbu.counts("best").toffoli == 4 * n
+
+
+class TestControlledModAddConst:
+    @pytest.mark.parametrize("arch", ["generic", "vbe"])
+    @pytest.mark.parametrize("mbu", [False, True])
+    def test_exhaustive_small(self, arch, mbu):
+        n, p = 3, 5
+        for ctrl in (0, 1):
+            for a in range(p):
+                for x in range(p):
+                    built = build_controlled_modadd_const(n, p, a, "cdkpm", arch, mbu=mbu)
+                    out = _run(built, {"ctrl": ctrl, "x": x}, mbu, seed=a * p + x)
+                    assert out["x"] == (x + ctrl * a) % p
+                    assert out["t"] == 0
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_random_wide(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=16))
+        p = data.draw(st.integers(min_value=2, max_value=(1 << n) - 1))
+        a = data.draw(st.integers(min_value=0, max_value=p - 1))
+        x = data.draw(st.integers(min_value=0, max_value=p - 1))
+        ctrl = data.draw(st.integers(min_value=0, max_value=1))
+        mbu = data.draw(st.booleans())
+        built = build_controlled_modadd_const(n, p, a, "cdkpm", "vbe", mbu=mbu)
+        out = _run(built, {"ctrl": ctrl, "x": x}, mbu, seed=x + 3)
+        assert out["x"] == (x + ctrl * a) % p
+
+    def test_takahashi_not_available_controlled(self):
+        with pytest.raises(ValueError):
+            build_controlled_modadd_const(3, 5, 2, "cdkpm", "takahashi")

@@ -1,0 +1,91 @@
+"""Extensions: modular multiplication / exponentiation (paper future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions import (
+    build_inplace_mul_const_mod,
+    build_modexp,
+    build_mul_const_mod,
+    modexp_cost,
+)
+from repro.sim import ConstantOutcomes, RandomOutcomes, run_classical
+
+
+def _run(built, inputs, mbu, seed):
+    outcomes = ConstantOutcomes(seed % 2) if mbu else RandomOutcomes(seed)
+    return run_classical(built.circuit, inputs, outcomes=outcomes)
+
+
+class TestMulConstMod:
+    @pytest.mark.parametrize("mbu", [False, True])
+    def test_exhaustive_small(self, mbu):
+        n, p = 3, 5
+        for a in range(p):
+            for x in range(p):
+                for y in range(p):
+                    built = build_mul_const_mod(n, p, a, mbu=mbu)
+                    out = _run(built, {"x": x, "y": y}, mbu, seed=a + x + y)
+                    assert out["y"] == (y + a * x) % p
+                    assert out["x"] == x and out["t"] == 0
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_random_wide(self, data):
+        n = data.draw(st.integers(min_value=4, max_value=10))
+        p = data.draw(st.integers(min_value=2, max_value=(1 << n) - 1))
+        a = data.draw(st.integers(min_value=0, max_value=p - 1))
+        x = data.draw(st.integers(min_value=0, max_value=p - 1))
+        built = build_mul_const_mod(n, p, a, mbu=data.draw(st.booleans()))
+        out = _run(built, {"x": x, "y": 0}, built.meta["mbu"], seed=p)
+        assert out["y"] == (a * x) % p
+
+
+class TestInplaceMul:
+    @pytest.mark.parametrize("mbu", [False, True])
+    def test_exhaustive_small(self, mbu):
+        n, p = 3, 7
+        for a in (1, 2, 3, 4, 5, 6):
+            for x in range(p):
+                built = build_inplace_mul_const_mod(n, p, a, mbu=mbu)
+                out = _run(built, {"x": x}, mbu, seed=a * x)
+                assert out["x"] == (a * x) % p
+                assert out["y"] == 0 and out["t"] == 0
+
+    def test_non_invertible_rejected(self):
+        with pytest.raises(ValueError, match="not invertible"):
+            build_inplace_mul_const_mod(3, 6, 3)
+
+
+class TestModExp:
+    @pytest.mark.parametrize("mbu", [False, True])
+    @pytest.mark.parametrize("a", [2, 3])
+    def test_exhaustive_small(self, mbu, a):
+        n, p, n_exp = 3, 5, 3
+        for e in range(1 << n_exp):
+            built = build_modexp(n_exp, n, p, a, mbu=mbu)
+            out = _run(built, {"e": e}, mbu, seed=e)
+            assert out["x"] == pow(a, e, p)
+            assert out["e"] == e and out["y"] == 0
+
+    def test_modexp_cost_estimate_scales(self):
+        """The closed-form estimate is linear in the adder count and the
+        MBU variant is strictly cheaper."""
+        plain = modexp_cost(2048, 1024, "cdkpm", mbu=False)
+        mbu = modexp_cost(2048, 1024, "cdkpm", mbu=True)
+        assert plain["adders"] == 2 * 1024 * 2048
+        assert mbu["toffoli"] < plain["toffoli"]
+        saving = 1 - mbu["toffoli"] / plain["toffoli"]
+        assert 0.10 < float(saving) < 0.15  # the paper's headline range
+
+    def test_cost_estimate_matches_built_circuit_shape(self):
+        """At a small size, the dominant term (controlled modular adders)
+        of the estimate matches the built circuit's Toffoli count to
+        within the per-adder AND/cswap overhead."""
+        n_exp, n, p, a = 2, 4, 13, 3
+        est = modexp_cost(n_exp, n, "cdkpm", mbu=False)
+        built = build_modexp(n_exp, n, p, a, "cdkpm", mbu=False)
+        measured = built.counts("worst").toffoli
+        adders = int(est["adders"])
+        assert abs(measured - est["toffoli"]) <= 3 * adders + n * n_exp

@@ -1,0 +1,155 @@
+"""Tests for gate counting (worst/expected/best), block counting and depth."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    LinearCost,
+    N,
+    WP,
+    count_blocks,
+    count_gates,
+    depth,
+    toffoli_depth,
+)
+
+
+def _mbu_demo_circuit():
+    """One MBU block whose correction body holds 2 H, 1 ccx, 1 x."""
+    circ = Circuit()
+    a = circ.add_register("a", 2)
+    g = circ.add_qubit("g")
+    circ.ccx(a[0], a[1], g)  # compute garbage
+    with circ.capture() as body:
+        circ.h(g)
+        circ.ccx(a[0], a[1], g)
+        circ.h(g)
+        circ.x(g)
+    circ.mbu(g, body)
+    return circ
+
+
+class TestCountModes:
+    def test_expected_weights_mbu_body_by_half(self):
+        counts = count_gates(_mbu_demo_circuit(), mode="expected")
+        assert counts["ccx"] == Fraction(3, 2)
+        # 1 always-H (the X-basis measurement) + 2 * 1/2 from the body
+        assert counts["h"] == Fraction(2)
+        assert counts["x"] == Fraction(1, 2)
+        assert counts["measure"] == 1
+
+    def test_worst_counts_full_body(self):
+        counts = count_gates(_mbu_demo_circuit(), mode="worst")
+        assert counts["ccx"] == 2
+        assert counts["h"] == 3
+        assert counts["x"] == 1
+
+    def test_best_counts_no_body(self):
+        counts = count_gates(_mbu_demo_circuit(), mode="best")
+        assert counts["ccx"] == 1
+        assert counts["h"] == 1
+        assert counts["x"] == 0
+
+    def test_nested_conditionals_multiply_probabilities(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        b1, b2 = circ.new_bit(), circ.new_bit()
+        with circ.capture() as inner:
+            circ.x(q)
+        with circ.capture() as outer:
+            circ.cond(b2, inner)
+        circ.cond(b1, outer)
+        counts = count_gates(circ, mode="expected")
+        assert counts["x"] == Fraction(1, 4)
+
+    def test_x_basis_measurement_costs_h_plus_measure(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        circ.measure(q, basis="x")
+        counts = count_gates(circ)
+        assert counts["h"] == 1 and counts["measure"] == 1
+
+    def test_toffoli_property_sums_ccx_and_ccz(self):
+        circ = Circuit()
+        a = circ.add_register("a", 3)
+        circ.ccx(a[0], a[1], a[2])
+        circ.ccz(a[0], a[1], a[2])
+        assert count_gates(circ).toffoli == 2
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            count_gates(_mbu_demo_circuit(), mode="average")
+
+
+class TestBlockCounts:
+    def test_blocks_weighted_by_probability(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        with circ.block("QFT"):
+            circ.h(q)
+        with circ.capture() as body:
+            with circ.block("QFT"):
+                circ.h(q)
+        circ.mbu(q, body)
+        blocks = count_blocks(circ, mode="expected")
+        assert blocks["QFT"] == Fraction(3, 2)
+        assert count_blocks(circ, mode="worst")["QFT"] == 2
+
+
+class TestDepth:
+    def test_serial_vs_parallel(self):
+        circ = Circuit()
+        a = circ.add_register("a", 4)
+        circ.x(a[0])
+        circ.x(a[1])  # parallel with the first
+        circ.cx(a[0], a[1])  # depends on both
+        assert depth(circ) == 2
+
+    def test_toffoli_depth_counts_only_toffoli_layers(self):
+        circ = Circuit()
+        a = circ.add_register("a", 3)
+        circ.h(a[0])
+        circ.ccx(a[0], a[1], a[2])
+        circ.cx(a[0], a[1])
+        circ.ccx(a[0], a[1], a[2])
+        assert toffoli_depth(circ) == 2
+        assert depth(circ) == 4
+
+    def test_measurement_bit_dependency_orders_conditional(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        r = circ.add_qubit("r")
+        bit = circ.measure(q)
+        with circ.capture() as body:
+            circ.x(r)
+        circ.cond(bit, body)
+        assert depth(circ) == 2
+
+
+class TestLinearCost:
+    def test_arithmetic(self):
+        expr = 8 * N - 2 * N + WP + 1
+        assert expr == 6 * N + WP + 1
+        assert expr.evaluate(n=4, wp=3) == 28
+
+    def test_fractional_coefficients(self):
+        expr = 7 * N / 2
+        assert expr.evaluate(n=3) == Fraction(21, 2)
+        assert str(expr) == "3.5n"
+
+    def test_str_formatting(self):
+        assert str(20 * N + 2 * WP + 22) == "20n + 2|p| + 22"
+        assert str(LinearCost.const(0)) == "0"
+        assert str(N - 1) == "n - 1"
+
+    def test_missing_symbol_raises(self):
+        with pytest.raises(KeyError):
+            (N + WP).evaluate(n=3)
+
+    def test_immutability_and_hash(self):
+        expr = 2 * N
+        with pytest.raises(AttributeError):
+            expr.coeffs = {}
+        assert hash(2 * N) == hash(N * 2)

@@ -1,0 +1,169 @@
+"""Classical (basis-state) simulator tests, including MBU-block semantics."""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.sim import (
+    ClassicalSimulator,
+    ConstantOutcomes,
+    UnsupportedGateError,
+    run_classical,
+)
+
+
+def test_toffoli_network_semantics():
+    circ = Circuit()
+    a = circ.add_register("a", 4)
+    circ.x(a[0])
+    circ.cx(a[0], a[1])
+    circ.ccx(a[0], a[1], a[2])
+    circ.swap(a[2], a[3])
+    circ.cswap(a[0], a[2], a[3])
+    out = run_classical(circ)
+    # x: a0=1; cx: a1=1; ccx: a2=1; swap: a2=0,a3=1; cswap(ctrl=1): a2=1,a3=0
+    assert out["a"] == 0b0111
+
+
+def test_large_register_runs_fast():
+    circ = Circuit()
+    a = circ.add_register("a", 64)
+    b = circ.add_register("b", 64)
+    for i in range(64):
+        circ.cx(a[i], b[i])
+    out = run_classical(circ, {"a": 0xDEADBEEFCAFEBABE})
+    assert out["b"] == 0xDEADBEEFCAFEBABE
+
+
+def test_bare_hadamard_rejected():
+    circ = Circuit()
+    q = circ.add_qubit("q")
+    circ.h(q)
+    with pytest.raises(UnsupportedGateError):
+        run_classical(circ)
+
+
+def test_diagonal_gates_track_global_phase_only():
+    circ = Circuit()
+    a = circ.add_register("a", 2)
+    circ.x(a[0])
+    circ.x(a[1])
+    circ.cz(a[0], a[1])
+    circ.t(a[0])
+    sim = ClassicalSimulator(circ)
+    sim.run()
+    assert sim.get_register("a") == 3
+    assert sim.global_phase == pytest.approx(math.pi + math.pi / 4)
+
+
+def test_z_measurement_is_deterministic():
+    circ = Circuit()
+    q = circ.add_qubit("q")
+    circ.x(q)
+    bit = circ.measure(q)
+    sim = ClassicalSimulator(circ)
+    sim.run()
+    assert sim.bits[bit] == 1
+
+
+def test_x_measurement_is_a_coin():
+    circ = Circuit()
+    q = circ.add_qubit("q")
+    circ.x(q)
+    bit = circ.measure(q, basis="x")
+    sim = ClassicalSimulator(circ, outcomes=ConstantOutcomes(1))
+    sim.run()
+    assert sim.bits[bit] == 1
+    assert sim.qubits[q] == 1  # post-measurement state |1>
+
+
+def test_conditional_execution():
+    circ = Circuit()
+    q = circ.add_qubit("q")
+    r = circ.add_qubit("r")
+    circ.x(q)
+    bit = circ.measure(q)
+    with circ.capture() as body:
+        circ.x(r)
+    circ.cond(bit, body)
+    out = run_classical(circ)
+    assert out["r"] == 1
+
+
+def test_gidney_and_uncompute_pattern():
+    """AND-compute then measure-based AND-uncompute leaves ancilla |0>."""
+    circ = Circuit()
+    x = circ.add_qubit("x")
+    y = circ.add_qubit("y")
+    anc = circ.add_qubit("anc")
+    circ.x(x)
+    circ.x(y)
+    circ.ccx(x, y, anc)  # anc = 1
+    bit = circ.measure(anc, basis="x")
+    with circ.capture() as body:
+        circ.cz(x, y)
+        circ.x(anc)
+    circ.cond(bit, body)
+    for outcome in (0, 1):
+        sim = ClassicalSimulator(circ, outcomes=ConstantOutcomes(outcome))
+        sim.run()
+        assert sim.qubits[anc] == 0
+        assert (sim.qubits[x], sim.qubits[y]) == (1, 1)
+
+
+class TestMBUBlock:
+    def _circuit(self):
+        circ = Circuit()
+        a = circ.add_register("a", 2)
+        g = circ.add_qubit("g")
+        circ.x(a[0])
+        circ.x(a[1])
+        circ.ccx(a[0], a[1], g)  # garbage g = a0 AND a1 = 1
+        with circ.capture() as body:
+            circ.h(g)
+            circ.ccx(a[0], a[1], g)
+            circ.h(g)
+            circ.x(g)
+        circ.mbu(g, body)
+        return circ, a, g
+
+    def test_both_branches_clean_the_garbage(self):
+        for outcome in (0, 1):
+            circ, a, g = self._circuit()
+            sim = ClassicalSimulator(circ, outcomes=ConstantOutcomes(outcome))
+            sim.run()
+            assert sim.qubits[g] == 0
+            assert sim.get_register("a") == 3
+
+    def test_tally_counts_correction_only_when_taken(self):
+        circ, a, g = self._circuit()
+        sim = ClassicalSimulator(circ, outcomes=ConstantOutcomes(0))
+        sim.run()
+        assert sim.tally["ccx"] == 1  # only the compute
+        circ, a, g = self._circuit()
+        sim = ClassicalSimulator(circ, outcomes=ConstantOutcomes(1))
+        sim.run()
+        assert sim.tally["ccx"] == 2  # compute + correction oracle
+
+    def test_cz_on_garbage_inside_body_rejected(self):
+        circ = Circuit()
+        a = circ.add_qubit("a")
+        g = circ.add_qubit("g")
+        with circ.capture() as body:
+            circ.h(g)
+            circ.cz(a, g)
+            circ.h(g)
+            circ.x(g)
+        circ.mbu(g, body)
+        sim = ClassicalSimulator(circ, outcomes=ConstantOutcomes(1))
+        with pytest.raises(UnsupportedGateError):
+            sim.run()
+
+
+def test_set_register_range_checked():
+    circ = Circuit()
+    circ.add_register("a", 2)
+    sim = ClassicalSimulator(circ)
+    with pytest.raises(ValueError):
+        sim.set_register(circ.registers["a"], 4)

@@ -1,0 +1,123 @@
+"""Cross-validation: classical simulator vs statevector on random circuits.
+
+Random reversible circuits (X/CX/CCX/SWAP + diagonal gates + measure-based
+AND-uncomputation patterns) must produce identical register values on basis
+inputs under both simulators, with matched measurement outcomes.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.sim import (
+    ClassicalSimulator,
+    ForcedOutcomes,
+    StatevectorSimulator,
+)
+
+N_QUBITS = 6
+
+
+def _random_circuit(rng: random.Random, n_ops: int) -> Circuit:
+    circ = Circuit()
+    a = circ.add_register("a", N_QUBITS)
+    for _ in range(n_ops):
+        kind = rng.choice(["x", "cx", "ccx", "swap", "cz", "cswap"])
+        qubits = rng.sample(range(N_QUBITS), k={"x": 1, "cx": 2, "cz": 2, "swap": 2, "ccx": 3, "cswap": 3}[kind])
+        getattr(circ, kind)(*qubits)
+    return circ
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=2**N_QUBITS - 1))
+@settings(max_examples=40, deadline=None)
+def test_reversible_circuits_agree(seed, input_value):
+    rng = random.Random(seed)
+    circ = _random_circuit(rng, n_ops=25)
+    classical = ClassicalSimulator(circ)
+    classical.set_register(circ.registers["a"], input_value)
+    classical.run()
+
+    sv = StatevectorSimulator(circ)
+    sv.set_basis_state({"a": input_value})
+    sv.run()
+    values = sv.register_values()
+    assert list(values) == [(classical.get_register("a"),)]
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**N_QUBITS - 1),
+    st.lists(st.integers(min_value=0, max_value=1), min_size=8, max_size=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_and_uncompute_patterns_agree(seed, input_value, outcomes):
+    """Interleave reversible gates with temp-AND compute/uncompute pairs."""
+    rng = random.Random(seed)
+    circ = Circuit()
+    a = circ.add_register("a", N_QUBITS)
+    anc = circ.add_register("anc", 1)
+
+    n_meas = 0
+    for round_no in range(3):
+        for _ in range(5):
+            kind = rng.choice(["x", "cx", "ccx"])
+            qubits = rng.sample(range(N_QUBITS), k={"x": 1, "cx": 2, "ccx": 3}[kind])
+            getattr(circ, kind)(*[a[q] for q in qubits])
+        u, v = rng.sample(range(N_QUBITS), k=2)
+        circ.ccx(a[u], a[v], anc[0])  # temp AND
+        bit = circ.measure(anc[0], basis="x")
+        n_meas += 1
+        with circ.capture() as body:
+            circ.cz(a[u], a[v])
+            circ.x(anc[0])
+        circ.cond(bit, body)
+
+    script = outcomes[:n_meas]
+    classical = ClassicalSimulator(circ, outcomes=ForcedOutcomes(list(script)))
+    classical.set_register(circ.registers["a"], input_value)
+    classical.run()
+
+    sv = StatevectorSimulator(circ, outcomes=ForcedOutcomes(list(script)))
+    sv.set_basis_state({"a": input_value})
+    sv.run()
+    values = sv.register_values()
+    expected = (classical.get_register("a"), classical.get_register("anc"))
+    assert list(values) == [expected]
+    assert classical.bits == sv.bits
+
+
+def test_mbu_block_agrees_with_statevector():
+    """MBU of a comparator-style garbage bit: classical == statevector."""
+    for input_value in range(16):
+        for outcome in (0, 1):
+            circ = Circuit()
+            a = circ.add_register("a", 4)
+            g = circ.add_register("g", 1)
+
+            def oracle():
+                # g ^= (a0 AND a2) XOR a3 — an arbitrary boolean function
+                circ.ccx(a[0], a[2], g[0])
+                circ.cx(a[3], g[0])
+
+            oracle()  # compute garbage
+            with circ.capture() as body:
+                circ.h(g[0])
+                oracle()
+                circ.h(g[0])
+                circ.x(g[0])
+            circ.mbu(g[0], body)
+
+            classical = ClassicalSimulator(circ, outcomes=ForcedOutcomes([outcome]))
+            classical.set_register(circ.registers["a"], input_value)
+            classical.run()
+
+            sv = StatevectorSimulator(circ, outcomes=ForcedOutcomes([outcome]))
+            sv.set_basis_state({"a": input_value})
+            sv.run()
+            values = sv.register_values()
+            assert list(values) == [(input_value, 0)]
+            assert classical.get_register("a") == input_value
+            assert classical.qubits[g[0]] == 0

@@ -1,0 +1,177 @@
+"""Statevector simulator tests: gate semantics, measurement, feedback."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.sim import (
+    ConstantOutcomes,
+    ForcedOutcomes,
+    ImpossibleOutcomeError,
+    RandomOutcomes,
+    StatevectorSimulator,
+    run_statevector,
+)
+
+
+def test_x_and_cx_and_ccx_on_basis_states():
+    circ = Circuit()
+    a = circ.add_register("a", 3)
+    circ.x(a[0])
+    circ.cx(a[0], a[1])
+    circ.ccx(a[0], a[1], a[2])
+    sim = run_statevector(circ)
+    assert sim.register_values() == {(7,): pytest.approx(1.0)}
+
+
+def test_hadamard_makes_uniform_superposition():
+    circ = Circuit()
+    a = circ.add_register("a", 2)
+    circ.h(a[0])
+    circ.h(a[1])
+    sim = run_statevector(circ)
+    amps = sim.register_values()
+    assert set(amps) == {(0,), (1,), (2,), (3,)}
+    for amp in amps.values():
+        assert amp == pytest.approx(0.5)
+
+
+def test_bell_state_and_measurement_correlation():
+    circ = Circuit()
+    a = circ.add_register("a", 2)
+    circ.h(a[0])
+    circ.cx(a[0], a[1])
+    b0 = circ.measure(a[0])
+    b1 = circ.measure(a[1])
+    for forced in (0, 1):
+        sim = StatevectorSimulator(circ, outcomes=ForcedOutcomes([forced, forced]))
+        sim.run()
+        assert sim.bits[b0] == sim.bits[b1] == forced
+
+
+def test_forcing_impossible_outcome_raises():
+    circ = Circuit()
+    q = circ.add_qubit("q")
+    circ.measure(q)  # |0> with certainty
+    sim = StatevectorSimulator(circ, outcomes=ForcedOutcomes([1]))
+    with pytest.raises(ImpossibleOutcomeError):
+        sim.run()
+
+
+def test_phase_gates_compose_to_z():
+    """S^2 == Z on |1>: check via interference with Hadamards."""
+    circ = Circuit()
+    q = circ.add_qubit("q")
+    circ.h(q)
+    circ.s(q)
+    circ.s(q)
+    circ.h(q)  # HZH = X, so |0> -> |1>
+    sim = run_statevector(circ)
+    assert sim.register_values() == {(1,): pytest.approx(1.0)}
+
+
+def test_cphase_matches_matrix():
+    theta = 2.0 * math.pi / 8
+    circ = Circuit()
+    a = circ.add_register("a", 2)
+    circ.x(a[0])
+    circ.x(a[1])
+    circ.cphase(a[0], a[1], theta)
+    sim = run_statevector(circ)
+    amp = sim.register_values()[(3,)]
+    assert amp == pytest.approx(np.exp(1j * theta))
+
+
+def test_crk_is_2pi_over_2k():
+    circ = Circuit()
+    a = circ.add_register("a", 2)
+    circ.x(a[0])
+    circ.x(a[1])
+    circ.crk(a[0], a[1], 2)  # theta = pi/2
+    sim = run_statevector(circ)
+    assert sim.register_values()[(3,)] == pytest.approx(1j)
+
+
+def test_swap_and_cswap():
+    circ = Circuit()
+    a = circ.add_register("a", 3)
+    circ.x(a[0])
+    circ.swap(a[0], a[1])  # state |010>
+    circ.x(a[2])
+    circ.cswap(a[2], a[1], a[0])  # control set: swap back -> |101>
+    sim = run_statevector(circ)
+    assert sim.register_values() == {(5,): pytest.approx(1.0)}
+
+
+def test_conditional_feedback_applies_correction():
+    """Teleport-like: measure a |+> control; conditioned X should flip."""
+    circ = Circuit()
+    q = circ.add_qubit("q")
+    r = circ.add_qubit("r")
+    circ.h(q)
+    bit = circ.measure(q)
+    with circ.capture() as body:
+        circ.x(r)
+    circ.cond(bit, body)
+    sim = StatevectorSimulator(circ, outcomes=ForcedOutcomes([1]))
+    sim.run()
+    assert sim.probability_one(r) == pytest.approx(1.0)
+    sim0 = StatevectorSimulator(circ, outcomes=ForcedOutcomes([0]))
+    sim0.run()
+    assert sim0.probability_one(r) == pytest.approx(0.0)
+
+
+def test_x_basis_measurement_of_plus_state_is_deterministic():
+    circ = Circuit()
+    q = circ.add_qubit("q")
+    circ.h(q)  # |+>
+    bit = circ.measure(q, basis="x")
+    sim = StatevectorSimulator(circ, outcomes=ConstantOutcomes(1))
+    sim.run()
+    # |+> measured in X basis gives 0 with certainty (H|+> = |0>)
+    assert sim.bits[bit] == 0
+
+
+def test_register_values_detects_dirty_ancilla():
+    circ = Circuit()
+    a = circ.add_register("a", 1)
+    anc = circ.add_register("anc", 1)
+    circ.x(anc[0])
+    sim = run_statevector(circ)
+    with pytest.raises(ValueError, match="garbage"):
+        sim.register_values(["a"])
+
+
+def test_random_outcomes_are_reproducible():
+    circ = Circuit()
+    q = circ.add_qubit("q")
+    circ.h(q)
+    bit = circ.measure(q)
+    results = set()
+    for _ in range(3):
+        sim = StatevectorSimulator(circ, outcomes=RandomOutcomes(seed=7))
+        sim.run()
+        results.add(sim.bits[bit])
+    assert len(results) == 1
+
+
+def test_qubit_limit_enforced():
+    circ = Circuit()
+    circ.add_register("a", 30)
+    with pytest.raises(ValueError, match="dense"):
+        StatevectorSimulator(circ)
+
+
+def test_set_basis_state_and_norm_preserved():
+    circ = Circuit()
+    a = circ.add_register("a", 3)
+    b = circ.add_register("b", 2)
+    for i in range(3):
+        circ.h(a[i])
+    circ.cx(a[0], b[0])
+    sim = StatevectorSimulator(circ)
+    sim.set_basis_state({"a": 5, "b": 2})
+    sim.run()
+    assert np.linalg.norm(sim.state) == pytest.approx(1.0)

@@ -1,0 +1,130 @@
+"""Subtraction (thm 2.22) and constant-operand ops (props 2.16-2.20)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arithmetic import (
+    build_add_const,
+    build_controlled_add_const,
+    build_sub_const,
+    build_subtractor,
+)
+from repro.boolarith import hamming_weight
+from tests.arith_helpers import run_draper, run_ripple
+
+RIPPLE = ["vbe", "cdkpm", "gidney"]
+
+
+class TestSubtraction:
+    @pytest.mark.parametrize("family", RIPPLE)
+    @pytest.mark.parametrize("method", ["default", "sandwich"])
+    def test_exhaustive(self, family, method):
+        n = 2
+        for x in range(1 << n):
+            for y in range(1 << n):
+                built = build_subtractor(n, family, method)
+                out = run_ripple(built, {"x": x, "y": y}, seed=x * 5 + y)
+                assert out["y"] == (y - x) % (1 << (n + 1))
+
+    @pytest.mark.parametrize("family", RIPPLE)
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_sign_bit_is_comparison(self, family, data):
+        """Prop A.3 through the circuit: top bit of y-x is [x > y]."""
+        n = data.draw(st.integers(min_value=2, max_value=24))
+        x = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        y = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        built = build_subtractor(n, family)
+        out = run_ripple(built, {"x": x, "y": y}, seed=3)
+        assert (out["y"] >> n) & 1 == (1 if x > y else 0)
+
+    def test_draper(self):
+        for x in range(4):
+            for y in range(4):
+                built = build_subtractor(2, "draper")
+                out = run_draper(built, {"x": x, "y": y})
+                assert out["y"] == (y - x) % 8
+
+    def test_gidney_default_is_sandwich(self):
+        """The Gidney adder is measurement-based and has no adjoint
+        (remark 2.23) — the default subtractor must still work."""
+        built = build_subtractor(4, "gidney", "default")
+        out = run_ripple(built, {"x": 9, "y": 3}, seed=11)
+        assert out["y"] == (3 - 9) % 32
+
+    def test_adjoint_of_measurement_circuit_raises(self):
+        from repro.circuits import Circuit
+        from repro.arithmetic.subtract import emit_sub_via_adjoint
+        from repro.arithmetic.gidney import emit_gidney_add
+
+        circ = Circuit()
+        x = circ.add_register("x", 2)
+        y = circ.add_register("y", 3)
+        anc = circ.add_register("anc", 2)
+        with pytest.raises(ValueError, match="remark 2.23"):
+            emit_sub_via_adjoint(
+                circ, lambda: emit_gidney_add(circ, x.qubits, y.qubits, anc.qubits)
+            )
+
+
+class TestConstantOps:
+    @pytest.mark.parametrize("family", RIPPLE)
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_add_const(self, family, data):
+        n = data.draw(st.integers(min_value=1, max_value=24))
+        a = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        x = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        built = build_add_const(n, a, family)
+        out = run_ripple(built, {"x": x}, seed=1)
+        assert out["x"] == x + a
+
+    @pytest.mark.parametrize("family", RIPPLE)
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_controlled_add_const(self, family, data):
+        n = data.draw(st.integers(min_value=1, max_value=24))
+        a = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        x = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        ctrl = data.draw(st.integers(min_value=0, max_value=1))
+        built = build_controlled_add_const(n, a, family)
+        out = run_ripple(built, {"ctrl": ctrl, "x": x}, seed=2)
+        assert out["x"] == x + ctrl * a
+
+    @pytest.mark.parametrize("family", RIPPLE)
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_sub_const(self, family, data):
+        n = data.draw(st.integers(min_value=1, max_value=24))
+        a = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        x = data.draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+        built = build_sub_const(n, a, family)
+        out = run_ripple(built, {"x": x}, seed=3)
+        assert out["x"] == (x - a) % (1 << (n + 1))
+
+    def test_draper_constant_ops(self):
+        for a in range(8):
+            for x in range(8):
+                out = run_draper(build_add_const(3, a, "draper"), {"x": x})
+                assert out["x"] == x + a
+                for ctrl in (0, 1):
+                    out = run_draper(
+                        build_controlled_add_const(3, a, "draper"),
+                        {"ctrl": ctrl, "x": x},
+                    )
+                    assert out["x"] == x + ctrl * a
+
+    def test_load_cost_is_hamming_weight(self):
+        """Props 2.16/2.19: the constant costs 2|a| X gates (or CNOTs)."""
+        n = 6
+        for a in (0b101011, 0b000001, 0b111111, 0):
+            built = build_add_const(n, a, "cdkpm")
+            assert built.counts()["x"] == 2 * hamming_weight(a)
+            built = build_controlled_add_const(n, a, "cdkpm")
+            base = build_controlled_add_const(n, 0, "cdkpm").counts()["cx"]
+            assert built.counts()["cx"] == base + 2 * hamming_weight(a)
+
+    def test_constant_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            build_add_const(3, 8, "cdkpm")

@@ -1,0 +1,155 @@
+"""Resource-layer tests: table regeneration, exact-formula fits, savings."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.boolarith import hamming_weight
+from repro.circuits.symbolic import LinearCost
+from repro.modular import build_modadd, build_modadd_vbe_original
+from repro.resources import (
+    EXACT_TABLE1,
+    EXACT_TABLE2,
+    PAPER_HEADLINES,
+    FitError,
+    fit_exact,
+    fit_linear,
+    mbu_savings,
+    render_rows,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.arithmetic import build_adder
+
+
+class TestFitting:
+    def test_fit_recovers_linear_formula(self):
+        samples = [{"n": n} for n in (4, 8, 12)]
+        values = [7 * n + 3 for n in (4, 8, 12)]
+        cost = fit_exact(samples, values)
+        assert cost == 7 * LinearCost.symbol("n") + 3
+
+    def test_fit_with_two_symbols(self):
+        samples = [{"n": n, "wp": w} for n in (4, 8) for w in (2, 5)]
+        values = [16 * s["n"] + 2 * s["wp"] + 4 for s in samples]
+        cost = fit_exact(samples, values)
+        assert cost.coefficient("n") == 16
+        assert cost.coefficient("wp") == 2
+        assert cost.constant == 4
+
+    def test_fit_exact_rejects_nonlinear(self):
+        samples = [{"n": n} for n in (2, 3, 4)]
+        with pytest.raises(FitError):
+            fit_exact(samples, [n * n for n in (2, 3, 4)])
+
+    def test_fractional_coefficients(self):
+        samples = [{"n": n} for n in (4, 8, 12)]
+        cost = fit_exact(samples, [Fraction(7 * n, 2) for n in (4, 8, 12)])
+        assert cost.coefficient("n") == Fraction(7, 2)
+
+
+class TestExactFormulas:
+    """Measured counts over a sweep fit EXACT_TABLE1's closed forms."""
+
+    @pytest.mark.parametrize("key,make", [
+        ("vbe5", lambda n, p, mbu: build_modadd_vbe_original(n, p, mbu=mbu)),
+        ("vbe4", lambda n, p, mbu: build_modadd(n, p, "vbe", mbu=mbu)),
+        ("cdkpm", lambda n, p, mbu: build_modadd(n, p, "cdkpm", mbu=mbu)),
+        ("gidney", lambda n, p, mbu: build_modadd(n, p, "gidney", mbu=mbu)),
+        ("hybrid", lambda n, p, mbu: build_modadd(n, p, "gidney", "cdkpm", mbu=mbu)),
+    ])
+    def test_modadd_toffoli_closed_forms(self, key, make):
+        ns = (4, 6, 9, 13)
+        samples = [{"n": n} for n in ns]
+        for metric, mbu in [("toffoli", False), ("toffoli_mbu", True)]:
+            values = [
+                make(n, (1 << n) - 1, mbu).counts("expected").toffoli for n in ns
+            ]
+            fitted = fit_exact(samples, values)
+            assert fitted == EXACT_TABLE1[key][metric], (key, metric, str(fitted))
+        qubits = [make(n, (1 << n) - 1, False).logical_qubits for n in ns]
+        assert fit_exact(samples, qubits) == EXACT_TABLE1[key]["qubits"]
+
+    def test_plain_adder_closed_forms(self):
+        ns = (3, 5, 8, 12)
+        samples = [{"n": n} for n in ns]
+        for family in ("vbe", "cdkpm", "gidney"):
+            tof = [build_adder(n, family).counts("expected").toffoli for n in ns]
+            assert fit_exact(samples, tof) == EXACT_TABLE2[family]["toffoli"]
+            cnot = [build_adder(n, family).counts("expected")["cx"] for n in ns]
+            assert fit_exact(samples, cnot) == EXACT_TABLE2[family]["cnot"]
+
+    def test_cnot_cz_formula_cdkpm_modadd(self):
+        """The CNOT,CZ column of Table 1's CDKPM row: paper 16n + 2|p| + 4;
+        ours fits 16n + 2|p| + c for a small constant c."""
+        samples, values = [], []
+        for n in (6, 8, 11):
+            for p in ((1 << (n - 1)) + 1, (1 << n) - 1, (1 << (n - 1)) + 9):
+                built = build_modadd(n, p, "cdkpm")
+                samples.append({"n": n, "wp": hamming_weight(p)})
+                values.append(built.counts("expected").cnot_cz)
+        fitted = fit_exact(samples, values)
+        assert fitted.coefficient("n") == 16
+        assert fitted.coefficient("wp") == 2
+
+
+class TestTables:
+    def test_table1_has_seven_rows(self):
+        rows = table1(8)
+        assert len(rows) == 7
+        assert rows[0]["row"] == "(5 adder) VBE"
+        assert rows[-1]["row"] == "Draper (Expect)"
+
+    def test_table1_toffoli_close_to_paper(self):
+        """Measured Toffoli within 2% + 2 gates of the paper formula."""
+        for row in table1(32):
+            measured, paper = row.get("toffoli"), row.get("toffoli_paper")
+            if measured is None or paper is None:
+                continue
+            assert abs(measured - paper) <= max(2, abs(paper) * Fraction(7, 100)), row["row"]
+
+    def test_draper_rows_match_block_accounting(self):
+        rows = {r["row"]: r for r in table1(8)}
+        assert rows["Draper"]["qft_units"] == 9
+        assert rows["Draper"]["qft_units_mbu"] == 7
+        assert rows["Draper (Expect)"]["qft_units"] == 7
+        assert rows["Draper (Expect)"]["qft_units_mbu"] == 5
+
+    def test_tables_2_to_6_render(self):
+        for gen, title in [(table2, "t2"), (table3, "t3"), (table4, "t4"),
+                           (table5, "t5"), (table6, "t6")]:
+            rows = gen(12)
+            text = render_rows(rows, title)
+            assert title in text
+            assert "paper" in text
+
+    def test_table6_exact_match(self):
+        rows = {r["row"]: r for r in table6(10)}
+        assert rows["CDKPM"]["toffoli"] == rows["CDKPM"]["toffoli_paper"] == 20
+        assert rows["GIDNEY"]["toffoli"] == rows["GIDNEY"]["toffoli_paper"] == 10
+        assert rows["GIDNEY"]["cnot"] == rows["GIDNEY"]["cnot_paper"] == 61
+
+
+class TestHeadlineSavings:
+    def test_savings_match_section_1_1(self):
+        savings = mbu_savings(32)
+        lo, hi = PAPER_HEADLINES["cdkpm_saving"]
+        assert lo <= savings["cdkpm"] <= hi
+        assert lo <= savings["gidney"] <= hi
+        lo, hi = PAPER_HEADLINES["vbe5_saving"]
+        assert lo <= savings["vbe5"] <= hi
+        lo, hi = PAPER_HEADLINES["draper_saving"]
+        assert lo <= savings["draper"] <= hi
+        lo, hi = PAPER_HEADLINES["takahashi_saving"]
+        assert lo <= savings["takahashi"] <= hi
+
+    def test_savings_grow_toward_asymptote(self):
+        """Constant terms wash out: CDKPM saving tends to 1/8 = 12.5%."""
+        s8 = mbu_savings(8)["cdkpm"]
+        s64 = mbu_savings(64)["cdkpm"]
+        assert abs(s64 - 0.125) < abs(s8 - 0.125) + 1e-12
+        assert abs(s64 - 0.125) < 0.002
