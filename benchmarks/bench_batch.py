@@ -1,0 +1,111 @@
+"""Batch-simulation throughput: BitplaneSimulator vs looped run_classical.
+
+Measures per-input wall-clock cost of the vectorized bit-plane backend
+against a loop of single-input classical runs on the MBU modular adder
+(n = 64, 256; batch = 64, 4096), and writes the machine-readable
+``benchmarks/BENCH_batch.json``.  The looped baseline is timed on a bounded
+sample of inputs and reported per input, so the bench stays fast even at
+batch = 4096.
+
+The acceptance bar for the batch backend is a >= 10x per-input speedup at
+n = 64, batch = 4096; ``test_report_batch`` asserts it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.modular import build_modadd
+from repro.sim import BitplaneSimulator, RandomOutcomes, run_classical
+
+CASES = [(64, 64), (64, 4096), (256, 64), (256, 4096)]
+
+_LOOP_SAMPLE = 24  # inputs timed for the looped-classical baseline
+_RESULTS = {}
+
+
+def _inputs(p, batch):
+    xs = [pow(3, i + 1, p) for i in range(batch)]
+    ys = [pow(5, i + 1, p) for i in range(batch)]
+    return xs, ys
+
+
+@pytest.mark.parametrize("n,batch", CASES)
+def test_batch_throughput(benchmark, n, batch):
+    p = (1 << n) - 59
+    built = build_modadd(n, p, "cdkpm", mbu=True)
+    xs, ys = _inputs(p, batch)
+
+    def run_batch():
+        sim = BitplaneSimulator(
+            built.circuit, batch=batch, outcomes=RandomOutcomes(7), tally=False
+        )
+        sim.set_register("x", xs)
+        sim.set_register("y", ys)
+        sim.run()
+        return sim
+
+    sim = benchmark(run_batch)
+    out = sim.get_register("y")
+    for lane in range(0, batch, max(1, batch // 16)):
+        assert out[lane] == (xs[lane] + ys[lane]) % p
+
+    # wall-clock numbers for BENCH_batch.json (independent of pytest-benchmark
+    # so they exist under --benchmark-disable too)
+    t0 = time.perf_counter()
+    run_batch()
+    batch_seconds = time.perf_counter() - t0
+
+    sample = min(batch, _LOOP_SAMPLE)
+    t0 = time.perf_counter()
+    for i in range(sample):
+        run_classical(
+            built.circuit,
+            {"x": xs[i], "y": ys[i]},
+            outcomes=RandomOutcomes(i),
+        )
+    loop_seconds = time.perf_counter() - t0
+
+    per_input_batch = batch_seconds / batch
+    per_input_loop = loop_seconds / sample
+    _RESULTS[f"n{n}_B{batch}"] = {
+        "n": n,
+        "batch": batch,
+        "bitplane_seconds": batch_seconds,
+        "bitplane_per_input_us": per_input_batch * 1e6,
+        "classical_sample_inputs": sample,
+        "classical_per_input_us": per_input_loop * 1e6,
+        "speedup_per_input": per_input_loop / per_input_batch,
+    }
+
+
+def test_report_batch(benchmark, capsys):
+    from conftest import print_once
+
+    if not _RESULTS:  # throughput cases filtered out (-k/-x): keep old JSON
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        return
+    payload = {
+        "benchmark": "bitplane_vs_looped_classical",
+        "circuit": "modadd[cdkpm, mbu=True]",
+        "loop_sample": _LOOP_SAMPLE,
+        "results": _RESULTS,
+    }
+    out_path = Path(__file__).with_name("BENCH_batch.json")
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = ["Per-input throughput, BitplaneSimulator vs looped run_classical:"]
+    for key, row in _RESULTS.items():
+        lines.append(
+            f"  {key:10s} bitplane={row['bitplane_per_input_us']:9.2f} us/input  "
+            f"classical={row['classical_per_input_us']:9.2f} us/input  "
+            f"speedup={row['speedup_per_input']:8.1f}x"
+        )
+    lines.append(f"  -> {out_path.name}")
+    print_once(benchmark, capsys, "\n".join(lines))
+
+    key = "n64_B4096"
+    if key in _RESULTS:  # absent under -k filtering
+        assert _RESULTS[key]["speedup_per_input"] >= 10

@@ -1,0 +1,7 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`)
+on environments whose setuptools predates built-in bdist_wheel support.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -108,6 +108,16 @@ class Circuit:
         elif isinstance(op, Measurement):
             if op.qubit >= self.num_qubits or op.bit >= self.num_bits:
                 raise ValueError(f"measurement {op} out of range")
+        elif isinstance(op, Conditional):
+            if op.bit >= self.num_bits:
+                raise ValueError(f"conditional on bit {op.bit} beyond {self.num_bits - 1}")
+            for inner in op.body:
+                self._validate(inner)
+        elif isinstance(op, MBUBlock):
+            if op.qubit >= self.num_qubits or op.bit >= self.num_bits:
+                raise ValueError(f"MBU block {op.qubit}->{op.bit} out of range")
+            for inner in op.body:
+                self._validate(inner)
 
     @contextlib.contextmanager
     def capture(self):

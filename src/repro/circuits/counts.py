@@ -1,0 +1,83 @@
+"""Weighted gate-count containers (a leaf module, importable from anywhere).
+
+:class:`GateCounts` lives here rather than in :mod:`repro.circuits.resources`
+so the execution core (:mod:`repro.sim.engine`) can depend on it without a
+circular ``resources -> engine -> resources`` import: ``resources`` builds
+its counting/depth analyses *on* the engine, while the engine's weighted
+tally *is* a ``GateCounts``.  ``resources`` re-exports everything here, so
+``from repro.circuits.resources import GateCounts`` keeps working.
+
+Counts are kept as :class:`fractions.Fraction` so expected values like
+``3.5n`` Toffolis are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable
+
+__all__ = ["GateCounts", "TOFFOLI_GATES", "CNOT_CZ_GATES"]
+
+TOFFOLI_GATES = frozenset({"ccx", "ccz"})
+
+# Gates the paper groups into its "CNOT,CZ" column.
+CNOT_CZ_GATES = frozenset({"cx", "cz"})
+
+
+@dataclass
+class GateCounts:
+    """A multiset of gate names with Fraction multiplicities."""
+
+    counts: Dict[str, Fraction] = field(default_factory=dict)
+
+    def add(self, name: str, weight: Fraction = Fraction(1)) -> None:
+        if weight == 0:
+            return
+        self.counts[name] = self.counts.get(name, Fraction(0)) + weight
+
+    def __getitem__(self, name: str) -> Fraction:
+        return self.counts.get(name, Fraction(0))
+
+    def get(self, name: str, default: Fraction = Fraction(0)) -> Fraction:
+        return self.counts.get(name, default)
+
+    @property
+    def toffoli(self) -> Fraction:
+        return sum((v for k, v in self.counts.items() if k in TOFFOLI_GATES), Fraction(0))
+
+    @property
+    def cnot_cz(self) -> Fraction:
+        return sum((v for k, v in self.counts.items() if k in CNOT_CZ_GATES), Fraction(0))
+
+    @property
+    def x(self) -> Fraction:
+        return self.counts.get("x", Fraction(0))
+
+    @property
+    def h(self) -> Fraction:
+        return self.counts.get("h", Fraction(0))
+
+    @property
+    def measurements(self) -> Fraction:
+        return self.counts.get("measure", Fraction(0))
+
+    def total(self, names: Iterable[str] | None = None) -> Fraction:
+        if names is None:
+            return sum(self.counts.values(), Fraction(0))
+        return sum((self.counts.get(name, Fraction(0)) for name in names), Fraction(0))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GateCounts):
+            mine = {k: v for k, v in self.counts.items() if v != 0}
+            theirs = {k: v for k, v in other.counts.items() if v != 0}
+            return mine == theirs
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover
+        inner = ", ".join(f"{k}={_fmt(v)}" for k, v in sorted(self.counts.items()))
+        return f"GateCounts({inner})"
+
+
+def _fmt(value: Fraction) -> str:
+    return str(value.numerator) if value.denominator == 1 else f"{float(value):g}"

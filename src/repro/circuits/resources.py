@@ -1,5 +1,13 @@
 """Resource accounting: gate counts, expected counts, depth, block counts.
 
+All accounting runs on the shared op-stream walker
+(:class:`~repro.sim.engine.ExecutionEngine`): each analysis below is an
+:class:`~repro.sim.engine.ExecutionBackend` whose branch decisions encode
+the counting mode, and the engine's weighted tally does the bookkeeping.
+(:class:`GateCounts` itself lives in :mod:`repro.circuits.counts`, a leaf
+module, so the engine can import it without a circular dependency; it is
+re-exported here.)
+
 Counting modes
 --------------
 ``worst``
@@ -15,9 +23,6 @@ An X-basis measurement contributes 1 ``h`` and 1 ``measure`` (it *is* a
 Hadamard plus a Z measurement).  An :class:`MBUBlock` contributes the same
 plus its body at weight 1/2 (``expected``), 1 (``worst``) or 0 (``best``).
 
-Counts are kept as :class:`fractions.Fraction` so expected values like
-``3.5n`` Toffolis are exact.
-
 Depth is computed by ASAP levelization over qubits and classical bits; a
 conditional block is scheduled after its bit and serializes on the union of
 the qubits its body touches (a reasonable model for feed-forward on an
@@ -27,11 +32,18 @@ error-corrected machine).  ``toffoli_depth`` levelizes only ccx/ccz layers.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Sequence, Set, Tuple
 
+from ..sim.engine import (
+    EXECUTE,
+    SKIP,
+    BranchDecision,
+    ExecutionBackend,
+    ExecutionEngine,
+)
 from .circuit import Circuit
+from .counts import CNOT_CZ_GATES, TOFFOLI_GATES, GateCounts
 from .ops import Annotation, Conditional, Gate, MBUBlock, Measurement, Operation
 
 __all__ = [
@@ -42,69 +54,6 @@ __all__ = [
     "toffoli_depth",
     "TOFFOLI_GATES",
 ]
-
-TOFFOLI_GATES = frozenset({"ccx", "ccz"})
-
-# Gates the paper groups into its "CNOT,CZ" column.
-CNOT_CZ_GATES = frozenset({"cx", "cz"})
-
-
-@dataclass
-class GateCounts:
-    """A multiset of gate names with Fraction multiplicities."""
-
-    counts: Dict[str, Fraction] = field(default_factory=dict)
-
-    def add(self, name: str, weight: Fraction = Fraction(1)) -> None:
-        if weight == 0:
-            return
-        self.counts[name] = self.counts.get(name, Fraction(0)) + weight
-
-    def __getitem__(self, name: str) -> Fraction:
-        return self.counts.get(name, Fraction(0))
-
-    def get(self, name: str, default: Fraction = Fraction(0)) -> Fraction:
-        return self.counts.get(name, default)
-
-    @property
-    def toffoli(self) -> Fraction:
-        return sum((v for k, v in self.counts.items() if k in TOFFOLI_GATES), Fraction(0))
-
-    @property
-    def cnot_cz(self) -> Fraction:
-        return sum((v for k, v in self.counts.items() if k in CNOT_CZ_GATES), Fraction(0))
-
-    @property
-    def x(self) -> Fraction:
-        return self.counts.get("x", Fraction(0))
-
-    @property
-    def h(self) -> Fraction:
-        return self.counts.get("h", Fraction(0))
-
-    @property
-    def measurements(self) -> Fraction:
-        return self.counts.get("measure", Fraction(0))
-
-    def total(self, names: Iterable[str] | None = None) -> Fraction:
-        if names is None:
-            return sum(self.counts.values(), Fraction(0))
-        return sum((self.counts.get(name, Fraction(0)) for name in names), Fraction(0))
-
-    def __eq__(self, other: object) -> bool:
-        if isinstance(other, GateCounts):
-            mine = {k: v for k, v in self.counts.items() if v != 0}
-            theirs = {k: v for k, v in other.counts.items() if v != 0}
-            return mine == theirs
-        return NotImplemented
-
-    def __repr__(self) -> str:  # pragma: no cover
-        inner = ", ".join(f"{k}={_fmt(v)}" for k, v in sorted(self.counts.items()))
-        return f"GateCounts({inner})"
-
-
-def _fmt(value: Fraction) -> str:
-    return str(value.numerator) if value.denominator == 1 else f"{float(value):g}"
 
 
 def _mode_weight(mode: str, probability: Fraction) -> Fraction:
@@ -117,36 +66,17 @@ def _mode_weight(mode: str, probability: Fraction) -> Fraction:
     raise ValueError(f"unknown counting mode {mode!r}")
 
 
+def _as_ops(circuit: Circuit | Sequence[Operation]) -> Sequence[Operation]:
+    return circuit.ops if isinstance(circuit, Circuit) else circuit
+
+
 def count_gates(circuit: Circuit | Sequence[Operation], mode: str = "expected") -> GateCounts:
     """Count gates; conditional bodies weighted according to ``mode``."""
-    ops = circuit.ops if isinstance(circuit, Circuit) else circuit
-    totals = GateCounts()
-    _count_into(ops, Fraction(1), mode, totals)
-    return totals
-
-
-def _count_into(
-    ops: Sequence[Operation], weight: Fraction, mode: str, totals: GateCounts
-) -> None:
-    for op in ops:
-        if isinstance(op, Gate):
-            totals.add(op.name, weight)
-        elif isinstance(op, Measurement):
-            if op.basis == "x":
-                totals.add("h", weight)
-            totals.add("measure", weight)
-        elif isinstance(op, Conditional):
-            branch = weight * _mode_weight(mode, op.probability)
-            _count_into(op.body, branch, mode, totals)
-        elif isinstance(op, MBUBlock):
-            totals.add("h", weight)  # the X-basis measurement's Hadamard
-            totals.add("measure", weight)
-            branch = weight * _mode_weight(mode, op.probability)
-            _count_into(op.body, branch, mode, totals)
-        elif isinstance(op, Annotation):
-            continue
-        else:  # pragma: no cover
-            raise TypeError(f"unknown operation {op!r}")
+    _mode_weight(mode, Fraction(1))  # validate the mode eagerly
+    backend = _GateCountBackend(mode)
+    engine = ExecutionEngine(backend, tally=True)
+    engine.execute(_as_ops(circuit))
+    return engine.tally
 
 
 def count_blocks(circuit: Circuit | Sequence[Operation], mode: str = "expected") -> Dict[str, Fraction]:
@@ -155,22 +85,10 @@ def count_blocks(circuit: Circuit | Sequence[Operation], mode: str = "expected")
     This reproduces Table 1's Draper rows, which measure cost in QFT /
     PCQFT units rather than individual rotations.
     """
-    ops = circuit.ops if isinstance(circuit, Circuit) else circuit
-    totals: Dict[str, Fraction] = defaultdict(Fraction)
-    _count_blocks_into(ops, Fraction(1), mode, totals)
-    return dict(totals)
-
-
-def _count_blocks_into(
-    ops: Sequence[Operation], weight: Fraction, mode: str, totals: Dict[str, Fraction]
-) -> None:
-    for op in ops:
-        if isinstance(op, Annotation) and op.kind == "begin":
-            totals[op.label] += weight
-        elif isinstance(op, Conditional):
-            _count_blocks_into(op.body, weight * _mode_weight(mode, op.probability), mode, totals)
-        elif isinstance(op, MBUBlock):
-            _count_blocks_into(op.body, weight * _mode_weight(mode, op.probability), mode, totals)
+    _mode_weight(mode, Fraction(1))
+    backend = _BlockCountBackend(mode)
+    ExecutionEngine(backend, tally=False).execute(_as_ops(circuit))
+    return dict(backend.totals)
 
 
 def _op_qubits_bits(op: Operation) -> Tuple[Set[int], Set[int]]:
@@ -200,7 +118,9 @@ def _op_qubits_bits(op: Operation) -> Tuple[Set[int], Set[int]]:
 def depth(circuit: Circuit | Sequence[Operation]) -> int:
     """ASAP circuit depth; conditionals/MBU blocks count as one time slot
     occupying every qubit their body may touch."""
-    return _levelize(circuit, lambda op: True)
+    backend = _DepthBackend()
+    ExecutionEngine(backend, tally=False).execute(_as_ops(circuit))
+    return backend.max_level
 
 
 def toffoli_depth(
@@ -214,76 +134,103 @@ def toffoli_depth(
     correction fires); the paper's expected-depth saving is the average of
     the two branches, since each correction runs with probability 1/2.
     """
-    ops = circuit.ops if isinstance(circuit, Circuit) else circuit
-    if not include_conditional:
-        ops = _strip_conditionals(ops)
-    qubit_level: Dict[int, int] = defaultdict(int)
-    bit_level: Dict[int, int] = defaultdict(int)
-    max_level = 0
-    for op in _flatten_for_depth(ops):
-        qubits, bits = _op_qubits_bits(op)
+    backend = _ToffoliDepthBackend(include_conditional)
+    ExecutionEngine(backend, tally=False).execute(_as_ops(circuit))
+    return backend.max_level
+
+
+# --------------------------------------------------------------------------- #
+# analysis backends
+
+
+class _GateCountBackend(ExecutionBackend):
+    """Stateless backend: the engine's weighted tally does all the work."""
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+
+    def apply_gate(self, gate: Gate) -> None:
+        pass
+
+    def apply_measurement(self, meas: Measurement) -> None:
+        pass
+
+    def enter_conditional(self, cond: Conditional) -> BranchDecision:
+        return BranchDecision(True, _mode_weight(self.mode, cond.probability))
+
+    def enter_mbu(self, block: MBUBlock) -> BranchDecision:
+        return BranchDecision(True, _mode_weight(self.mode, block.probability))
+
+
+class _BlockCountBackend(_GateCountBackend):
+    """Collects ``begin`` annotations at the engine's current branch weight."""
+
+    def __init__(self, mode: str) -> None:
+        super().__init__(mode)
+        self.totals: Dict[str, Fraction] = defaultdict(Fraction)
+
+    def annotation(self, ann: Annotation) -> None:
+        if ann.kind == "begin":
+            self.totals[ann.label] += self.engine.weight
+
+
+class _DepthBackend(ExecutionBackend):
+    """ASAP levelization; every scheduled op consumes one layer."""
+
+    def __init__(self) -> None:
+        self.qubit_level: Dict[int, int] = defaultdict(int)
+        self.bit_level: Dict[int, int] = defaultdict(int)
+        self.max_level = 0
+
+    def _schedule(self, qubits: Iterable[int], bits: Iterable[int], advance: bool) -> None:
         level = 0
         for q in qubits:
-            level = max(level, qubit_level[q])
+            level = max(level, self.qubit_level[q])
         for b in bits:
-            level = max(level, bit_level[b])
-        is_toffoli = isinstance(op, Gate) and op.name in TOFFOLI_GATES
-        new_level = level + 1 if is_toffoli else level
+            level = max(level, self.bit_level[b])
+        new_level = level + 1 if advance else level
         for q in qubits:
-            qubit_level[q] = new_level
+            self.qubit_level[q] = new_level
         for b in bits:
-            bit_level[b] = new_level
-        max_level = max(max_level, new_level)
-    return max_level
+            self.bit_level[b] = new_level
+        self.max_level = max(self.max_level, new_level)
+
+    def apply_gate(self, gate: Gate) -> None:
+        self._schedule(gate.qubits, (), True)
+
+    def apply_measurement(self, meas: Measurement) -> None:
+        self._schedule((meas.qubit,), (meas.bit,), True)
+
+    def enter_conditional(self, cond: Conditional) -> BranchDecision:
+        qubits, bits = _op_qubits_bits(cond)
+        self._schedule(qubits, bits, True)
+        return SKIP  # the block is one time slot; do not descend
+
+    def enter_mbu(self, block: MBUBlock) -> BranchDecision:
+        qubits, bits = _op_qubits_bits(block)
+        self._schedule(qubits, bits, True)
+        return SKIP
 
 
-def _levelize(circuit: Circuit | Sequence[Operation], counts) -> int:
-    ops = circuit.ops if isinstance(circuit, Circuit) else circuit
-    qubit_level: Dict[int, int] = defaultdict(int)
-    bit_level: Dict[int, int] = defaultdict(int)
-    max_level = 0
-    for op in ops:
-        if isinstance(op, Annotation):
-            continue
-        qubits, bits = _op_qubits_bits(op)
-        level = 0
-        for q in qubits:
-            level = max(level, qubit_level[q])
-        for b in bits:
-            level = max(level, bit_level[b])
-        level += 1
-        for q in qubits:
-            qubit_level[q] = level
-        for b in bits:
-            bit_level[b] = level
-        max_level = max(max_level, level)
-    return max_level
+class _ToffoliDepthBackend(_DepthBackend):
+    """Levelization where only ccx/ccz consume a layer; bodies are scheduled
+    in-line (or dropped entirely when ``include_conditional`` is False)."""
 
+    def __init__(self, include_conditional: bool) -> None:
+        super().__init__()
+        self.include_conditional = include_conditional
 
-def _strip_conditionals(ops: Sequence[Operation]) -> List[Operation]:
-    """Drop conditional/MBU bodies (keep their measurements)."""
-    out: List[Operation] = []
-    for op in ops:
-        if isinstance(op, Conditional):
-            continue
-        if isinstance(op, MBUBlock):
-            out.append(Measurement(op.qubit, op.bit, "x"))
-        else:
-            out.append(op)
-    return out
+    def apply_gate(self, gate: Gate) -> None:
+        self._schedule(gate.qubits, (), gate.name in TOFFOLI_GATES)
 
+    def apply_measurement(self, meas: Measurement) -> None:
+        self._schedule((meas.qubit,), (meas.bit,), False)
 
-def _flatten_for_depth(ops: Sequence[Operation]) -> List[Operation]:
-    """Flatten conditionals for Toffoli-depth: bodies scheduled in-line."""
-    out: List[Operation] = []
-    for op in ops:
-        if isinstance(op, Annotation):
-            continue
-        if isinstance(op, Conditional):
-            out.extend(_flatten_for_depth(op.body))
-        elif isinstance(op, MBUBlock):
-            out.append(Measurement(op.qubit, op.bit, "x"))
-            out.extend(_flatten_for_depth(op.body))
-        else:
-            out.append(op)
-    return out
+    def enter_conditional(self, cond: Conditional) -> BranchDecision:
+        return EXECUTE if self.include_conditional else SKIP
+
+    def enter_mbu(self, block: MBUBlock) -> BranchDecision:
+        # The implicit X-basis measurement always happens and orders the
+        # garbage qubit / classical bit, without consuming a Toffoli layer.
+        self._schedule((block.qubit,), (block.bit,), False)
+        return EXECUTE if self.include_conditional else SKIP

@@ -1,0 +1,169 @@
+"""The public simulation entry point: ``simulate(circuit, inputs, backend=...)``.
+
+A small backend registry maps names to runner callables, so new execution
+backends (a GPU bit-plane kernel, a stabilizer simulator, ...) plug in via
+:func:`register_backend` without touching any call site::
+
+    from repro.sim import simulate
+
+    result = simulate(built.circuit, {"x": 3, "y": 4}, backend="classical")
+    result.registers["y"]    # (3 + 4) % p
+
+Built-in backends
+-----------------
+``classical``
+    One basis-state input per call; ``registers`` maps names to ints.
+``statevector``
+    Dense ground truth; ``registers`` is populated only when the final
+    state is a single basis state (otherwise ``None`` — inspect
+    ``result.simulator`` for amplitudes).
+``bitplane``
+    ``batch`` basis-state lanes at once (``batch=`` keyword, default 64);
+    ``registers`` maps names to per-lane lists and ``bits`` is a list of
+    per-lane lists, one per classical bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..circuits.circuit import Circuit
+from ..circuits.counts import GateCounts
+from .bitplane import BitplaneSimulator, run_bitplane
+from .classical import ClassicalSimulator
+from .outcomes import OutcomeProvider
+from .statevector import StatevectorSimulator
+
+__all__ = [
+    "SimulationResult",
+    "simulate",
+    "register_backend",
+    "available_backends",
+]
+
+#: A backend runner: (circuit, inputs, outcomes, **options) -> SimulationResult.
+BackendRunner = Callable[..., "SimulationResult"]
+
+_BACKENDS: Dict[str, BackendRunner] = {}
+
+
+@dataclass
+class SimulationResult:
+    """Uniform result wrapper returned by :func:`simulate`.
+
+    ``registers`` maps register names to values — ints for the single-input
+    backends, per-lane lists for ``bitplane``, or ``None`` when the
+    statevector did not collapse to a single basis state.  ``simulator`` is
+    the underlying backend instance for backend-specific inspection.
+    """
+
+    backend: str
+    registers: Optional[Dict[str, Any]]
+    bits: Any
+    tally: Optional[GateCounts]
+    simulator: Any = field(repr=False, default=None)
+
+
+def register_backend(name: str, runner: BackendRunner) -> BackendRunner:
+    """Register (or replace) a named simulation backend."""
+    _BACKENDS[name] = runner
+    return runner
+
+
+def available_backends() -> Tuple[str, ...]:
+    return tuple(sorted(_BACKENDS))
+
+
+def simulate(
+    circuit: Circuit,
+    inputs: Mapping[str, Any] | None = None,
+    backend: str = "classical",
+    outcomes: OutcomeProvider | None = None,
+    **options: Any,
+) -> SimulationResult:
+    """Run ``circuit`` on basis inputs with the named backend.
+
+    ``inputs`` maps register names to integer values (the ``bitplane``
+    backend additionally accepts per-lane sequences).  Extra keyword
+    options are forwarded to the backend runner (e.g. ``batch=4096`` for
+    ``bitplane``, ``tally=False`` for any of the built-ins).
+    """
+    try:
+        runner = _BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation backend {backend!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+    return runner(circuit, inputs, outcomes, **options)
+
+
+# --------------------------------------------------------------------------- #
+# built-in runners
+
+
+def _check_registers(circuit: Circuit, inputs: Mapping[str, Any] | None) -> None:
+    for name in inputs or {}:
+        if name not in circuit.registers:
+            raise ValueError(
+                f"unknown register {name!r}; circuit has: "
+                f"{', '.join(circuit.registers) or '(none)'}"
+            )
+
+
+def _run_classical(
+    circuit: Circuit,
+    inputs: Mapping[str, int] | None,
+    outcomes: OutcomeProvider | None,
+    tally: bool = True,
+) -> SimulationResult:
+    _check_registers(circuit, inputs)
+    sim = ClassicalSimulator(circuit, outcomes=outcomes, tally=tally)
+    for name, value in (inputs or {}).items():
+        sim.set_register(circuit.registers[name], value)
+    sim.run()
+    registers = {name: sim.get_register(reg) for name, reg in circuit.registers.items()}
+    return SimulationResult("classical", registers, list(sim.bits), sim.tally, sim)
+
+
+def _run_statevector(
+    circuit: Circuit,
+    inputs: Mapping[str, int] | None,
+    outcomes: OutcomeProvider | None,
+    tally: bool = True,
+) -> SimulationResult:
+    _check_registers(circuit, inputs)
+    sim = StatevectorSimulator(circuit, outcomes=outcomes, tally=tally)
+    if inputs:
+        sim.set_basis_state(inputs)
+    sim.run()
+    registers: Optional[Dict[str, int]] = None
+    try:
+        values = sim.register_values()
+    except ValueError:  # residual amplitude outside the registers
+        values = {}
+    if len(values) == 1:
+        (key, amp), = values.items()
+        if abs(abs(amp) - 1.0) < 1e-6:  # a single basis state
+            registers = dict(zip(circuit.registers, key))
+    return SimulationResult("statevector", registers, list(sim.bits), sim.tally, sim)
+
+
+def _run_bitplane(
+    circuit: Circuit,
+    inputs: Mapping[str, Any] | None,
+    outcomes: OutcomeProvider | None,
+    batch: int = 64,
+    tally: bool = True,
+) -> SimulationResult:
+    _check_registers(circuit, inputs)
+    sim = run_bitplane(circuit, inputs, batch=batch, outcomes=outcomes, tally=tally)
+    registers = {name: sim.get_register(name) for name in circuit.registers}
+    bits: List[List[int]] = [sim.get_bit(b) for b in range(circuit.num_bits)]
+    return SimulationResult("bitplane", registers, bits, sim.tally, sim)
+
+
+register_backend("classical", _run_classical)
+register_backend("statevector", _run_statevector)
+register_backend("bitplane", _run_bitplane)

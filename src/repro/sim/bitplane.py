@@ -1,0 +1,286 @@
+"""Vectorized batch (bit-plane) simulation of reversible circuits.
+
+The classical basis-state simulator handles one input per run; validating
+the paper's *expected* MBU costs — every correction branch fires with
+probability 1/2 — needs thousands of basis-input runs.  This backend
+simulates ``batch`` independent basis-input *lanes* simultaneously by
+storing one bit-plane per qubit: a ``numpy`` ``uint64`` array in which bit
+``b`` of word ``b // 64`` is the qubit's value in lane ``b``.  Every
+reversible gate then becomes a handful of whole-word bitwise operations:
+
+=========  ==========================================================
+``x``      ``plane[q] ^= m``
+``cx``     ``plane[t] ^= plane[c] & m``
+``ccx``    ``plane[t] ^= plane[c1] & plane[c2] & m``
+``swap``   xor-swap of the two planes under ``m``
+``cswap``  xor-swap under ``m & plane[c]``
+=========  ==========================================================
+
+where ``m`` is the *active-lane mask*: conditionals and MBU correction
+branches do not fork control flow, they narrow ``m`` to the lanes whose
+classical bit (or measurement outcome) selects the body.  Per-lane
+measurement outcomes come from
+:meth:`~repro.sim.outcomes.OutcomeProvider.sample_lanes`, so a
+:class:`~repro.sim.outcomes.ForcedOutcomes` script is shared by every lane
+(one script entry per measurement event) while
+:class:`~repro.sim.outcomes.RandomOutcomes` draws lanes independently —
+one run is a ``batch``-sample Monte-Carlo experiment.
+
+Tally semantics: the engine weights each operation by the fraction of
+lanes that execute it, so ``sim.tally`` is the *average per-lane* executed
+gate count — directly comparable to the paper's expected-cost formulas.
+
+Like the classical simulator, diagonal/phase gates are value-preserving
+no-ops on basis states (per-lane phases are not tracked at all here — not
+even a global one) and a bare Hadamard raises
+:class:`~repro.sim.classical.UnsupportedGateError`; MBU correction bodies
+follow the same garbage-qubit algebra as ``repro.sim.classical``.
+
+Bit-plane words use an explicit little-endian ``uint64`` dtype so lane
+``b`` always maps to bit ``b % 64`` of word ``b // 64``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Sequence, Union
+
+import numpy as np
+
+from ..circuits.circuit import Circuit, Register
+from ..circuits.ops import Conditional, Gate, MBUBlock, Measurement
+from .classical import UnsupportedGateError, garbage_gate_skips
+from .engine import BranchDecision, ExecutionBackend, ExecutionEngine
+from .outcomes import OutcomeProvider
+
+__all__ = ["BitplaneSimulator", "run_bitplane", "LaneValues"]
+
+_DTYPE = np.dtype("<u8")  # little-endian uint64: lane b = bit b%64 of word b//64
+
+#: Per-lane register values accepted by ``set_register`` / returned lane lists.
+LaneValues = Union[int, Sequence[int]]
+
+# Gates that only kick phases on computational-basis states.
+_PHASE_ONLY = frozenset(
+    {"z", "s", "sdg", "t", "tdg", "cz", "ccz", "phase", "cphase", "ccphase", "rz"}
+)
+
+if hasattr(np, "bitwise_count"):
+    def _popcount(plane: np.ndarray) -> int:
+        return int(np.bitwise_count(plane).sum())
+else:  # pragma: no cover - numpy < 2.0
+    def _popcount(plane: np.ndarray) -> int:
+        return sum(int(w).bit_count() for w in plane)
+
+
+def _pack_int(value: int, words: int) -> np.ndarray:
+    """An arbitrary-precision bitmask as a (words,) plane (bit b = lane b)."""
+    return np.frombuffer(value.to_bytes(words * 8, "little"), dtype=_DTYPE).copy()
+
+
+class BitplaneSimulator(ExecutionBackend):
+    """Simulate ``batch`` computational-basis inputs in one vectorized pass."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        batch: int = 64,
+        outcomes: OutcomeProvider | None = None,
+        tally: bool = True,
+    ) -> None:
+        if batch < 1:
+            raise ValueError("batch must be at least 1")
+        self.circuit = circuit
+        self.batch = batch
+        self.words = (batch + 63) // 64
+        self.planes = np.zeros((circuit.num_qubits, self.words), dtype=_DTYPE)
+        self.bit_planes = np.zeros((circuit.num_bits, self.words), dtype=_DTYPE)
+        self._valid = _pack_int((1 << batch) - 1, self.words)
+        self._mask: List[np.ndarray] = [self._valid]
+        self._active: List[int] = [batch]
+        self._garbage: List[int] = []  # MBU garbage-qubit stack (innermost last)
+        self.engine = ExecutionEngine(self, outcomes=outcomes, tally=tally)
+
+    # -- lane preparation / readout -------------------------------------------
+
+    def _lane_list(self, values: LaneValues, width: int) -> List[int]:
+        if isinstance(values, (int, np.integer)):
+            values = [int(values)] * self.batch
+        values = [int(v) for v in values]
+        if len(values) != self.batch:
+            raise ValueError(
+                f"expected {self.batch} per-lane values, got {len(values)}"
+            )
+        limit = 1 << width
+        for v in values:
+            if v < 0 or v >= limit:
+                raise ValueError(f"value {v} does not fit in {width} qubits")
+        return values
+
+    def set_register(self, register: Register | Sequence[int] | str, values: LaneValues) -> None:
+        """Load a register: one ``int`` broadcast to all lanes, or a
+        ``batch``-long sequence of per-lane values."""
+        if isinstance(register, str):
+            register = self.circuit.registers[register]
+        qubits = register.qubits if isinstance(register, Register) else tuple(register)
+        n = len(qubits)
+        if n == 0:
+            return
+        vals = self._lane_list(values, n)
+        nbytes = (n + 7) // 8
+        raw = b"".join(v.to_bytes(nbytes, "little") for v in vals)
+        value_bits = np.unpackbits(
+            np.frombuffer(raw, dtype=np.uint8).reshape(self.batch, nbytes),
+            axis=1, bitorder="little",
+        )[:, :n]
+        lane_bytes = np.packbits(value_bits.T, axis=1, bitorder="little")
+        padded = np.zeros((n, self.words * 8), dtype=np.uint8)
+        padded[:, : lane_bytes.shape[1]] = lane_bytes
+        planes = padded.view(_DTYPE)
+        for i, q in enumerate(qubits):
+            self.planes[q] = planes[i]
+
+    def get_register(self, register: Register | Sequence[int] | str) -> List[int]:
+        """Per-lane integer values of a register (length ``batch``)."""
+        if isinstance(register, str):
+            register = self.circuit.registers[register]
+        qubits = register.qubits if isinstance(register, Register) else tuple(register)
+        n = len(qubits)
+        if n == 0:
+            return [0] * self.batch
+        rows = self.planes[list(qubits)]
+        lane_bits = np.unpackbits(rows.view(np.uint8), axis=1, bitorder="little")
+        per_lane = np.packbits(lane_bits[:, : self.batch].T, axis=1, bitorder="little")
+        return [int.from_bytes(row.tobytes(), "little") for row in per_lane]
+
+    def get_bit(self, bit: int) -> List[int]:
+        """Per-lane values of one classical bit (length ``batch``)."""
+        plane = np.ascontiguousarray(self.bit_planes[bit])
+        bits = np.unpackbits(plane.view(np.uint8), bitorder="little")
+        return bits[: self.batch].tolist()
+
+    def lane_values(self, lane: int) -> Dict[str, int]:
+        """All register values of one lane, ``{register: value}``."""
+        if not 0 <= lane < self.batch:
+            raise IndexError(f"lane {lane} out of range for batch {self.batch}")
+        out: Dict[str, int] = {}
+        for name, reg in self.circuit.registers.items():
+            value = 0
+            for i, q in enumerate(reg.qubits):
+                value |= (int(self.planes[q][lane >> 6] >> np.uint64(lane & 63)) & 1) << i
+            out[name] = value
+        return out
+
+    def lane_bits(self, lane: int) -> List[int]:
+        """All classical-bit values of one lane."""
+        if not 0 <= lane < self.batch:
+            raise IndexError(f"lane {lane} out of range for batch {self.batch}")
+        word, shift = lane >> 6, np.uint64(lane & 63)
+        return [int(self.bit_planes[b][word] >> shift) & 1 for b in range(self.circuit.num_bits)]
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> "BitplaneSimulator":
+        self.engine.execute(self.circuit.ops)
+        return self
+
+    def _sample_plane(self, p_one: float) -> np.ndarray:
+        return _pack_int(self.engine.sample_lanes(p_one, self.batch), self.words)
+
+    # -- ExecutionBackend handlers --------------------------------------------
+
+    def apply_gate(self, gate: Gate) -> None:
+        name, q = gate.name, gate.qubits
+        if self._garbage and garbage_gate_skips(gate, self._garbage):
+            return
+        mask = self._mask[-1]
+        planes = self.planes
+        if name == "x" or name == "y":  # y = x up to (untracked) phase
+            planes[q[0]] ^= mask
+        elif name == "cx":
+            planes[q[1]] ^= planes[q[0]] & mask
+        elif name == "ccx":
+            planes[q[2]] ^= planes[q[0]] & planes[q[1]] & mask
+        elif name == "swap":
+            delta = (planes[q[0]] ^ planes[q[1]]) & mask
+            planes[q[0]] ^= delta
+            planes[q[1]] ^= delta
+        elif name == "cswap":
+            delta = (planes[q[1]] ^ planes[q[2]]) & mask & planes[q[0]]
+            planes[q[1]] ^= delta
+            planes[q[2]] ^= delta
+        elif name in _PHASE_ONLY:
+            return  # value-preserving on basis states; phases untracked
+        elif name == "h":
+            raise UnsupportedGateError(
+                "bare Hadamard has no basis-state semantics; use an X-basis "
+                "Measurement or an MBUBlock"
+            )
+        else:  # pragma: no cover
+            raise UnsupportedGateError(f"gate {name!r} unsupported in bit-plane mode")
+
+    def apply_measurement(self, meas: Measurement) -> None:
+        if meas.qubit in self._garbage:
+            raise UnsupportedGateError("measurement of garbage qubit inside MBU body")
+        mask = self._mask[-1]
+        if meas.basis == "z":
+            outcome = self.planes[meas.qubit].copy()
+        else:  # X basis: per-lane unbiased coin, post-state |m> in each lane
+            outcome = self._sample_plane(0.5)
+            self.planes[meas.qubit] = (self.planes[meas.qubit] & ~mask) | (outcome & mask)
+        self.bit_planes[meas.bit] = (self.bit_planes[meas.bit] & ~mask) | (outcome & mask)
+
+    def _narrow(self, sub_mask: np.ndarray) -> BranchDecision:
+        active = _popcount(sub_mask)
+        if active == 0:
+            return BranchDecision(False, token=False)
+        parent_active = self._active[-1]
+        self._mask.append(sub_mask)
+        self._active.append(active)
+        return BranchDecision(True, Fraction(active, parent_active), token=True)
+
+    def enter_conditional(self, cond: Conditional) -> BranchDecision:
+        mask = self._mask[-1]
+        bit_plane = self.bit_planes[cond.bit]
+        sub = (mask & bit_plane) if cond.value else (mask & ~bit_plane)
+        return self._narrow(sub)
+
+    def exit_conditional(self, cond: Conditional, decision: BranchDecision) -> None:
+        self._mask.pop()
+        self._active.pop()
+
+    def enter_mbu(self, block: MBUBlock) -> BranchDecision:
+        if block.qubit in self._garbage:
+            raise UnsupportedGateError("nested MBU on an active garbage qubit")
+        mask = self._mask[-1]
+        outcome = self._sample_plane(0.5)
+        self.bit_planes[block.bit] = (self.bit_planes[block.bit] & ~mask) | (outcome & mask)
+        self._garbage.append(block.qubit)
+        return self._narrow(mask & outcome)
+
+    def exit_mbu(self, block: MBUBlock, decision: BranchDecision) -> None:
+        if decision.token:
+            self._mask.pop()
+            self._active.pop()
+        self._garbage.pop()
+        # Both branches leave the garbage qubit in |0> (Lemma 4.1).
+        self.planes[block.qubit] &= ~self._mask[-1]
+
+
+def run_bitplane(
+    circuit: Circuit,
+    inputs: Mapping[str, LaneValues] | None = None,
+    batch: int = 64,
+    outcomes: OutcomeProvider | None = None,
+    tally: bool = True,
+) -> BitplaneSimulator:
+    """Run ``batch`` basis-input lanes at once; returns the simulator.
+
+    ``inputs`` maps register names to either one ``int`` (broadcast to all
+    lanes) or a ``batch``-long sequence of per-lane values.
+    """
+    sim = BitplaneSimulator(circuit, batch=batch, outcomes=outcomes, tally=tally)
+    for name, values in (inputs or {}).items():
+        sim.set_register(name, values)
+    sim.run()
+    return sim

@@ -6,6 +6,11 @@ per qubit.  This simulator handles registers of 64+ qubits instantly, which
 is how the test-suite verifies every adder exhaustively at small ``n`` and
 property-based at large ``n``.
 
+The simulator is an :class:`~repro.sim.engine.ExecutionBackend`: the shared
+:class:`~repro.sim.engine.ExecutionEngine` owns the op-stream recursion, the
+executed-gate tally and the measurement-outcome provider; this class only
+implements basis-state handlers and branch decisions.
+
 Semantics notes
 ---------------
 * Diagonal gates (z, s, t, cz, ccz, phase, cphase, ccphase, rz) act on a
@@ -36,22 +41,48 @@ import cmath
 from typing import Dict, List, Mapping, Sequence
 
 from ..circuits.circuit import Circuit, Register
-from ..circuits.ops import (
-    Annotation,
-    Conditional,
-    Gate,
-    MBUBlock,
-    Measurement,
-    Operation,
-)
-from ..circuits.resources import GateCounts
-from .outcomes import OutcomeProvider, RandomOutcomes
+from ..circuits.ops import Conditional, Gate, MBUBlock, Measurement
+from .engine import EXECUTE, SKIP, BranchDecision, ExecutionBackend, ExecutionEngine
+from .outcomes import OutcomeProvider
 
-__all__ = ["ClassicalSimulator", "UnsupportedGateError", "run_classical"]
+__all__ = [
+    "ClassicalSimulator",
+    "UnsupportedGateError",
+    "garbage_gate_skips",
+    "run_classical",
+]
 
 
 class UnsupportedGateError(RuntimeError):
     """Gate has no computational-basis semantics (e.g. a bare Hadamard)."""
+
+
+def garbage_gate_skips(gate: Gate, garbage_stack: Sequence[int]) -> bool:
+    """How a gate interacts with the MBU garbage-qubit stack (shared by the
+    classical and bit-plane backends).
+
+    Inside an MBU correction body every garbage qubit on the stack sits in
+    the |+->-plane.  Bit-flips *targeting* the innermost garbage (and
+    Hadamards on it) are phase-only on basis inputs: return True (skip the
+    gate).  A gate not touching any stacked garbage returns False (apply
+    normally).  Anything else — reading a garbage qubit as a control,
+    swapping through it, or touching an *outer* garbage qubit from a nested
+    MBU body — is not basis-preserving and raises.
+    """
+    touched = [g for g in garbage_stack if g in gate.qubits]
+    if not touched:
+        return False
+    top = garbage_stack[-1]
+    if touched == [top]:
+        flips_top = (
+            gate.name in ("x", "cx", "ccx") and gate.qubits[-1] == top
+        ) or (gate.name == "h" and gate.qubits == (top,))
+        if flips_top:
+            return True  # phase-only on the +/- basis
+    raise UnsupportedGateError(
+        f"MBU correction gate {gate} uses garbage qubit(s) {touched} in a "
+        "way a basis-state simulator cannot track"
+    )
 
 
 _DIAGONAL_PHASES = {
@@ -63,7 +94,7 @@ _DIAGONAL_PHASES = {
 }
 
 
-class ClassicalSimulator:
+class ClassicalSimulator(ExecutionBackend):
     """Simulate a circuit on a computational-basis input state."""
 
     def __init__(
@@ -73,11 +104,11 @@ class ClassicalSimulator:
         tally: bool = True,
     ) -> None:
         self.circuit = circuit
-        self.outcomes = outcomes or RandomOutcomes(0)
         self.qubits: List[int] = [0] * circuit.num_qubits
         self.bits: List[int] = [0] * circuit.num_bits
         self.global_phase = 0.0  # radians, modulo 2*pi
-        self.tally = GateCounts() if tally else None
+        self._garbage: List[int] = []  # MBU garbage-qubit stack (innermost last)
+        self.engine = ExecutionEngine(self, outcomes=outcomes, tally=tally)
 
     # -- state preparation ------------------------------------------------
 
@@ -100,39 +131,44 @@ class ClassicalSimulator:
     # -- execution -----------------------------------------------------------
 
     def run(self) -> "ClassicalSimulator":
-        self._execute(self.circuit.ops)
+        self.engine.execute(self.circuit.ops)
         return self
 
-    def _record(self, op: Operation) -> None:
-        if self.tally is None:
-            return
-        if isinstance(op, Gate):
-            self.tally.add(op.name)
-        elif isinstance(op, Measurement):
-            if op.basis == "x":
-                self.tally.add("h")
-            self.tally.add("measure")
+    # -- ExecutionBackend handlers --------------------------------------------
 
-    def _execute(self, ops: Sequence[Operation]) -> None:
-        for op in ops:
-            self._apply(op)
-
-    def _apply(self, op: Operation) -> None:
-        if isinstance(op, Gate):
-            self._record(op)
-            self._apply_gate(op)
-        elif isinstance(op, Measurement):
-            self._record(op)
-            self._apply_measurement(op)
-        elif isinstance(op, Conditional):
-            if self.bits[op.bit] == op.value:
-                self._execute(op.body)
-        elif isinstance(op, MBUBlock):
-            self._apply_mbu(op)
-        elif isinstance(op, Annotation):
+    def apply_gate(self, gate: Gate) -> None:
+        if self._garbage and garbage_gate_skips(gate, self._garbage):
             return
-        else:  # pragma: no cover
-            raise TypeError(f"unknown operation {op!r}")
+        self._apply_gate(gate)
+
+    def apply_measurement(self, meas: Measurement) -> None:
+        if meas.qubit in self._garbage:
+            raise UnsupportedGateError("measurement of garbage qubit inside MBU body")
+        if meas.basis == "z":
+            outcome = self.qubits[meas.qubit]
+        else:  # X basis: H then measure -> unbiased coin, post-state |m>
+            outcome = self.engine.sample(0.5)
+            self.qubits[meas.qubit] = outcome
+        self.bits[meas.bit] = outcome
+
+    def enter_conditional(self, cond: Conditional) -> BranchDecision:
+        return EXECUTE if self.bits[cond.bit] == cond.value else SKIP
+
+    def enter_mbu(self, block: MBUBlock) -> BranchDecision:
+        """Lemma 4.1 on a basis state: coin; on 1 the correction acts as
+        identity on the data register, resetting the garbage qubit."""
+        if block.qubit in self._garbage:
+            raise UnsupportedGateError("nested MBU on an active garbage qubit")
+        outcome = self.engine.sample(0.5)
+        self.bits[block.bit] = outcome
+        self._garbage.append(block.qubit)
+        return BranchDecision(outcome == 1)
+
+    def exit_mbu(self, block: MBUBlock, decision: BranchDecision) -> None:
+        self._garbage.pop()
+        self.qubits[block.qubit] = 0
+
+    # -- gate semantics -------------------------------------------------------
 
     def _apply_gate(self, gate: Gate) -> None:
         name, q = gate.name, gate.qubits
@@ -178,66 +214,6 @@ class ClassicalSimulator:
             )
         else:  # pragma: no cover
             raise UnsupportedGateError(f"gate {name!r} unsupported classically")
-
-    def _apply_measurement(self, meas: Measurement) -> None:
-        if meas.basis == "z":
-            outcome = self.qubits[meas.qubit]
-        else:  # X basis: H then measure -> unbiased coin, post-state |m>
-            outcome = self.outcomes.sample(0.5)
-            self.qubits[meas.qubit] = outcome
-        self.bits[meas.bit] = outcome
-
-    # -- MBU block ------------------------------------------------------------
-
-    def _apply_mbu(self, block: MBUBlock) -> None:
-        """Lemma 4.1 on a basis state: coin; on 1 the correction acts as
-        identity on the data register, resetting the garbage qubit."""
-        if self.tally is not None:
-            self.tally.add("h")
-            self.tally.add("measure")
-        outcome = self.outcomes.sample(0.5)
-        self.bits[block.bit] = outcome
-        if outcome:
-            self._execute_mbu_body(block.body, block.qubit)
-        self.qubits[block.qubit] = 0
-
-    def _execute_mbu_body(self, ops: Sequence[Operation], garbage: int) -> None:
-        """Run the correction body with the garbage qubit held in |+->.
-
-        Bit-flips whose *target* is the garbage qubit only kick a (global,
-        on basis inputs) phase and are skipped; any other interaction with
-        the garbage qubit is not basis-preserving and raises.
-        """
-        for op in ops:
-            if isinstance(op, Gate):
-                self._record(op)
-                if garbage in op.qubits:
-                    flips_garbage = (
-                        op.name in ("x", "cx", "ccx") and op.qubits[-1] == garbage
-                    ) or op.name == "h" and op.qubits == (garbage,)
-                    if flips_garbage:
-                        continue  # phase-only on the +/- basis
-                    raise UnsupportedGateError(
-                        f"MBU correction gate {op} uses the garbage qubit in a "
-                        "way the classical simulator cannot track"
-                    )
-                self._apply_gate(op)
-            elif isinstance(op, Measurement):
-                if op.qubit == garbage:
-                    raise UnsupportedGateError("measurement of garbage qubit inside MBU body")
-                self._record(op)
-                self._apply_measurement(op)
-            elif isinstance(op, Conditional):
-                if self.bits[op.bit] == op.value:
-                    self._execute_mbu_body(op.body, garbage)
-            elif isinstance(op, MBUBlock):
-                if op.qubit == garbage:
-                    raise UnsupportedGateError("nested MBU on the same garbage qubit")
-                self._apply_mbu(op)
-            elif isinstance(op, Annotation):
-                continue
-            else:  # pragma: no cover
-                raise TypeError(f"unknown operation {op!r}")
 
 
 def run_classical(

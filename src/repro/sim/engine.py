@@ -1,0 +1,219 @@
+"""The shared execution core: one op-stream walker, many backends.
+
+Every consumer of the circuit IR — the statevector simulator, the classical
+basis-state simulator, the batch bit-plane simulator, and the resource
+counters — used to hand-roll the same ``isinstance`` recursion over
+``Gate`` / ``Measurement`` / ``Conditional`` / ``MBUBlock`` / ``Annotation``.
+This module centralises that walk:
+
+* :class:`ExecutionEngine` owns the recursion, the gate tally (a
+  :class:`~repro.circuits.resources.GateCounts` weighted by the current
+  branch weight) and the :class:`~repro.sim.outcomes.OutcomeProvider`
+  plumbing.
+* :class:`ExecutionBackend` is the visitor protocol a backend implements:
+  state handlers for gates and measurements, plus *branch decisions* for
+  conditionals and MBU blocks.  A backend never recurses itself — it tells
+  the engine whether (and at what tally weight) to descend into a body via
+  a :class:`BranchDecision`.
+
+Branch weights
+--------------
+``BranchDecision.weight`` is a multiplier on the tally weight of everything
+inside the body.  Simulators use weight 1 (a branch either runs or it does
+not), the resource counters use the mode/probability weight (this is how
+``expected`` counting weighs each MBU correction by 1/2), and the bit-plane
+batch simulator uses the fraction of still-active lanes — so its tally is
+the *average* per-lane executed gate count.
+
+Backends subclass :class:`ExecutionBackend` for the no-op defaults and the
+``outcomes``/``tally`` delegating properties, though any object with the
+handler methods works.  This module depends only on the leaf
+:mod:`repro.circuits.counts` (not :mod:`repro.circuits.resources`), so the
+resource counters can in turn be built on the engine without a circular
+import.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from ..circuits.ops import (
+    Annotation,
+    Conditional,
+    Gate,
+    MBUBlock,
+    Measurement,
+    Operation,
+)
+from ..circuits.counts import GateCounts
+from .outcomes import OutcomeProvider, RandomOutcomes
+
+__all__ = [
+    "BranchDecision",
+    "EXECUTE",
+    "SKIP",
+    "ExecutionBackend",
+    "ExecutionEngine",
+]
+
+_ONE = Fraction(1)
+
+
+class BranchDecision:
+    """A backend's verdict on a ``Conditional``/``MBUBlock`` body.
+
+    ``execute``
+        Whether the engine should walk the body at all.
+    ``weight``
+        Tally-weight multiplier for operations inside the body (relative to
+        the enclosing context).
+    ``token``
+        Opaque backend state returned to the matching ``exit_*`` hook.
+    """
+
+    __slots__ = ("execute", "weight", "token")
+
+    def __init__(self, execute: bool, weight: Fraction = _ONE, token=None) -> None:
+        self.execute = execute
+        self.weight = weight
+        self.token = token
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"BranchDecision(execute={self.execute}, weight={self.weight})"
+
+
+#: Shared decisions for the two all-or-nothing cases.
+EXECUTE = BranchDecision(True)
+SKIP = BranchDecision(False)
+
+
+class ExecutionBackend:
+    """Visitor protocol over circuit operations (state handlers only).
+
+    The engine walks the op stream and calls these hooks; the backend holds
+    the simulation/analysis state.  ``enter_conditional``/``enter_mbu``
+    return a :class:`BranchDecision`; the engine walks the body iff
+    ``decision.execute``.  ``exit_conditional`` runs only when the body was
+    walked; ``exit_mbu`` runs *always* (MBU semantics reset the garbage
+    qubit on both branches).
+    """
+
+    engine: "ExecutionEngine"
+
+    @property
+    def outcomes(self) -> OutcomeProvider:
+        """The bound engine's measurement-outcome provider."""
+        return self.engine.outcomes
+
+    @property
+    def tally(self) -> Optional[GateCounts]:
+        """The bound engine's executed-gate tally (None when disabled)."""
+        return self.engine.tally
+
+    def apply_gate(self, gate: Gate) -> None:
+        raise NotImplementedError
+
+    def apply_measurement(self, meas: Measurement) -> None:
+        raise NotImplementedError
+
+    def enter_conditional(self, cond: Conditional) -> BranchDecision:
+        return EXECUTE
+
+    def exit_conditional(self, cond: Conditional, decision: BranchDecision) -> None:
+        pass
+
+    def enter_mbu(self, block: MBUBlock) -> BranchDecision:
+        return EXECUTE
+
+    def exit_mbu(self, block: MBUBlock, decision: BranchDecision) -> None:
+        pass
+
+    def annotation(self, ann: Annotation) -> None:
+        pass
+
+
+class ExecutionEngine:
+    """Walk an operation stream, driving a backend.
+
+    Owns the three cross-cutting concerns every walker used to duplicate:
+
+    * recursion into ``Conditional``/``MBUBlock`` bodies;
+    * the executed-gate tally (``GateCounts`` weighted by branch weight;
+      an X-basis measurement is 1 ``h`` + 1 ``measure``, an MBU block adds
+      the same for its implicit X-basis measurement);
+    * measurement-outcome sampling via an :class:`OutcomeProvider`
+      (:meth:`sample` for a single outcome, :meth:`sample_lanes` for a
+      batch bitmask).
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        outcomes: OutcomeProvider | None = None,
+        tally: bool = True,
+    ) -> None:
+        self.backend = backend
+        self.outcomes = outcomes or RandomOutcomes(0)
+        self.tally: Optional[GateCounts] = GateCounts() if tally else None
+        self._weights = [_ONE]
+        backend.engine = self
+
+    # -- outcome plumbing --------------------------------------------------
+
+    def sample(self, p_one: float) -> int:
+        return self.outcomes.sample(p_one)
+
+    def sample_lanes(self, p_one: float, lanes: int) -> int:
+        return self.outcomes.sample_lanes(p_one, lanes)
+
+    # -- tally -------------------------------------------------------------
+
+    @property
+    def weight(self) -> Fraction:
+        """Tally weight of the current branch context."""
+        return self._weights[-1]
+
+    def record(self, name: str) -> None:
+        if self.tally is not None:
+            self.tally.add(name, self._weights[-1])
+
+    # -- the walk ----------------------------------------------------------
+
+    def execute(self, ops: Sequence[Operation]) -> None:
+        backend = self.backend
+        for op in ops:
+            if isinstance(op, Gate):
+                self.record(op.name)
+                backend.apply_gate(op)
+            elif isinstance(op, Measurement):
+                if op.basis == "x":
+                    self.record("h")
+                self.record("measure")
+                backend.apply_measurement(op)
+            elif isinstance(op, Conditional):
+                decision = backend.enter_conditional(op)
+                if decision.execute:
+                    self._descend(op.body, decision.weight)
+                    backend.exit_conditional(op, decision)
+            elif isinstance(op, MBUBlock):
+                self.record("h")  # the X-basis measurement's Hadamard
+                self.record("measure")
+                decision = backend.enter_mbu(op)
+                if decision.execute:
+                    self._descend(op.body, decision.weight)
+                backend.exit_mbu(op, decision)
+            elif isinstance(op, Annotation):
+                backend.annotation(op)
+            else:  # pragma: no cover
+                raise TypeError(f"unknown operation {op!r}")
+
+    def _descend(self, body: Sequence[Operation], weight: Fraction) -> None:
+        if weight == 1:
+            self.execute(body)
+            return
+        self._weights.append(self._weights[-1] * weight)
+        try:
+            self.execute(body)
+        finally:
+            self._weights.pop()

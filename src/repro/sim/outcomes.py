@@ -27,6 +27,18 @@ class OutcomeProvider:
     def sample(self, p_one: float) -> int:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def sample_lanes(self, p_one: float, lanes: int) -> int:
+        """Batch outcomes for ``lanes`` simulation lanes, as an integer
+        bitmask whose bit ``b`` is lane ``b``'s outcome.
+
+        The default draws *one* outcome and broadcasts it to every lane, so
+        scripted providers (:class:`ForcedOutcomes`, :class:`ConstantOutcomes`)
+        consume exactly one script entry per measurement event and all lanes
+        share the same branch — the contract the cross-backend tests rely on.
+        :class:`RandomOutcomes` overrides this with independent per-lane draws.
+        """
+        return ((1 << lanes) - 1) if self.sample(p_one) else 0
+
     def reset(self) -> None:  # pragma: no cover - optional
         pass
 
@@ -40,6 +52,15 @@ class RandomOutcomes(OutcomeProvider):
 
     def sample(self, p_one: float) -> int:
         return 1 if self._rng.random() < p_one else 0
+
+    def sample_lanes(self, p_one: float, lanes: int) -> int:
+        if p_one == 0.5:  # the MBU / X-measurement case: one fast bulk draw
+            return self._rng.getrandbits(lanes)
+        mask = 0
+        for b in range(lanes):
+            if self._rng.random() < p_one:
+                mask |= 1 << b
+        return mask
 
     def reset(self) -> None:
         self._rng = random.Random(self.seed)

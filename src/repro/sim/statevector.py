@@ -6,6 +6,11 @@ measurement with pluggable outcome providers, and classical feed-forward.
 Practical up to ~20 qubits, which covers every construction in the paper at
 small register sizes.
 
+Like the classical simulator, it is an
+:class:`~repro.sim.engine.ExecutionBackend`: the shared
+:class:`~repro.sim.engine.ExecutionEngine` owns recursion, tallying and
+outcome sampling, while this class applies unitaries and projections.
+
 Index convention: basis state ``|b_{n-1} ... b_1 b_0>`` has amplitude at
 flat index ``sum_i b_i 2**i`` — qubit ``i`` is bit ``i`` (little-endian,
 matching :class:`~repro.circuits.circuit.Register`).
@@ -18,17 +23,10 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from ..circuits.circuit import Circuit, Register
-from ..circuits.ops import (
-    Annotation,
-    Conditional,
-    Gate,
-    MBUBlock,
-    Measurement,
-    Operation,
-)
-from ..circuits.resources import GateCounts
-from .outcomes import OutcomeProvider, RandomOutcomes
+from ..circuits.circuit import Circuit
+from ..circuits.ops import Conditional, Gate, MBUBlock, Measurement
+from .engine import EXECUTE, SKIP, BranchDecision, ExecutionBackend, ExecutionEngine
+from .outcomes import OutcomeProvider
 
 __all__ = ["StatevectorSimulator", "run_statevector"]
 
@@ -89,7 +87,7 @@ def _gate_matrix(gate: Gate) -> np.ndarray:
     raise ValueError(f"no matrix for gate {name!r}")  # pragma: no cover
 
 
-class StatevectorSimulator:
+class StatevectorSimulator(ExecutionBackend):
     """Execute a circuit on a dense statevector."""
 
     MAX_QUBITS = 26
@@ -106,12 +104,11 @@ class StatevectorSimulator:
                 f"limit of {self.MAX_QUBITS}"
             )
         self.circuit = circuit
-        self.outcomes = outcomes or RandomOutcomes(0)
         self.n = circuit.num_qubits
         self.state = np.zeros(1 << self.n, dtype=complex)
         self.state[0] = 1.0
         self.bits: List[int] = [0] * circuit.num_bits
-        self.tally = GateCounts() if tally else None
+        self.engine = ExecutionEngine(self, outcomes=outcomes, tally=tally)
 
     # -- preparation ----------------------------------------------------------
 
@@ -139,37 +136,31 @@ class StatevectorSimulator:
     # -- execution ------------------------------------------------------------
 
     def run(self) -> "StatevectorSimulator":
-        self._execute(self.circuit.ops)
+        self.engine.execute(self.circuit.ops)
         return self
 
-    def _execute(self, ops: Sequence[Operation]) -> None:
-        for op in ops:
-            if isinstance(op, Gate):
-                if self.tally is not None:
-                    self.tally.add(op.name)
-                self._apply_gate(op)
-            elif isinstance(op, Measurement):
-                if self.tally is not None:
-                    if op.basis == "x":
-                        self.tally.add("h")
-                    self.tally.add("measure")
-                self._apply_measurement(op)
-            elif isinstance(op, Conditional):
-                if self.bits[op.bit] == op.value:
-                    self._execute(op.body)
-            elif isinstance(op, MBUBlock):
-                if self.tally is not None:
-                    self.tally.add("h")
-                    self.tally.add("measure")
-                self._apply_gate(Gate("h", (op.qubit,)))
-                outcome = self._project(op.qubit)
-                self.bits[op.bit] = outcome
-                if outcome:
-                    self._execute(op.body)
-            elif isinstance(op, Annotation):
-                continue
-            else:  # pragma: no cover
-                raise TypeError(f"unknown operation {op!r}")
+    # -- ExecutionBackend handlers --------------------------------------------
+
+    def apply_gate(self, gate: Gate) -> None:
+        self._apply_gate(gate)
+
+    def apply_measurement(self, meas: Measurement) -> None:
+        if meas.basis == "x":
+            self._apply_gate(Gate("h", (meas.qubit,)))
+        self.bits[meas.bit] = self._project(meas.qubit)
+
+    def enter_conditional(self, cond: Conditional) -> BranchDecision:
+        return EXECUTE if self.bits[cond.bit] == cond.value else SKIP
+
+    def enter_mbu(self, block: MBUBlock) -> BranchDecision:
+        # The implicit X-basis measurement of Lemma 4.1 (H is applied here
+        # literally; the engine has already tallied it as 1 h + 1 measure).
+        self._apply_gate(Gate("h", (block.qubit,)))
+        outcome = self._project(block.qubit)
+        self.bits[block.bit] = outcome
+        return BranchDecision(outcome == 1)
+
+    # -- unitary / projective machinery ----------------------------------------
 
     def _apply_gate(self, gate: Gate) -> None:
         qubits = gate.qubits
@@ -200,7 +191,7 @@ class StatevectorSimulator:
 
     def _project(self, qubit: int) -> int:
         p_one = self._prob_one(qubit)
-        outcome = self.outcomes.sample(p_one)
+        outcome = self.engine.sample(p_one)
         tensor = self.state.reshape([2] * self.n).copy()
         axis = self.n - 1 - qubit
         tensor = np.moveaxis(tensor, axis, 0)
@@ -212,11 +203,6 @@ class StatevectorSimulator:
             raise RuntimeError("projective measurement produced a null state")
         self.state = state / norm
         return outcome
-
-    def _apply_measurement(self, meas: Measurement) -> None:
-        if meas.basis == "x":
-            self._apply_gate(Gate("h", (meas.qubit,)))
-        self.bits[meas.bit] = self._project(meas.qubit)
 
     # -- inspection -------------------------------------------------------------
 

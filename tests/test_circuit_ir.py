@@ -69,6 +69,31 @@ class TestCircuitBuilding:
         with pytest.raises(ValueError):
             circ.cx(0, 5)
 
+    def test_conditional_bit_and_body_validated(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        bit = circ.new_bit()
+        with pytest.raises(ValueError, match="conditional on bit"):
+            circ.cond(bit + 1, [Gate("x", (q,))])
+        with pytest.raises(ValueError, match="uses qubit beyond"):
+            circ.cond(bit, [Gate("x", (q + 7,))])
+        # nested: a conditional inside an MBU body is range-checked too
+        with pytest.raises(ValueError, match="uses qubit beyond"):
+            circ.append(
+                MBUBlock(q, bit, (Conditional(bit, (Gate("x", (q + 7,)),)),))
+            )
+
+    def test_mbu_block_indices_validated(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        bit = circ.new_bit()
+        with pytest.raises(ValueError, match="out of range"):
+            circ.append(MBUBlock(q + 1, bit, ()))
+        with pytest.raises(ValueError, match="out of range"):
+            circ.append(MBUBlock(q, bit + 1, ()))
+        with pytest.raises(ValueError, match="out of range"):
+            circ.append(Conditional(bit, (Measurement(q, bit + 5),)))
+
     def test_measure_allocates_bit(self):
         circ = Circuit()
         q = circ.add_qubit("q")

@@ -1,0 +1,214 @@
+"""Tests for the shared execution core (engine + backend protocol + dispatch).
+
+The heavy behavioural coverage lives in the simulator/resource suites
+(which all execute through the engine after the refactor); these tests pin
+the engine contract itself: walk order, branch decisions, weighted tally,
+and the ``simulate()`` backend registry.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.circuits import Circuit, count_gates
+from repro.sim import (
+    EXECUTE,
+    SKIP,
+    BranchDecision,
+    ClassicalSimulator,
+    ConstantOutcomes,
+    ExecutionBackend,
+    ExecutionEngine,
+    ForcedOutcomes,
+    SimulationResult,
+    StatevectorSimulator,
+    available_backends,
+    register_backend,
+    simulate,
+)
+
+
+class TracingBackend(ExecutionBackend):
+    """Records the walk; takes conditionals per a preset bit environment."""
+
+    def __init__(self, bits=()):
+        self.bits = dict(bits)
+        self.trace = []
+
+    def apply_gate(self, gate):
+        self.trace.append(("gate", gate.name))
+
+    def apply_measurement(self, meas):
+        self.trace.append(("measure", meas.qubit))
+
+    def enter_conditional(self, cond):
+        taken = self.bits.get(cond.bit, 0) == cond.value
+        self.trace.append(("cond", cond.bit, taken))
+        return EXECUTE if taken else SKIP
+
+    def enter_mbu(self, block):
+        self.trace.append(("mbu", block.qubit))
+        return BranchDecision(True, Fraction(1, 2))
+
+    def exit_mbu(self, block, decision):
+        self.trace.append(("mbu-exit", block.qubit))
+
+    def annotation(self, ann):
+        self.trace.append(("ann", ann.kind, ann.label))
+
+
+def _demo_circuit():
+    circ = Circuit()
+    a = circ.add_register("a", 2)
+    g = circ.add_qubit("g")
+    bit = circ.new_bit()
+    circ.begin("BLK")
+    circ.cx(a[0], a[1])
+    with circ.capture() as body:
+        circ.x(a[0])
+    circ.cond(bit, body)
+    with circ.capture() as mbody:
+        circ.h(g)
+        circ.ccx(a[0], a[1], g)
+        circ.h(g)
+        circ.x(g)
+    circ.mbu(g, mbody)
+    circ.end("BLK")
+    return circ, bit
+
+
+class TestEngineWalk:
+    def test_walk_order_and_skipped_branch(self):
+        circ, bit = _demo_circuit()
+        backend = TracingBackend(bits={bit: 0})
+        ExecutionEngine(backend, tally=False).execute(circ.ops)
+        assert backend.trace == [
+            ("ann", "begin", "BLK"),
+            ("gate", "cx"),
+            ("cond", bit, False),
+            ("mbu", 2),
+            ("gate", "h"),
+            ("gate", "ccx"),
+            ("gate", "h"),
+            ("gate", "x"),
+            ("mbu-exit", 2),
+            ("ann", "end", "BLK"),
+        ]
+
+    def test_taken_conditional_descends(self):
+        circ, bit = _demo_circuit()
+        backend = TracingBackend(bits={bit: 1})
+        ExecutionEngine(backend, tally=False).execute(circ.ops)
+        assert ("gate", "x") in backend.trace[: backend.trace.index(("mbu", 2))]
+
+    def test_engine_tally_weights_nested_branches(self):
+        """MBU body weighted 1/2 by the backend's BranchDecision."""
+        circ, _ = _demo_circuit()
+        engine = ExecutionEngine(TracingBackend(), tally=True)
+        engine.execute(circ.ops)
+        # cx always; ccx at weight 1/2; x inside the skipped conditional absent;
+        # x inside the MBU body at 1/2; MBU itself adds 1 h + 1 measure, the
+        # two body Hadamards add 2 * 1/2.
+        assert engine.tally["cx"] == 1
+        assert engine.tally["ccx"] == Fraction(1, 2)
+        assert engine.tally["x"] == Fraction(1, 2)
+        assert engine.tally["h"] == 2
+        assert engine.tally["measure"] == 1
+
+    def test_engine_weight_restored_after_body(self):
+        circ, _ = _demo_circuit()
+        engine = ExecutionEngine(TracingBackend(), tally=True)
+        engine.execute(circ.ops)
+        assert engine.weight == 1
+
+
+class TestSimulatorsShareTheEngine:
+    """With every branch forced taken, an executed-gate tally must equal the
+    worst-case static count — the strongest sign the walkers agree."""
+
+    def _circuit(self):
+        circ = Circuit()
+        a = circ.add_register("a", 2)
+        g = circ.add_qubit("g")
+        circ.ccx(a[0], a[1], g)
+        with circ.capture() as body:
+            circ.h(g)
+            circ.ccx(a[0], a[1], g)
+            circ.h(g)
+            circ.x(g)
+        circ.mbu(g, body)
+        return circ
+
+    @pytest.mark.parametrize("cls", [ClassicalSimulator, StatevectorSimulator])
+    def test_forced_worst_tally_matches_static_worst(self, cls):
+        circ = self._circuit()
+        sim = cls(circ, outcomes=ConstantOutcomes(1))
+        sim.run()
+        assert sim.tally == count_gates(circ, mode="worst")
+
+    @pytest.mark.parametrize("cls", [ClassicalSimulator, StatevectorSimulator])
+    def test_forced_best_tally_matches_static_best(self, cls):
+        circ = self._circuit()
+        sim = cls(circ, outcomes=ConstantOutcomes(0))
+        sim.run()
+        assert sim.tally == count_gates(circ, mode="best")
+
+    def test_tally_disabled(self):
+        sim = ClassicalSimulator(self._circuit(), outcomes=ConstantOutcomes(0), tally=False)
+        sim.run()
+        assert sim.tally is None
+
+
+class TestSimulateDispatch:
+    def _adder(self):
+        circ = Circuit()
+        x = circ.add_register("x", 2)
+        y = circ.add_register("y", 2)
+        circ.cx(x[0], y[0])
+        circ.cx(x[1], y[1])
+        return circ
+
+    def test_builtin_backends_registered(self):
+        assert set(available_backends()) >= {"classical", "statevector", "bitplane"}
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            simulate(self._adder(), backend="stabilizer")
+
+    def test_classical_dispatch(self):
+        result = simulate(self._adder(), {"x": 3}, backend="classical")
+        assert result.backend == "classical"
+        assert result.registers == {"x": 3, "y": 3}
+        assert result.tally["cx"] == 2
+
+    def test_statevector_dispatch_collapses_to_registers(self):
+        result = simulate(self._adder(), {"x": 2}, backend="statevector")
+        assert result.registers == {"x": 2, "y": 2}
+
+    def test_bitplane_dispatch_per_lane(self):
+        result = simulate(
+            self._adder(), {"x": [0, 1, 2, 3]}, backend="bitplane", batch=4
+        )
+        assert result.registers["y"] == [0, 1, 2, 3]
+        assert result.backend == "bitplane"
+
+    def test_custom_backend_pluggable(self):
+        def fake_runner(circuit, inputs, outcomes, **options):
+            return SimulationResult("fake", dict(inputs or {}), [], None)
+
+        register_backend("fake", fake_runner)
+        try:
+            result = simulate(self._adder(), {"x": 1}, backend="fake")
+            assert result.backend == "fake"
+            assert result.registers == {"x": 1}
+        finally:
+            from repro.sim import api
+
+            api._BACKENDS.pop("fake", None)
+
+    def test_forced_outcomes_flow_through_dispatch(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        circ.measure(q, basis="x")
+        result = simulate(circ, backend="classical", outcomes=ForcedOutcomes([1]))
+        assert result.bits == [1]

@@ -1,0 +1,100 @@
+"""Cross-backend property tests: bitplane lanes vs looped classical runs vs
+statevector, on MBU modular-adder circuits under a shared ForcedOutcomes
+script — plus identical executed-gate tallies across all three backends."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modular import build_modadd
+from repro.sim import (
+    BitplaneSimulator,
+    ClassicalSimulator,
+    ForcedOutcomes,
+    run_statevector,
+)
+
+# (n, p) small enough for the statevector limit across all three families.
+_CASES = [(2, 3), (3, 5), (3, 7)]
+_FAMILIES = ["vbe", "cdkpm", "gidney"]
+
+# Generous script: no circuit here consumes anywhere near this many coins.
+_SCRIPT = st.lists(st.integers(min_value=0, max_value=1), min_size=96, max_size=96)
+
+
+def _lane_inputs(draw_x, draw_y, p, lanes):
+    return [v % p for v in draw_x[:lanes]], [v % p for v in draw_y[:lanes]]
+
+
+@given(
+    case=st.sampled_from(_CASES),
+    family=st.sampled_from(_FAMILIES),
+    script=_SCRIPT,
+    draw_x=st.lists(st.integers(min_value=0, max_value=63), min_size=8, max_size=8),
+    draw_y=st.lists(st.integers(min_value=0, max_value=63), min_size=8, max_size=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_bitplane_lanes_match_looped_classical(case, family, script, draw_x, draw_y):
+    """Every bit-plane lane must equal an independent classical run on that
+    lane's input with the same forced script (lanes share the script: the
+    provider broadcasts one entry per measurement event)."""
+    n, p = case
+    built = build_modadd(n, p, family, mbu=True)
+    xs, ys = _lane_inputs(draw_x, draw_y, p, 8)
+
+    bp = BitplaneSimulator(built.circuit, batch=8, outcomes=ForcedOutcomes(script))
+    bp.set_register("x", xs)
+    bp.set_register("y", ys)
+    bp.run()
+    lanes_y = bp.get_register("y")
+
+    for lane in range(8):
+        cl = ClassicalSimulator(built.circuit, outcomes=ForcedOutcomes(script))
+        cl.set_register(built.circuit.registers["x"], xs[lane])
+        cl.set_register(built.circuit.registers["y"], ys[lane])
+        cl.run()
+        assert lanes_y[lane] == cl.get_register("y") == (xs[lane] + ys[lane]) % p
+        assert bp.lane_bits(lane) == cl.bits
+        # lanes shared the script, so both consumed the same number of coins
+        assert bp.outcomes.consumed == cl.outcomes.consumed
+
+
+@given(
+    case=st.sampled_from(_CASES),
+    family=st.sampled_from(_FAMILIES),
+    script=_SCRIPT,
+    x=st.integers(min_value=0, max_value=63),
+    y=st.integers(min_value=0, max_value=63),
+)
+@settings(max_examples=12, deadline=None)
+def test_three_backends_agree_with_identical_tallies(case, family, script, x, y):
+    """classical, statevector and bitplane: same registers, same bits, and
+    identical GateCounts tallies under one shared ForcedOutcomes script."""
+    n, p = case
+    built = build_modadd(n, p, family, mbu=True)
+    if built.circuit.num_qubits > 20:
+        pytest.skip("too wide for the dense statevector cross-check")
+    x, y = x % p, y % p
+
+    cl = ClassicalSimulator(built.circuit, outcomes=ForcedOutcomes(script))
+    cl.set_register(built.circuit.registers["x"], x)
+    cl.set_register(built.circuit.registers["y"], y)
+    cl.run()
+
+    sv = run_statevector(built.circuit, {"x": x, "y": y}, outcomes=ForcedOutcomes(script))
+
+    bp = BitplaneSimulator(built.circuit, batch=4, outcomes=ForcedOutcomes(script))
+    bp.set_register("x", x)
+    bp.set_register("y", y)
+    bp.run()
+
+    expected = (x + y) % p
+    assert cl.get_register("y") == expected
+    assert bp.get_register("y") == [expected] * 4
+    values = sv.register_values(["x", "y"])
+    assert list(values) == [(x, expected)]
+
+    assert cl.bits == sv.bits == bp.lane_bits(0)
+    assert cl.outcomes.consumed == sv.outcomes.consumed == bp.outcomes.consumed
+    # identical per-lane executed-gate tallies across all three backends
+    assert cl.tally == sv.tally == bp.tally

@@ -1,0 +1,287 @@
+"""Unit tests for the vectorized batch (bit-plane) simulator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arithmetic import build_adder
+from repro.circuits import Circuit
+from repro.modular import build_modadd
+from repro.sim import (
+    BitplaneSimulator,
+    ConstantOutcomes,
+    ForcedOutcomes,
+    RandomOutcomes,
+    UnsupportedGateError,
+    run_bitplane,
+    run_classical,
+)
+
+
+class TestLaneStateBasics:
+    def test_reversible_gates_all_lanes(self):
+        circ = Circuit()
+        a = circ.add_register("a", 4)
+        circ.x(a[0])
+        circ.cx(a[0], a[1])
+        circ.ccx(a[0], a[1], a[2])
+        circ.swap(a[2], a[3])
+        circ.cswap(a[0], a[2], a[3])
+        sim = run_bitplane(circ, batch=3)
+        assert sim.get_register("a") == [0b0111] * 3
+
+    def test_broadcast_and_per_lane_inputs(self):
+        circ = Circuit()
+        a = circ.add_register("a", 3)
+        b = circ.add_register("b", 3)
+        for i in range(3):
+            circ.cx(a[i], b[i])
+        sim = run_bitplane(circ, {"a": [1, 3, 5, 7], "b": 2}, batch=4)
+        assert sim.get_register("b") == [3, 1, 7, 5]
+        assert sim.get_register("a") == [1, 3, 5, 7]
+
+    def test_batch_not_a_multiple_of_64(self):
+        circ = Circuit()
+        a = circ.add_register("a", 2)
+        circ.x(a[0])
+        for batch in (1, 5, 64, 100):
+            sim = run_bitplane(circ, batch=batch)
+            assert sim.get_register("a") == [1] * batch
+
+    def test_wide_register_round_trip(self):
+        """Registers wider than one word (n > 64) pack/unpack correctly."""
+        circ = Circuit()
+        a = circ.add_register("a", 70)
+        circ.x(a[69])
+        values = [(1 << 68) | 5, 0, (1 << 70) - 1]
+        sim = BitplaneSimulator(circ, batch=3)
+        sim.set_register("a", values)
+        sim.run()
+        assert sim.get_register("a") == [v ^ (1 << 69) for v in values]
+
+    def test_input_validation(self):
+        circ = Circuit()
+        circ.add_register("a", 2)
+        sim = BitplaneSimulator(circ, batch=3)
+        with pytest.raises(ValueError, match="does not fit"):
+            sim.set_register("a", 4)
+        with pytest.raises(ValueError, match="per-lane values"):
+            sim.set_register("a", [1, 2])
+        with pytest.raises(ValueError, match="at least 1"):
+            BitplaneSimulator(circ, batch=0)
+
+    def test_bare_hadamard_rejected(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        circ.h(q)
+        with pytest.raises(UnsupportedGateError):
+            run_bitplane(circ, batch=2)
+
+    def test_diagonal_gates_are_value_preserving(self):
+        circ = Circuit()
+        a = circ.add_register("a", 2)
+        circ.x(a[0])
+        circ.cz(a[0], a[1])
+        circ.t(a[0])
+        circ.s(a[1])
+        assert run_bitplane(circ, batch=2).get_register("a") == [1, 1]
+
+
+class TestMeasurementAndBranching:
+    def test_z_measurement_is_per_lane_deterministic(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        bit = circ.measure(q)
+        sim = BitplaneSimulator(circ, batch=4)
+        sim.set_register("q", [0, 1, 1, 0])
+        sim.run()
+        assert sim.get_bit(bit) == [0, 1, 1, 0]
+
+    def test_conditional_diverges_across_lanes(self):
+        """A data-dependent conditional narrows the active-lane mask."""
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        r = circ.add_qubit("r")
+        bit = circ.measure(q)
+        with circ.capture() as body:
+            circ.x(r)
+        circ.cond(bit, body)
+        sim = BitplaneSimulator(circ, batch=6)
+        sim.set_register("q", [1, 0, 1, 0, 0, 1])
+        sim.run()
+        assert sim.get_register("r") == [1, 0, 1, 0, 0, 1]
+        # body executed in 3 of 6 lanes -> fractional tally
+        assert sim.tally["x"] == Fraction(3, 6)
+
+    def test_value_zero_conditional(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        r = circ.add_qubit("r")
+        bit = circ.measure(q)
+        with circ.capture() as body:
+            circ.x(r)
+        circ.cond(bit, body, value=0)
+        sim = BitplaneSimulator(circ, batch=4)
+        sim.set_register("q", [1, 0, 1, 0])
+        sim.run()
+        assert sim.get_register("r") == [0, 1, 0, 1]
+
+    def test_x_measurement_forced_and_random(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        bit = circ.measure(q, basis="x")
+        sim = BitplaneSimulator(circ, batch=5, outcomes=ForcedOutcomes([1]))
+        sim.run()
+        assert sim.get_bit(bit) == [1] * 5  # scripts broadcast across lanes
+        assert sim.get_register("q") == [1] * 5  # post-measurement state |1>
+        # random outcomes consume one bulk draw, lanes independent
+        sim = BitplaneSimulator(circ, batch=512, outcomes=RandomOutcomes(11))
+        sim.run()
+        ones = sum(sim.get_bit(bit))
+        assert 160 < ones < 352  # ~Binomial(512, 1/2), very loose bounds
+
+    def test_gidney_and_uncompute_pattern_all_lanes(self):
+        circ = Circuit()
+        x = circ.add_qubit("x")
+        y = circ.add_qubit("y")
+        anc = circ.add_qubit("anc")
+        circ.ccx(x, y, anc)
+        bit = circ.measure(anc, basis="x")
+        with circ.capture() as body:
+            circ.cz(x, y)
+            circ.x(anc)
+        circ.cond(bit, body)
+        for outcome in (0, 1):
+            sim = BitplaneSimulator(circ, batch=4, outcomes=ConstantOutcomes(outcome))
+            sim.set_register("x", [0, 0, 1, 1])
+            sim.set_register("y", [0, 1, 0, 1])
+            sim.run()
+            assert sim.get_register("anc") == [0, 0, 0, 0]
+            assert sim.get_register("x") == [0, 0, 1, 1]
+            assert sim.get_register("y") == [0, 1, 0, 1]
+
+
+class TestMBUBlocks:
+    def _mbu_circuit(self):
+        circ = Circuit()
+        a = circ.add_register("a", 2)
+        g = circ.add_qubit("g")
+        circ.ccx(a[0], a[1], g)
+        with circ.capture() as body:
+            circ.h(g)
+            circ.ccx(a[0], a[1], g)
+            circ.h(g)
+            circ.x(g)
+        circ.mbu(g, body)
+        return circ
+
+    def test_both_branches_clean_the_garbage_in_every_lane(self):
+        for outcome in (0, 1):
+            sim = BitplaneSimulator(
+                self._mbu_circuit(), batch=4, outcomes=ConstantOutcomes(outcome)
+            )
+            sim.set_register("a", [0, 1, 2, 3])
+            sim.run()
+            assert sim.get_register("g") == [0, 0, 0, 0]
+            assert sim.get_register("a") == [0, 1, 2, 3]
+
+    def test_tally_counts_correction_only_when_taken(self):
+        sim = BitplaneSimulator(self._mbu_circuit(), batch=4, outcomes=ConstantOutcomes(0))
+        sim.set_register("a", 3)
+        sim.run()
+        assert sim.tally["ccx"] == 1
+        sim = BitplaneSimulator(self._mbu_circuit(), batch=4, outcomes=ConstantOutcomes(1))
+        sim.set_register("a", 3)
+        sim.run()
+        assert sim.tally["ccx"] == 2
+
+    def test_monte_carlo_tally_is_average_per_lane(self):
+        """With independent random outcomes the tally of the 1/2-probability
+        correction body concentrates near the expected cost."""
+        sim = BitplaneSimulator(
+            self._mbu_circuit(), batch=4096, outcomes=RandomOutcomes(5)
+        )
+        sim.set_register("a", 3)
+        sim.run()
+        # ccx: 1 compute + body ccx in ~half the lanes
+        assert abs(float(sim.tally["ccx"]) - 1.5) < 0.05
+
+    def test_garbage_misuse_rejected(self):
+        circ = Circuit()
+        a = circ.add_qubit("a")
+        g = circ.add_qubit("g")
+        with circ.capture() as body:
+            circ.h(g)
+            circ.cz(a, g)
+            circ.h(g)
+            circ.x(g)
+        circ.mbu(g, body)
+        sim = BitplaneSimulator(circ, batch=2, outcomes=ConstantOutcomes(1))
+        with pytest.raises(UnsupportedGateError):
+            sim.run()
+
+    def test_outer_garbage_use_in_nested_mbu_body_rejected(self):
+        circ = Circuit()
+        d = circ.add_qubit("d")
+        g1 = circ.add_qubit("g1")
+        g2 = circ.add_qubit("g2")
+        with circ.capture() as inner:
+            circ.h(g2)
+            circ.cx(g1, d)  # outer garbage g1 used as a control
+            circ.h(g2)
+            circ.x(g2)
+        with circ.capture() as outer:
+            circ.h(g1)
+            circ.mbu(g2, inner)
+            circ.h(g1)
+            circ.x(g1)
+        circ.mbu(g1, outer)
+        sim = BitplaneSimulator(circ, batch=2, outcomes=ForcedOutcomes([1, 1]))
+        with pytest.raises(UnsupportedGateError):
+            sim.run()
+
+    def test_lane_views(self):
+        sim = BitplaneSimulator(self._mbu_circuit(), batch=3, outcomes=ConstantOutcomes(1))
+        sim.set_register("a", [1, 3, 2])
+        sim.run()
+        assert sim.lane_values(1) == {"a": 3, "g": 0}
+        assert sim.lane_bits(1) == [1]
+        with pytest.raises(IndexError):
+            sim.lane_values(3)
+
+
+class TestExhaustiveTruthTables:
+    """The headline capability: every basis input of a small adder / modular
+    adder verified in a single batched run."""
+
+    @pytest.mark.parametrize("family", ["vbe", "cdkpm", "gidney"])
+    def test_adder_n3_all_inputs_single_batch(self, family):
+        built = build_adder(3, family)
+        xs, ys = [], []
+        for x in range(8):
+            for y in range(16):
+                xs.append(x)
+                ys.append(y)
+        sim = run_bitplane(
+            built.circuit, {"x": xs, "y": ys}, batch=len(xs), outcomes=RandomOutcomes(1)
+        )
+        out = sim.get_register("y")
+        assert out == [(x + y) % 16 for x, y in zip(xs, ys)]
+        assert sim.get_register("x") == xs
+        for name in built.ancilla_names:
+            assert sim.get_register(name) == [0] * len(xs)
+
+    @pytest.mark.parametrize("family", ["vbe", "cdkpm", "gidney"])
+    def test_modadd_all_inputs_single_batch(self, family):
+        n, p = 3, 7
+        built = build_modadd(n, p, family, mbu=True)
+        xs, ys = [], []
+        for x in range(p):
+            for y in range(p):
+                xs.append(x)
+                ys.append(y)
+        sim = run_bitplane(
+            built.circuit, {"x": xs, "y": ys}, batch=len(xs), outcomes=RandomOutcomes(2)
+        )
+        assert sim.get_register("y") == [(x + y) % p for x, y in zip(xs, ys)]
+        assert sim.get_register("x") == xs

@@ -146,6 +146,31 @@ class TestMBUBlock:
         sim.run()
         assert sim.tally["ccx"] == 2  # compute + correction oracle
 
+    def test_outer_garbage_use_in_nested_mbu_body_rejected(self):
+        """A nested MBU body reading an *outer* garbage qubit is not
+        basis-preserving and must raise instead of silently diverging from
+        the statevector ground truth."""
+        circ = Circuit()
+        d = circ.add_qubit("d")
+        g1 = circ.add_qubit("g1")
+        g2 = circ.add_qubit("g2")
+        with circ.capture() as inner:
+            circ.h(g2)
+            circ.cx(g1, d)  # outer garbage g1 used as a control
+            circ.h(g2)
+            circ.x(g2)
+        with circ.capture() as outer:
+            circ.h(g1)
+            circ.mbu(g2, inner)
+            circ.h(g1)
+            circ.x(g1)
+        circ.mbu(g1, outer)
+        from repro.sim import ForcedOutcomes
+
+        sim = ClassicalSimulator(circ, outcomes=ForcedOutcomes([1, 1]))
+        with pytest.raises(UnsupportedGateError):
+            sim.run()
+
     def test_cz_on_garbage_inside_body_rejected(self):
         circ = Circuit()
         a = circ.add_qubit("a")
