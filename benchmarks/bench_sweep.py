@@ -1,0 +1,51 @@
+"""Sweep pipeline — cache effectiveness and end-to-end reproduction timing.
+
+Times one (table, n) work unit cold (fresh cache) vs. warm (every circuit
+memoized), and a full small sweep; prints the smoke artifact's cache
+statistics as the session report.
+"""
+
+import pytest
+
+from repro.pipeline import CircuitCache, SweepConfig, run_sweep, table_rows_with_mc
+from repro.pipeline.cli import smoke_config
+
+from conftest import print_once
+
+
+def test_report_sweep(benchmark, capsys):
+    result = run_sweep(smoke_config())
+    lines = [
+        "Sweep pipeline — smoke configuration "
+        f"({len(result.config.tables)} tables, sizes {result.config.sizes})",
+        f"  elapsed      {result.elapsed * 1000:.1f} ms",
+        f"  cache        {result.cache_stats}",
+    ]
+    print_once(benchmark, capsys, "\n".join(lines))
+
+
+def test_table1_unit_cold(benchmark):
+    def cold():
+        return table_rows_with_mc("table1", 8, mc_batch=256, cache=CircuitCache())
+
+    rows = benchmark(cold)
+    assert len(rows) == 7
+
+
+def test_table1_unit_warm(benchmark):
+    cache = CircuitCache()
+    table_rows_with_mc("table1", 8, mc_batch=256, cache=cache)  # prime
+
+    rows = benchmark(table_rows_with_mc, "table1", 8, mc_batch=256, cache=cache)
+    assert len(rows) == 7
+    assert cache.stats.hit_ratio > 0.5
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_sweep_small(benchmark, workers):
+    config = SweepConfig(
+        tables=("table1", "table6"), sizes=(8,), mc_batch=128,
+        workers=workers, include_savings=False,
+    )
+    result = benchmark.pedantic(run_sweep, args=(config,), rounds=3, iterations=1)
+    assert "table1" in result.tables

@@ -1,0 +1,19 @@
+"""Reproduce the paper's evaluation end to end: Tables 1-6 + savings + modexp.
+
+Runs the sweep pipeline (cached circuit construction, worker pool,
+Monte-Carlo expected-cost estimates with confidence intervals) and writes
+versioned JSON + markdown artifacts.
+
+Run:  python examples/reproduce_paper.py [--sizes 8 16 32] [--out artifacts]
+      python examples/reproduce_paper.py --smoke --check tests/golden/sweep_smoke.json
+
+See ``python examples/reproduce_paper.py --help`` for every knob, and
+docs/reproduce.md for the walkthrough.
+"""
+
+import sys
+
+from repro.pipeline.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

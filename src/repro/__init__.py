@@ -15,12 +15,24 @@ The package provides:
 * ``repro.mbu`` — Lemma 4.1 and every section-4 MBU-optimised circuit;
 * ``repro.resources`` — the paper's cost formulas and Table 1-6 regeneration;
 * ``repro.extensions`` — modular multiplication / exponentiation built on
-  top of the (MBU) modular adders (the paper's future-work direction).
+  top of the (MBU) modular adders (the paper's future-work direction);
+* ``repro.pipeline`` — cached, parallel reproduction sweeps with
+  Monte-Carlo expected-cost checks and versioned JSON/markdown artifacts.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import arithmetic, boolarith, circuits, extensions, mbu, modular, resources, sim
+from . import (
+    arithmetic,
+    boolarith,
+    circuits,
+    extensions,
+    mbu,
+    modular,
+    pipeline,
+    resources,
+    sim,
+)
 
 __all__ = [
     "arithmetic",
@@ -29,6 +41,7 @@ __all__ = [
     "extensions",
     "mbu",
     "modular",
+    "pipeline",
     "resources",
     "sim",
     "__version__",

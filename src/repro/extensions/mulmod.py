@@ -3,6 +3,13 @@ adders — the application the paper's section 1.1 points at ("our results
 have the potential to improve ... modular multiplication and modular
 exponentiation"), implemented here as an extension.
 
+Paper mapping: each building block is a paper construction — the doubly
+controlled constant modular adds are prop 3.18 (thm 4.12 with MBU) and
+the temporary logical-ANDs are Gidney's prop 2.4 trick, so every factor
+of the section-1.1 headline savings compounds here.  The sweep pipeline
+wires :func:`build_modexp` / :func:`modexp_cost` in as its large-workload
+scenario (``SweepConfig.modexp``; see docs/reproduce.md).
+
 Constructions (all verified by simulation in ``tests/test_mulmod.py``):
 
 * :func:`build_mul_const_mod` — out-of-place ``|x>|y> -> |x>|y + a*x mod p>``

@@ -1,15 +1,24 @@
 """Theorem-indexed registry: every numbered statement of the paper mapped
 to the code that implements it.
 
+Paper mapping: the registry spans section 2 (defs 2.1-2.38 — plain,
+controlled and by-constant adders, subtractors and comparators), section
+3 (props 3.2-3.18 — modular adders in the VBE, Takahashi and Beauregard
+architectures) and section 4 (Lemma 4.1 and thms 4.2-4.12 — the MBU
+variants whose expected costs the ``mbu=True`` builders realise), plus
+the section 1.1 multiplication/exponentiation extensions.  The prose
+version of this index is ``docs/paper-map.md``.
+
 >>> from repro.mbu.theorems import THEOREMS, build
 >>> THEOREMS["thm 4.3"].title
 'MBU modular adder - CDKPM'
 >>> built = build("thm 4.3", n=8, p=251)   # a ready-to-simulate circuit
 
 The registry serves three purposes: discoverability (find the builder for
-a statement you are reading), the per-experiment index of DESIGN.md in
-executable form, and a single place the tests iterate to guarantee every
-claimed statement actually constructs and simulates.
+a statement you are reading), the per-experiment index of docs/paper-map.md
+in executable form, and a single place the tests iterate
+(``tests/test_theorems.py``) to guarantee every claimed statement
+actually constructs and simulates.
 """
 
 from __future__ import annotations

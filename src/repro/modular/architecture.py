@@ -2,6 +2,15 @@
 variant (prop 3.9), parametric in the adder/comparator families — plus the
 MBU-optimised versions (thms 4.2 / 4.7).
 
+Paper mapping: section 3.1, definition 3.1 (``|x>|y> -> |x>|x+y mod p>``)
+realised per family — prop 3.4 (CDKPM), prop 3.5 (Gidney), thm 3.6
+(Gidney/CDKPM hybrid via the mixing rule); controlled variant def 3.8,
+props 3.10/3.11.  With ``mbu=True`` the final comparator uncompute is
+wrapped in Lemma 4.1, which is thms 4.3/4.4/4.5 (and 4.8/4.9 when
+controlled): expected Toffoli cost drops from ``8n`` to ``7n`` for CDKPM,
+``4n`` to ``3.5n`` for Gidney (Table 1).  Validated row by row in
+``tests/test_tables.py`` and statistically in ``tests/test_montecarlo.py``.
+
 Structure (fig 22 / fig 25):
 
 1. ``QADD``            — plain (or controlled) addition: y <- x + y;

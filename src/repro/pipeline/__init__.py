@@ -1,0 +1,76 @@
+"""The reproduction pipeline: cached sweeps, Monte-Carlo checks, artifacts.
+
+This package turns the repo from "library + scripts" into a results
+factory.  Layer by layer:
+
+* :mod:`~repro.pipeline.cache` — :class:`CircuitSpec` (a frozen,
+  picklable construction key: builder kind × n × modulus × MBU on/off)
+  and :class:`CircuitCache` (thread-safe LRU memo of built circuits and
+  their expected-mode counts);
+* :mod:`~repro.pipeline.montecarlo` — empirical expected-cost estimates
+  with confidence intervals, from the bit-plane backend's per-lane
+  tallies over seeded random measurement outcomes;
+* :mod:`~repro.pipeline.runner` — :func:`run_sweep`: paper tables ×
+  sizes (+ the section 1.1 savings and the modexp large workload) over a
+  ``concurrent.futures`` worker pool, with per-task seeds derived so the
+  output is scheduling-independent;
+* :mod:`~repro.pipeline.artifacts` — canonical, versioned JSON +
+  markdown artifacts and the golden-file diff CI uses as a regression
+  gate;
+* :mod:`~repro.pipeline.cli` — ``python -m repro.pipeline`` (also driven
+  by ``examples/reproduce_paper.py``).
+
+Import-order note: ``repro.resources.tables`` declares the paper tables
+in terms of :class:`CircuitSpec`, so this package must stay importable
+without importing :mod:`repro.resources`; the runner and artifact layers
+import it lazily inside functions.
+"""
+
+from .artifacts import (
+    SCHEMA_VERSION,
+    diff_artifacts,
+    load_artifact,
+    render_markdown,
+    sweep_artifact,
+    write_artifact,
+)
+from .cache import (
+    BUILDERS,
+    CacheStats,
+    CircuitCache,
+    CircuitSpec,
+    build_spec,
+    default_cache,
+)
+from .montecarlo import MCEstimate, derive_seed, mc_expected_counts, mc_or_none
+from .runner import (
+    SweepConfig,
+    SweepResult,
+    modexp_row,
+    run_sweep,
+    table_rows_with_mc,
+)
+
+__all__ = [
+    "BUILDERS",
+    "CircuitSpec",
+    "CircuitCache",
+    "CacheStats",
+    "build_spec",
+    "default_cache",
+    "MCEstimate",
+    "derive_seed",
+    "mc_expected_counts",
+    "mc_or_none",
+    "SweepConfig",
+    "SweepResult",
+    "run_sweep",
+    "table_rows_with_mc",
+    "modexp_row",
+    "SCHEMA_VERSION",
+    "sweep_artifact",
+    "render_markdown",
+    "write_artifact",
+    "load_artifact",
+    "diff_artifacts",
+]

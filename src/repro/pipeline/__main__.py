@@ -1,0 +1,6 @@
+"""``python -m repro.pipeline`` — regenerate the paper's tables as artifacts."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

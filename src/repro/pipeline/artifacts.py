@@ -1,0 +1,224 @@
+"""Versioned reproduction artifacts: canonical JSON + rendered markdown.
+
+An *artifact* is the JSON-able snapshot of one sweep: schema version,
+package version, the full :class:`~repro.pipeline.runner.SweepConfig`,
+and every table/savings/modexp row with formula, measured and Monte-Carlo
+columns.  The encoding is canonical — Fractions become ints or exact
+``"num/den"`` strings, floats are rounded to 9 decimals, key order is the
+row order — so two runs of the same config produce byte-identical files
+and CI can diff a freshly generated smoke artifact against a checked-in
+golden copy (:func:`diff_artifacts`).
+
+No wall-clock data ever enters the artifact (elapsed time and cache
+statistics are reported on stdout, not persisted), precisely so the
+golden comparison stays exact.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .runner import SweepResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "sweep_artifact",
+    "render_markdown",
+    "write_artifact",
+    "load_artifact",
+    "diff_artifacts",
+]
+
+SCHEMA_VERSION = 1
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def _jsonify(value: Any) -> Any:
+    """Canonical JSON encoding: exact where possible, rounded where not."""
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return int(value)
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return round(value, 9)
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return str(value)  # LinearCost and friends render symbolically
+
+
+def sweep_artifact(result: SweepResult) -> Dict[str, Any]:
+    """The canonical JSON-able snapshot of one sweep result."""
+    from ..resources.tables import TABLE_SPECS
+
+    tables: Dict[str, Any] = {}
+    for name in result.config.tables:
+        sizes = result.tables.get(name, {})
+        tables[name] = {
+            "title": TABLE_SPECS[name].title,
+            "sizes": {str(n): _jsonify(rows) for n, rows in sorted(sizes.items())},
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "package_version": _package_version(),
+        "config": _jsonify(result.config.as_dict()),
+        "tables": tables,
+        "savings": {str(n): _jsonify(s) for n, s in sorted(result.savings.items())},
+        "modexp": _jsonify(result.modexp),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# markdown rendering
+
+_SKIP_KEYS = ("row", "n", "p", "a", "n_exp")
+
+
+def _columns(rows: List[Dict[str, Any]]) -> List[str]:
+    cols: List[str] = []
+    for row in rows:
+        for key in row:
+            if key in _SKIP_KEYS or key.endswith("_paper") or key.endswith("_mc") \
+                    or key.endswith("_mc_ci95"):
+                continue
+            if key not in cols:
+                cols.append(key)
+    return cols
+
+
+def _cell(row: Dict[str, Any], col: str) -> str:
+    value = row.get(col)
+    if value is None:
+        return "—"
+    text = str(value)
+    paper = row.get(f"{col}_paper")
+    if paper is not None:
+        text += f" (paper: {paper})"
+    mc = row.get(f"{col}_mc")
+    if mc is not None:
+        ci = row.get(f"{col}_mc_ci95")
+        text += f" (MC: {mc} ± {ci:g})" if isinstance(ci, (int, float)) else f" (MC: {mc})"
+    return text
+
+
+def _markdown_table(rows: List[Dict[str, Any]]) -> List[str]:
+    cols = _columns(rows)
+    header = ["row"] + cols
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for row in rows:
+        cells = [str(row.get("row", ""))] + [_cell(row, c) for c in cols]
+        lines.append("| " + " | ".join(cells) + " |")
+    return lines
+
+
+def render_markdown(artifact: Dict[str, Any]) -> str:
+    """Render an artifact as a human-readable markdown report."""
+    lines: List[str] = [
+        "# Paper reproduction — Tables 1–6",
+        "",
+        f"Artifact schema v{artifact['schema']}, package "
+        f"v{artifact['package_version']}, seed {artifact['config']['seed']}.",
+        "",
+        "Each cell shows the **measured** expected-mode value, the paper's",
+        "formula evaluated at the same point *(paper: …)*, and — where the",
+        "circuit has basis-state semantics — a Monte-Carlo estimate over",
+        f"{artifact['config']['mc_batch']} × {artifact['config']['mc_repeats']}"
+        " random-outcome lanes with a 95% confidence half-width *(MC: m ± c)*.",
+        "",
+    ]
+    for name, table in artifact.get("tables", {}).items():
+        for n, rows in table.get("sizes", {}).items():
+            title = table["title"].format(n=n, p=rows[0].get("p", "")) \
+                if rows else table["title"]
+            lines.append(f"## {title}")
+            lines.append("")
+            lines.extend(_markdown_table(rows))
+            lines.append("")
+    savings = artifact.get("savings", {})
+    if savings:
+        lines.append("## Section 1.1 headline — expected-Toffoli savings from MBU")
+        lines.append("")
+        keys = list(next(iter(savings.values())))
+        lines.append("| n | " + " | ".join(keys) + " |")
+        lines.append("|" + "|".join("---" for _ in range(len(keys) + 1)) + "|")
+        for n, row in savings.items():
+            lines.append(
+                f"| {n} | " + " | ".join(f"{100 * row[k]:.1f}%" for k in keys) + " |"
+            )
+        lines.append("")
+    modexp = artifact.get("modexp", [])
+    if modexp:
+        lines.append("## Large workload — Shor-style modular exponentiation")
+        lines.append("")
+        lines.extend(_markdown_table(modexp))
+        lines.append("")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# I/O and golden comparison
+
+def write_artifact(
+    artifact: Dict[str, Any], outdir: Union[str, Path], stem: str = "tables"
+) -> Tuple[Path, Path]:
+    """Write ``<stem>.json`` and ``<stem>.md`` under ``outdir``."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    json_path = outdir / f"{stem}.json"
+    md_path = outdir / f"{stem}.md"
+    json_path.write_text(json.dumps(artifact, indent=2) + "\n")
+    md_path.write_text(render_markdown(artifact) + "\n")
+    return json_path, md_path
+
+
+def load_artifact(path: Union[str, Path]) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+#: Keys skipped by default: execution details that cannot affect results.
+#: ``workers`` only parallelizes (per-task seeds are derived, so rows are
+#: identical on any worker count) and ``package_version`` is a release
+#: label — neither should invalidate a golden file.
+DEFAULT_IGNORE: Tuple[str, ...] = ("package_version", "workers")
+
+
+def diff_artifacts(
+    ours: Any, golden: Any, path: str = "", ignore: Tuple[str, ...] = DEFAULT_IGNORE
+) -> List[str]:
+    """Structural differences between two artifacts (empty = identical).
+
+    Keys named in ``ignore`` are skipped at any depth, so a version bump
+    or a different worker count alone does not invalidate a golden file.
+    """
+    diffs: List[str] = []
+    if isinstance(ours, dict) and isinstance(golden, dict):
+        for key in sorted(set(ours) | set(golden)):
+            if key in ignore:
+                continue
+            where = f"{path}.{key}" if path else key
+            if key not in ours:
+                diffs.append(f"{where}: missing in ours (golden has {golden[key]!r})")
+            elif key not in golden:
+                diffs.append(f"{where}: unexpected key (ours has {ours[key]!r})")
+            else:
+                diffs.extend(diff_artifacts(ours[key], golden[key], where, ignore))
+    elif isinstance(ours, list) and isinstance(golden, list):
+        if len(ours) != len(golden):
+            diffs.append(f"{path}: length {len(ours)} != {len(golden)}")
+        for i, (a, b) in enumerate(zip(ours, golden)):
+            diffs.extend(diff_artifacts(a, b, f"{path}[{i}]", ignore))
+    elif ours != golden:
+        diffs.append(f"{path}: {ours!r} != {golden!r}")
+    return diffs

@@ -1,0 +1,227 @@
+"""Keyed, memoizing circuit construction: :class:`CircuitSpec` + :class:`CircuitCache`.
+
+A :class:`CircuitSpec` is a frozen, hashable, picklable description of one
+constructed circuit — builder kind × ``n`` × (family, modulus, constant,
+MBU on/off, ...).  :func:`build_spec` dispatches it through the
+:data:`BUILDERS` registry to the ordinary ``build_*`` constructors, and
+:class:`CircuitCache` memoizes both the built circuit and its
+expected-mode gate counts, so a sweep that revisits the same
+(family, n, p, mbu) cell — Table 1 + the savings summary + a Monte-Carlo
+pass all touch the same circuits — pays for construction once.
+
+This module sits *below* :mod:`repro.resources` in the import graph (the
+declarative table specs in ``resources/tables.py`` are written in terms of
+``CircuitSpec``), so it must not import anything from ``repro.resources``
+or the higher pipeline layers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..arithmetic import (
+    build_add_const,
+    build_adder,
+    build_comparator,
+    build_compare_lt_const,
+    build_controlled_add_const,
+    build_controlled_adder,
+    build_controlled_comparator,
+    build_sub_const,
+    build_subtractor,
+)
+from ..arithmetic.builders import Built
+from ..extensions import (
+    build_inplace_mul_const_mod,
+    build_modexp,
+    build_mul_const_mod,
+)
+from ..modular import (
+    build_controlled_modadd,
+    build_controlled_modadd_const,
+    build_modadd,
+    build_modadd_const,
+    build_modadd_const_draper,
+    build_modadd_draper,
+    build_modadd_vbe_original,
+)
+
+__all__ = [
+    "BUILDERS",
+    "CircuitSpec",
+    "CircuitCache",
+    "CacheStats",
+    "build_spec",
+    "default_cache",
+]
+
+#: Builder registry: spec ``kind`` -> ``build_*`` constructor.  Every
+#: constructor takes ``n`` plus the keyword arguments carried in
+#: ``CircuitSpec.params`` and returns a :class:`Built`.
+BUILDERS: Dict[str, Callable[..., Built]] = {
+    "adder": build_adder,
+    "subtractor": build_subtractor,
+    "controlled_adder": build_controlled_adder,
+    "add_const": build_add_const,
+    "controlled_add_const": build_controlled_add_const,
+    "sub_const": build_sub_const,
+    "comparator": build_comparator,
+    "controlled_comparator": build_controlled_comparator,
+    "compare_lt_const": build_compare_lt_const,
+    "modadd": build_modadd,
+    "controlled_modadd": build_controlled_modadd,
+    "modadd_vbe_original": build_modadd_vbe_original,
+    "modadd_draper": build_modadd_draper,
+    "modadd_const": build_modadd_const,
+    "modadd_const_draper": build_modadd_const_draper,
+    "controlled_modadd_const": build_controlled_modadd_const,
+    "mul_const_mod": build_mul_const_mod,
+    "inplace_mul_const_mod": build_inplace_mul_const_mod,
+    "modexp": build_modexp,
+}
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """A frozen construction request: the cache key of one circuit.
+
+    ``params`` is a sorted tuple of (keyword, value) pairs forwarded to
+    the builder — e.g. ``(("family", "cdkpm"), ("mbu", True), ("p", 251))``.
+    Use :meth:`make` to normalize keyword order.
+    """
+
+    kind: str
+    n: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, n: int, **params: Any) -> "CircuitSpec":
+        if kind not in BUILDERS:
+            raise ValueError(f"unknown builder kind {kind!r}; options: {sorted(BUILDERS)}")
+        return cls(kind, n, tuple(sorted(params.items())))
+
+    def kwargs(self) -> Dict[str, Any]:
+        return {"n": self.n, **dict(self.params)}
+
+    @property
+    def key(self) -> str:
+        """A compact, human-readable identity string (artifact-friendly)."""
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.kind}[n={self.n}{',' if inner else ''}{inner}]"
+
+    def __str__(self) -> str:  # pragma: no cover - display only
+        return self.key
+
+
+def build_spec(spec: CircuitSpec) -> Built:
+    """Construct the circuit a :class:`CircuitSpec` describes (uncached)."""
+    try:
+        builder = BUILDERS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown builder kind {spec.kind!r}; options: {sorted(BUILDERS)}"
+        ) from None
+    return builder(**spec.kwargs())
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`CircuitCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    count_hits: int = 0
+    count_misses: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "count_hits": self.count_hits,
+            "count_misses": self.count_misses,
+            "hit_ratio": round(self.hit_ratio, 4),
+        }
+
+
+class CircuitCache:
+    """LRU-bounded memo of :class:`CircuitSpec` -> :class:`Built` (+ counts).
+
+    Thread-safe: sweep workers running in threads share one instance; the
+    process-pool path gives each worker process its own.  ``maxsize=None``
+    disables eviction.
+    """
+
+    def __init__(self, maxsize: Optional[int] = 512) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be positive (or None for unbounded)")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[CircuitSpec, Built]" = OrderedDict()
+        self._counts: Dict[Tuple[CircuitSpec, str], Any] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def build(self, spec: CircuitSpec) -> Built:
+        """Return the (possibly cached) circuit for ``spec``."""
+        with self._lock:
+            built = self._entries.get(spec)
+            if built is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(spec)
+                return built
+            self.stats.misses += 1
+        built = build_spec(spec)  # construct outside the lock
+        with self._lock:
+            self._entries[spec] = built
+            self._entries.move_to_end(spec)
+            if self.maxsize is not None:
+                while len(self._entries) > self.maxsize:
+                    evicted, _ = self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+                    for mode in ("expected", "worst", "best"):
+                        self._counts.pop((evicted, mode), None)
+            return self._entries[spec]
+
+    def counts(self, spec: CircuitSpec, mode: str = "expected"):
+        """Memoized ``Built.counts(mode)`` for the spec's circuit."""
+        key = (spec, mode)
+        with self._lock:
+            if key in self._counts:
+                self.stats.count_hits += 1
+                return self._counts[key]
+        built = self.build(spec)
+        counted = built.counts(mode)
+        with self._lock:
+            self.stats.count_misses += 1
+            if spec in self._entries:  # don't pin counts of evicted circuits
+                self._counts[key] = counted
+        return counted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._counts.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, spec: CircuitSpec) -> bool:
+        return spec in self._entries
+
+
+_DEFAULT = CircuitCache()
+
+
+def default_cache() -> CircuitCache:
+    """The module-level shared cache (one per process)."""
+    return _DEFAULT

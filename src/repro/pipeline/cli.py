@@ -1,0 +1,133 @@
+"""Command-line front end: ``python -m repro.pipeline`` / ``examples/reproduce_paper.py``.
+
+Regenerates the paper's Tables 1-6 (plus the section 1.1 savings summary
+and the modexp large-workload scenario) as versioned JSON + markdown
+artifacts, optionally checking the JSON against a golden copy — the CI
+smoke job runs ``--smoke --check tests/golden/sweep_smoke.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .artifacts import diff_artifacts, load_artifact, sweep_artifact, write_artifact
+from .runner import SweepConfig, run_sweep
+
+__all__ = ["main", "smoke_config"]
+
+
+def smoke_config() -> SweepConfig:
+    """The tiny, seconds-long configuration pinned by the golden file."""
+    return SweepConfig(
+        tables=("table1", "table6"),
+        sizes=(4,),
+        seed=7,
+        mc_batch=128,
+        mc_repeats=1,
+        workers=0,
+        modexp=((2, 3),),
+    )
+
+
+#: Flags the pinned smoke configuration overrides; combining them with
+#: --smoke is rejected rather than silently ignored.
+_SMOKE_CONFLICTS = (
+    ("sizes", "--sizes"),
+    ("tables", "--tables"),
+    ("seed", "--seed"),
+    ("mc_batch", "--mc-batch"),
+    ("mc_repeats", "--mc-repeats"),
+    ("workers", "--workers"),
+    ("no_savings", "--no-savings"),
+    ("modexp", "--modexp"),
+)
+
+
+def _parse(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="reproduce_paper",
+        description="Regenerate the paper's Tables 1-6 as JSON + markdown artifacts.",
+    )
+    parser.add_argument("--sizes", type=int, nargs="+", default=[8, 16, 32],
+                        help="register widths n to sweep (default: 8 16 32)")
+    parser.add_argument("--tables", nargs="+",
+                        default=["table1", "table2", "table3", "table4", "table5", "table6"],
+                        help="which paper tables to regenerate")
+    parser.add_argument("--out", default="artifacts",
+                        help="output directory for tables.json / tables.md")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="sweep seed; per-task streams are derived from it")
+    parser.add_argument("--mc-batch", type=int, default=1024,
+                        help="Monte-Carlo lanes per repeat (default 1024)")
+    parser.add_argument("--mc-repeats", type=int, default=1,
+                        help="Monte-Carlo repeats (default 1)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: min(4, cpu); 0/1 = serial)")
+    parser.add_argument("--no-savings", action="store_true",
+                        help="skip the section 1.1 savings summary")
+    parser.add_argument("--modexp", type=int, nargs=2, action="append",
+                        metavar=("N_EXP", "N"), default=None,
+                        help="add a modular-exponentiation workload (repeatable); "
+                             "default: 2 4 and 4 8")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the tiny pinned smoke configuration instead")
+    parser.add_argument("--check", metavar="GOLDEN",
+                        help="diff the JSON artifact against a golden file; "
+                             "exit 1 on mismatch")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        clashes = [
+            flag for dest, flag in _SMOKE_CONFLICTS
+            if getattr(args, dest) != parser.get_default(dest)
+        ]
+        if clashes:
+            parser.error(
+                f"--smoke pins its own sweep configuration; drop {', '.join(clashes)}"
+            )
+    return args
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse(argv)
+    if args.smoke:
+        config = smoke_config()
+    else:
+        modexp = args.modexp if args.modexp is not None else [[2, 4], [4, 8]]
+        config = SweepConfig(
+            tables=tuple(args.tables),
+            sizes=tuple(args.sizes),
+            seed=args.seed,
+            mc_batch=args.mc_batch,
+            mc_repeats=args.mc_repeats,
+            workers=args.workers,
+            include_savings=not args.no_savings,
+            modexp=tuple((ne, n) for ne, n in modexp),
+        )
+
+    result = run_sweep(config)
+    artifact = sweep_artifact(result)
+    json_path, md_path = write_artifact(artifact, args.out)
+    print(f"wrote {json_path} and {md_path}")
+    print(f"sweep: {len(config.tables)} tables x {len(config.sizes)} sizes, "
+          f"seed {config.seed}, {result.elapsed:.2f}s")
+    print(f"cache: {json.dumps(result.cache_stats)}")
+
+    if args.check:
+        golden = load_artifact(args.check)
+        diffs = diff_artifacts(artifact, golden)
+        if diffs:
+            print(f"ARTIFACT MISMATCH vs {args.check}:", file=sys.stderr)
+            for line in diffs[:40]:
+                print(f"  {line}", file=sys.stderr)
+            if len(diffs) > 40:
+                print(f"  ... and {len(diffs) - 40} more", file=sys.stderr)
+            return 1
+        print(f"artifact matches golden {args.check}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""Monte-Carlo estimation of *expected* MBU gate costs.
+
+The paper's expected-cost formulas (every MBU correction fires with
+probability 1/2) are validated empirically here: one bit-plane run with a
+seeded :class:`~repro.sim.outcomes.RandomOutcomes` provider draws each
+lane's measurement outcomes independently, so ``batch`` lanes are
+``batch`` i.i.d. samples of the executed gate count.  The per-lane
+counters added to :class:`~repro.sim.bitplane.BitplaneSimulator`
+(``lane_counts=``) give the exact sample, hence a mean, a sample variance
+and a normal-approximation confidence interval to put next to the
+closed-form expectation.
+
+Determinism: estimates depend only on ``(seed, batch, repeats)`` — never
+on wall clock, worker scheduling or platform.  :func:`derive_seed` folds
+an arbitrary task key into an independent 63-bit seed with SHA-256, which
+is how the sweep runner gives every (table, n, row, variant) cell its own
+reproducible stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..circuits.counts import TOFFOLI_GATES
+from ..sim.bitplane import BitplaneSimulator, LaneTallyStats
+from ..sim.classical import UnsupportedGateError
+from ..sim.outcomes import RandomOutcomes
+
+__all__ = [
+    "MCEstimate",
+    "derive_seed",
+    "mc_expected_counts",
+    "mc_or_none",
+]
+
+#: Default tracked gates: the paper's headline Toffoli metric.
+DEFAULT_GATES: Tuple[str, ...] = tuple(sorted(TOFFOLI_GATES))
+
+
+def derive_seed(*parts: Any) -> int:
+    """A stable 63-bit seed from an arbitrary key (SHA-256, not ``hash``)."""
+    blob = "\x1f".join(str(p) for p in parts).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class MCEstimate(LaneTallyStats):
+    """A Monte-Carlo estimate of an expected per-run gate count.
+
+    Extends :class:`~repro.sim.bitplane.LaneTallyStats` (which owns the
+    mean/variance/stderr/``ci95``/``z_score`` machinery) with the
+    estimate's provenance: which gates were counted and the sweep seed.
+    ``samples`` is ``batch * repeats``.
+    """
+
+    gates: Tuple[str, ...] = ()
+    seed: int = 0
+
+
+def _circuit_of(target) -> Circuit:
+    return target.circuit if hasattr(target, "circuit") else target
+
+
+def mc_expected_counts(
+    target,
+    *,
+    batch: int = 1024,
+    repeats: int = 1,
+    seed: int = 0,
+    gates: Sequence[str] = DEFAULT_GATES,
+    inputs: Optional[Mapping[str, Any]] = None,
+) -> MCEstimate:
+    """Estimate the expected executed count of ``gates`` over random outcomes.
+
+    ``target`` is a :class:`~repro.arithmetic.builders.Built` or a bare
+    :class:`~repro.circuits.circuit.Circuit`.  Registers default to the
+    all-zero basis state (valid for every construction in the repo; the
+    executed-cost distribution of the MBU circuits is input-independent —
+    X-basis measurement outcomes are unbiased coins regardless of the
+    data).  Raises :class:`~repro.sim.classical.UnsupportedGateError` for
+    circuits outside basis-state semantics (e.g. QFT-based Draper rows);
+    use :func:`mc_or_none` to skip those.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    circuit = _circuit_of(target)
+    chunks = []
+    for r in range(repeats):
+        sim = BitplaneSimulator(
+            circuit,
+            batch=batch,
+            outcomes=RandomOutcomes(derive_seed(seed, "rep", r)),
+            tally=False,
+            lane_counts=tuple(gates),
+        )
+        for name, value in (inputs or {}).items():
+            sim.set_register(name, value)
+        sim.run()
+        chunks.append(sim.lane_tally())
+    totals = np.concatenate(chunks)
+    return MCEstimate.from_counts(totals, gates=tuple(gates), seed=seed)
+
+
+def mc_or_none(target, **kwargs) -> Optional[MCEstimate]:
+    """:func:`mc_expected_counts`, or ``None`` when the circuit has no
+    basis-state semantics (QFT-based constructions)."""
+    try:
+        return mc_expected_counts(target, **kwargs)
+    except UnsupportedGateError:
+        return None

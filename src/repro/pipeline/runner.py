@@ -1,0 +1,281 @@
+"""The sweep runner: paper tables × sizes over a worker pool, with MC columns.
+
+A sweep is a list of independent tasks — one per (table, n) cell, plus one
+per savings size and one per modexp workload — executed either serially or
+on a ``concurrent.futures.ProcessPoolExecutor``.  Each task returns plain
+row dicts (ints / Fractions — picklable), so workers never ship circuits
+across process boundaries; every worker process keeps its own
+:class:`~repro.pipeline.cache.CircuitCache` and the serial path reuses the
+caller's.  Per-task seeds are derived from the sweep seed and the task key
+(:func:`~repro.pipeline.montecarlo.derive_seed`), so results are identical
+whatever the worker count or scheduling order.
+
+On top of the exact expected-mode counts, every row variant that has a
+Toffoli metric gets an empirical column pair — ``<metric>_mc`` (Monte-
+Carlo mean over random measurement outcomes) and ``<metric>_mc_ci95``
+(normal-approximation 95% half-width) — computed with the bit-plane
+backend's per-lane tallies.  QFT-based rows (no basis-state semantics)
+skip the empirical columns.
+
+The modexp scenario wires :func:`repro.extensions.build_modexp` /
+:func:`repro.extensions.modexp_cost` in as the large-workload benchmark:
+closed-form formula vs. a fully built circuit vs. Monte-Carlo, per
+(n_exp, n) pair.
+
+This module lazily imports :mod:`repro.resources` inside functions —
+``resources/tables.py`` imports the cache layer, so the pipeline package
+must be importable without touching resources (see ``cache.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .cache import CircuitCache, CircuitSpec
+from .montecarlo import DEFAULT_GATES, derive_seed, mc_or_none
+
+__all__ = [
+    "SweepConfig",
+    "SweepResult",
+    "run_sweep",
+    "table_rows_with_mc",
+    "modexp_row",
+]
+
+_ALL_TABLES = ("table1", "table2", "table3", "table4", "table5", "table6")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Everything a reproduction run depends on (and nothing else).
+
+    The config is picklable and fully determines the artifact: same
+    config, same JSON bytes.  ``workers=0``/``1`` runs serially;
+    ``workers=None`` auto-sizes to ``min(4, cpu)``.
+    """
+
+    tables: Tuple[str, ...] = _ALL_TABLES
+    sizes: Tuple[int, ...] = (8, 16, 32)
+    seed: int = 0
+    mc_batch: int = 1024
+    mc_repeats: int = 1
+    mc_gates: Tuple[str, ...] = DEFAULT_GATES
+    workers: Optional[int] = None
+    include_savings: bool = True
+    modexp: Tuple[Tuple[int, int], ...] = ()   # (n_exp, n) pairs
+
+    def resolved_workers(self) -> int:
+        if self.workers is not None:
+            return max(1, self.workers)
+        return min(4, os.cpu_count() or 1)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class SweepResult:
+    """All rows of one sweep, grouped by table -> n -> rows."""
+
+    config: SweepConfig
+    tables: Dict[str, Dict[int, List[Dict[str, Any]]]]
+    savings: Dict[int, Dict[str, float]]
+    modexp: List[Dict[str, Any]]
+    elapsed: float = 0.0
+    cache_stats: Dict[str, Any] = field(default_factory=dict)
+
+
+def table_rows_with_mc(
+    table: str,
+    n: int,
+    *,
+    seed: int = 0,
+    mc_batch: int = 1024,
+    mc_repeats: int = 1,
+    mc_gates: Tuple[str, ...] = DEFAULT_GATES,
+    cache: Optional[CircuitCache] = None,
+) -> List[Dict[str, Any]]:
+    """One table at one width, with Monte-Carlo columns attached.
+
+    For every row variant whose metric set includes a ``toffoli`` source,
+    adds ``<metric>_mc`` / ``<metric>_mc_ci95`` columns estimated over
+    ``mc_batch * mc_repeats`` random-outcome lanes.
+    """
+    from ..resources.tables import TABLE_SPECS, build_table_rows
+
+    spec = TABLE_SPECS[table]
+    p, a = spec.defaults(n)
+    if cache is None:
+        cache = CircuitCache()
+    rows = build_table_rows(spec, n, p=p, a=a, cache=cache)
+    for row_spec, row in zip(spec.rows, rows):
+        for metric in row_spec.metrics:
+            if metric.source != "toffoli":
+                continue
+            circuit_spec = row_spec.template.spec(
+                n, p=p, a=a, mbu=(metric.variant == "mbu")
+            )
+            estimate = mc_or_none(
+                cache.build(circuit_spec),
+                batch=mc_batch,
+                repeats=mc_repeats,
+                gates=mc_gates,
+                seed=derive_seed(seed, table, n, row_spec.key, metric.variant),
+            )
+            if estimate is None:  # no basis-state semantics (QFT rows)
+                continue
+            row[f"{metric.name}_mc"] = estimate.mean
+            row[f"{metric.name}_mc_ci95"] = round(estimate.ci95, 9)
+    return rows
+
+
+def modexp_row(
+    n_exp: int,
+    n: int,
+    *,
+    seed: int = 0,
+    mc_batch: int = 256,
+    mc_repeats: int = 1,
+    mc_gates: Tuple[str, ...] = DEFAULT_GATES,
+    cache: Optional[CircuitCache] = None,
+) -> Dict[str, Any]:
+    """The large-workload scenario: Shor-style modular exponentiation.
+
+    Compares :func:`~repro.extensions.mulmod.modexp_cost`'s closed-form
+    expected-Toffoli estimate against a fully built circuit (with and
+    without MBU) and a Monte-Carlo run of the MBU variant.
+    """
+    from ..extensions import modexp_cost
+
+    if cache is None:
+        cache = CircuitCache()
+    p = (1 << n) - 1   # odd, so a=2 is invertible
+    row: Dict[str, Any] = {"row": f"modexp (n_exp={n_exp}, n={n})", "n": n, "n_exp": n_exp, "p": p}
+    for suffix, mbu in (("", False), ("_mbu", True)):
+        spec = CircuitSpec.make(
+            "modexp", n, n_exp=n_exp, p=p, a=2, family="cdkpm", mbu=mbu
+        )
+        built = cache.build(spec)
+        formula = modexp_cost(n_exp, n, "cdkpm", mbu=mbu)
+        row[f"toffoli{suffix}"] = cache.counts(spec).toffoli
+        row[f"toffoli{suffix}_paper"] = formula["toffoli"]
+        if suffix == "_mbu":
+            estimate = mc_or_none(
+                built,
+                batch=mc_batch,
+                repeats=mc_repeats,
+                gates=mc_gates,
+                seed=derive_seed(seed, "modexp", n_exp, n),
+            )
+            if estimate is not None:
+                row["toffoli_mbu_mc"] = estimate.mean
+                row["toffoli_mbu_mc_ci95"] = round(estimate.ci95, 9)
+        row[f"qubits{suffix}"] = built.logical_qubits
+    return row
+
+
+# --------------------------------------------------------------------------- #
+# task plumbing (module-level so the process pool can pickle it)
+
+_WORKER_CACHE: Optional[CircuitCache] = None
+
+
+def _worker_cache() -> CircuitCache:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = CircuitCache()
+    return _WORKER_CACHE
+
+
+def _run_task(task: Dict[str, Any], cache: Optional[CircuitCache] = None):
+    if cache is None:
+        cache = _worker_cache()
+    kind = task["kind"]
+    if kind == "table":
+        rows = table_rows_with_mc(
+            task["table"], task["n"],
+            seed=task["seed"], mc_batch=task["mc_batch"],
+            mc_repeats=task["mc_repeats"], mc_gates=tuple(task["mc_gates"]),
+            cache=cache,
+        )
+        return ("table", (task["table"], task["n"]), rows)
+    if kind == "savings":
+        from ..resources.tables import mbu_savings
+
+        return ("savings", task["n"], mbu_savings(task["n"], cache=cache))
+    if kind == "modexp":
+        row = modexp_row(
+            task["n_exp"], task["n"],
+            seed=task["seed"], mc_batch=task["mc_batch"],
+            mc_repeats=task["mc_repeats"], mc_gates=tuple(task["mc_gates"]),
+            cache=cache,
+        )
+        return ("modexp", (task["n_exp"], task["n"]), row)
+    raise ValueError(f"unknown task kind {kind!r}")  # pragma: no cover
+
+
+def _plan(config: SweepConfig) -> List[Dict[str, Any]]:
+    mc = {
+        "seed": config.seed,
+        "mc_batch": config.mc_batch,
+        "mc_repeats": config.mc_repeats,
+        "mc_gates": tuple(config.mc_gates),
+    }
+    tasks: List[Dict[str, Any]] = []
+    for table in config.tables:
+        for n in config.sizes:
+            tasks.append({"kind": "table", "table": table, "n": n, **mc})
+    if config.include_savings:
+        for n in config.sizes:
+            tasks.append({"kind": "savings", "n": n})
+    for n_exp, n in config.modexp:
+        tasks.append({"kind": "modexp", "n_exp": n_exp, "n": n, **mc})
+    return tasks
+
+
+def run_sweep(
+    config: SweepConfig, cache: Optional[CircuitCache] = None
+) -> SweepResult:
+    """Execute every task of ``config`` and assemble a :class:`SweepResult`.
+
+    With more than one worker, tasks fan out over a process pool (each
+    process memoizes its own circuits); serially, the caller's ``cache``
+    (or a fresh one) is shared across all tasks, which is where the
+    cross-table reuse pays off.  Output is identical either way.
+    """
+    start = time.perf_counter()
+    tasks = _plan(config)
+    workers = config.resolved_workers()
+    if workers > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_task, tasks))
+        if cache is None:
+            cache = CircuitCache()  # stats stay empty: work happened remotely
+    else:
+        if cache is None:
+            cache = CircuitCache()
+        outcomes = [_run_task(task, cache) for task in tasks]
+
+    tables: Dict[str, Dict[int, List[Dict[str, Any]]]] = {}
+    savings: Dict[int, Dict[str, float]] = {}
+    modexp: List[Dict[str, Any]] = []
+    for kind, key, payload in outcomes:
+        if kind == "table":
+            table, n = key
+            tables.setdefault(table, {})[n] = payload
+        elif kind == "savings":
+            savings[key] = payload
+        else:
+            modexp.append(payload)
+    return SweepResult(
+        config=config,
+        tables=tables,
+        savings=savings,
+        modexp=modexp,
+        elapsed=time.perf_counter() - start,
+        cache_stats=cache.stats.as_dict(),
+    )

@@ -1,6 +1,13 @@
 """The paper's cost formulas (Tables 1-6), encoded symbolically, next to
 the exact closed forms of this repository's constructions.
 
+Paper mapping: section 5's evaluation tables — Table 1 (modular addition,
+section 3 architectures with the section 4 MBU discounts), Table 2
+(plain adders, props 2.2-2.5), Table 3 (controlled addition, props
+2.11/2.12, thm 2.14), Tables 4/5 ((controlled) addition by a constant,
+props 2.16/2.17/2.19/2.20) and Table 6 (comparators, props 2.26-2.28) —
+plus the section 1.1 headline savings windows (``PAPER_HEADLINES``).
+
 Symbols: ``n`` — register width; ``wp`` — |p| (Hamming weight of the
 modulus); ``wa`` — |a| (Hamming weight of the added constant).
 
@@ -12,7 +19,7 @@ Two dictionaries per table:
   circuits built here.  Where a cell is ``None`` the quantity is checked by
   fitting at test/bench time instead of being frozen here.
 
-The headline agreements (verified in ``tests/test_table1_counts.py``):
+The headline agreements (verified in ``tests/test_tables.py``):
 
 ==============  ==================  ====================
 Table 1 row     paper Tof (w/o, w)  ours (w/o, w)

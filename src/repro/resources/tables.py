@@ -1,33 +1,41 @@
-"""Regenerate the paper's Tables 1-6 from constructed circuits.
+"""The paper's Tables 1-6 as *declarative sweep specs* (and their rows).
 
-Each ``table*`` function builds the row's circuit(s) at a concrete ``n``
-(and modulus/constant), measures gate counts in ``expected`` mode, and
-returns rows carrying *paper formula*, *paper value at n*, and *measured
-value* side by side.  ``render_rows`` pretty-prints them; the benchmark
-harness and ``examples/regenerate_tables.py`` drive these.
+Paper mapping: section 5 ("Evaluation") Tables 1-6 — modular addition
+(Table 1), plain/controlled/constant adders (Tables 2-5), comparators
+(Table 6) — plus the section 1.1 headline MBU savings.
+
+Each table is a :class:`TableSpec`: a tuple of :class:`RowSpec`\\ s, where a
+row names the circuit to build (a :class:`~repro.pipeline.cache.SpecTemplate`
+that expands to a :class:`~repro.pipeline.cache.CircuitSpec` at a concrete
+``n``/modulus/constant), the variants to construct (plain and/or MBU) and
+the metrics to measure, each paired with the paper's formula.  The same
+declarative data serves three consumers:
+
+* the classic ``table1(n)`` ... ``table6(n)`` functions (thin wrappers
+  over :func:`build_table_rows`, output schema unchanged);
+* the sweep pipeline (:mod:`repro.pipeline.runner`), which walks
+  :data:`TABLE_SPECS` to distribute (table, n) tasks over a worker pool,
+  build circuits through a :class:`~repro.pipeline.cache.CircuitCache`,
+  and attach Monte-Carlo expected-cost columns per row variant;
+* :func:`mbu_savings` (section 1.1's headline percentages), driven by
+  :data:`SAVINGS_SPECS`.
+
+``render_rows`` pretty-prints rows; ``examples/regenerate_tables.py`` and
+the ``bench_table*.py`` harness drive these, and
+``examples/reproduce_paper.py`` drives the pipeline.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..arithmetic import (
-    build_add_const,
-    build_adder,
-    build_comparator,
-    build_controlled_add_const,
-    build_controlled_adder,
-)
 from ..arithmetic.builders import Built
 from ..arithmetic.draper import PCQFT_UNIT_LABELS, QFT_UNIT_LABELS
 from ..boolarith import hamming_weight
 from ..circuits.symbolic import LinearCost
-from ..modular import (
-    build_modadd,
-    build_modadd_draper,
-    build_modadd_vbe_original,
-)
+from ..pipeline.cache import CircuitCache, CircuitSpec, build_spec
 from .formulas import (
     PAPER_TABLE1,
     PAPER_TABLE2,
@@ -40,6 +48,13 @@ from .formulas import (
 __all__ = [
     "qft_units",
     "pcqft_units",
+    "SpecTemplate",
+    "MetricSpec",
+    "RowSpec",
+    "TableSpec",
+    "TABLE_SPECS",
+    "SAVINGS_SPECS",
+    "build_table_rows",
     "table1",
     "table2",
     "table3",
@@ -73,228 +88,429 @@ def _fmt(value) -> str:
     return str(value)
 
 
-def _paper(table: Dict, row: str, metric: str, **symbols):
-    cost = table.get(row, {}).get(metric)
-    if cost is None:
-        return None, None
-    return cost, cost.evaluate(**{k: v for k, v in symbols.items() if k in cost.coeffs or True})
+# --------------------------------------------------------------------------- #
+# the declarative layer
 
 
-TABLE1_LABELS = {
-    "vbe5": "(5 adder) VBE",
-    "vbe4": "(4 adder) VBE",
-    "cdkpm": "CDKPM",
-    "gidney": "Gidney",
-    "hybrid": "CDKPM+Gidney",
-    "draper": "Draper",
-    "draper_expect": "Draper (Expect)",
+@dataclass(frozen=True)
+class SpecTemplate:
+    """A :class:`CircuitSpec` with the sweep parameters left open.
+
+    ``fixed`` carries builder kwargs that never vary inside a sweep
+    (family, method, architecture, ...); ``needs`` names which of the
+    sweep parameters (``"p"`` — modulus, ``"a"`` — constant) the builder
+    takes; ``supports_mbu`` gates whether an ``mbu=`` flag is forwarded.
+    """
+
+    kind: str
+    fixed: Tuple[Tuple[str, Any], ...] = ()
+    needs: Tuple[str, ...] = ()
+    supports_mbu: bool = True
+
+    def spec(
+        self,
+        n: int,
+        p: Optional[int] = None,
+        a: Optional[int] = None,
+        mbu: bool = False,
+    ) -> CircuitSpec:
+        params: Dict[str, Any] = dict(self.fixed)
+        if "p" in self.needs:
+            if p is None:
+                raise ValueError(f"{self.kind} template needs a modulus p")
+            params["p"] = p
+        if "a" in self.needs:
+            if a is None:
+                raise ValueError(f"{self.kind} template needs a constant a")
+            params["a"] = a
+        if self.supports_mbu:
+            params["mbu"] = mbu
+        elif mbu:
+            raise ValueError(f"{self.kind} template has no MBU variant")
+        return CircuitSpec.make(self.kind, n, **params)
+
+
+#: Sentinel: look the formula up in the paper table under the metric name.
+_AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One measured column of a table row, paired with its paper value.
+
+    ``source`` selects the measurement: a ``GateCounts`` property
+    (``toffoli`` / ``cnot_cz`` / ``x``), a raw gate name (``cx``), or one
+    of ``qubits`` / ``ancillas`` / ``qft_units`` / ``pcqft_units``.
+    ``variant`` picks which constructed circuit to measure.  ``paper`` is
+    ``"auto"`` (look up ``name`` in the paper row, absent -> ``None``),
+    an explicit key, or a literal number (the paper prints a constant).
+    ``adjust`` is subtracted from block-unit metrics (the Draper
+    first-QFT/last-IQFT amortisation of Table 1's "Expect" row).
+    """
+
+    name: str
+    source: str
+    variant: str = "plain"
+    paper: Union[str, int, None] = _AUTO
+    adjust: int = 0
+
+
+@dataclass(frozen=True)
+class RowSpec:
+    """One table row: a circuit template, its variants and its metrics."""
+
+    key: str                       # paper-table lookup key, e.g. "cdkpm"
+    label: str                     # display label, e.g. "CDKPM"
+    template: SpecTemplate
+    metrics: Tuple[MetricSpec, ...]
+    variants: Tuple[str, ...] = ("plain",)
+    include: Tuple[str, ...] = ()  # extra row keys copied from the sweep point
+
+    def specs(
+        self, n: int, p: Optional[int] = None, a: Optional[int] = None
+    ) -> Dict[str, CircuitSpec]:
+        """The concrete circuit specs of every variant at one sweep point."""
+        return {
+            v: self.template.spec(n, p=p, a=a, mbu=(v == "mbu")) for v in self.variants
+        }
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One paper table: its rows plus which sweep parameter it takes."""
+
+    name: str
+    title: str
+    param: Optional[str]           # "p", "a" or None
+    paper: Mapping[str, Mapping[str, Any]]
+    rows: Tuple[RowSpec, ...]
+
+    def defaults(
+        self, n: int, p: Optional[int] = None, a: Optional[int] = None
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Resolve the sweep point's modulus/constant (worst-case Hamming
+        weight, as the paper's |p| / |a| terms assume)."""
+        if self.param == "p" and p is None:
+            p = (1 << n) - 1
+        if self.param == "a" and a is None:
+            a = (1 << n) - 1
+        return p, a
+
+
+def _measure(built: Built, metric: MetricSpec, counts) -> Any:
+    if metric.source == "qubits":
+        return built.logical_qubits
+    if metric.source == "ancillas":
+        return built.ancilla_count
+    if metric.source == "qft_units":
+        return qft_units(built) - metric.adjust
+    if metric.source == "pcqft_units":
+        return pcqft_units(built)
+    if metric.source in ("toffoli", "cnot_cz", "x"):
+        return getattr(counts, metric.source)
+    return counts[metric.source]
+
+
+def _paper_value(metric: MetricSpec, paper_row: Mapping[str, Any], symbols) -> Any:
+    if metric.paper is None:
+        return None
+    if isinstance(metric.paper, str):
+        key = metric.name if metric.paper == _AUTO else metric.paper
+        formula = paper_row.get(key)
+        if formula is None:
+            return None
+        return formula.evaluate(**symbols)
+    return metric.paper  # a literal constant the paper prints
+
+
+def build_table_rows(
+    table: Union[str, TableSpec],
+    n: int,
+    p: Optional[int] = None,
+    a: Optional[int] = None,
+    cache: Optional[CircuitCache] = None,
+) -> List[Dict[str, Any]]:
+    """Materialize one table's rows at width ``n`` (the sweep work unit).
+
+    With a :class:`CircuitCache`, construction and expected-mode counting
+    are memoized across rows, tables and repeated sweep points.
+    """
+    spec = TABLE_SPECS[table] if isinstance(table, str) else table
+    p, a = spec.defaults(n, p, a)
+    symbols: Dict[str, int] = {"n": n}
+    if p is not None:
+        symbols["wp"] = hamming_weight(p)
+    if a is not None:
+        symbols["wa"] = hamming_weight(a)
+
+    rows: List[Dict[str, Any]] = []
+    for row_spec in spec.rows:
+        specs = row_spec.specs(n, p=p, a=a)
+        built = {
+            v: (cache.build(s) if cache is not None else build_spec(s))
+            for v, s in specs.items()
+        }
+        counts_memo: Dict[str, Any] = {}
+
+        def counts_for(variant: str):
+            if variant not in counts_memo:
+                if cache is not None:
+                    counts_memo[variant] = cache.counts(specs[variant])
+                else:
+                    counts_memo[variant] = built[variant].counts("expected")
+            return counts_memo[variant]
+
+        row: Dict[str, Any] = {"row": row_spec.label}
+        point = {"n": n, "p": p, "a": a}
+        for key in row_spec.include:
+            row[key] = point[key]
+        paper_row = spec.paper.get(row_spec.key, {})
+        for metric in row_spec.metrics:
+            row[metric.name] = _measure(
+                built[metric.variant], metric, counts_for(metric.variant)
+            )
+            row[f"{metric.name}_paper"] = _paper_value(metric, paper_row, symbols)
+        rows.append(row)
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# the tables themselves, declaratively
+
+_T1_RIPPLE_METRICS = (
+    MetricSpec("qubits", "qubits"),
+    MetricSpec("toffoli", "toffoli"),
+    MetricSpec("toffoli_mbu", "toffoli", variant="mbu"),
+    MetricSpec("cnot_cz", "cnot_cz"),
+    MetricSpec("cnot_cz_mbu", "cnot_cz", variant="mbu"),
+    MetricSpec("x", "x"),
+    MetricSpec("x_mbu", "x", variant="mbu"),
+)
+
+
+def _t1_draper_metrics(discount: int) -> Tuple[MetricSpec, ...]:
+    # first QFT + last IQFT amortised away in the "(Expect)" row
+    return (
+        MetricSpec("qubits", "qubits"),
+        MetricSpec("qft_units", "qft_units", adjust=discount),
+        MetricSpec("qft_units_mbu", "qft_units", variant="mbu", adjust=discount),
+        MetricSpec("pcqft_units", "pcqft_units"),
+    )
+
+
+def _t1_row(key: str, label: str, template: SpecTemplate) -> RowSpec:
+    return RowSpec(
+        key, label, template, _T1_RIPPLE_METRICS,
+        variants=("plain", "mbu"), include=("n", "p"),
+    )
+
+
+_MODADD_DRAPER = SpecTemplate("modadd_draper", needs=("p",))
+
+TABLE1 = TableSpec(
+    "table1",
+    "Table 1 — modular addition (n={n}, p={p})",
+    "p",
+    PAPER_TABLE1,
+    (
+        _t1_row("vbe5", "(5 adder) VBE", SpecTemplate("modadd_vbe_original", needs=("p",))),
+        _t1_row("vbe4", "(4 adder) VBE",
+                SpecTemplate("modadd", (("family", "vbe"),), ("p",))),
+        _t1_row("cdkpm", "CDKPM",
+                SpecTemplate("modadd", (("family", "cdkpm"),), ("p",))),
+        _t1_row("gidney", "Gidney",
+                SpecTemplate("modadd", (("family", "gidney"),), ("p",))),
+        _t1_row("hybrid", "CDKPM+Gidney",
+                SpecTemplate("modadd", (("family", "gidney"), ("mid_family", "cdkpm")), ("p",))),
+        RowSpec("draper", "Draper", _MODADD_DRAPER, _t1_draper_metrics(0),
+                variants=("plain", "mbu"), include=("n", "p")),
+        RowSpec("draper_expect", "Draper (Expect)", _MODADD_DRAPER, _t1_draper_metrics(2),
+                variants=("plain", "mbu"), include=("n", "p")),
+    ),
+)
+
+_COUNT_METRICS = (
+    MetricSpec("toffoli", "toffoli"),
+    MetricSpec("ancillas", "ancillas"),
+    MetricSpec("cnot", "cx", paper="cnot"),
+)
+
+
+def _plain_row(key: str, kind: str, fixed=(), needs=(), **kw) -> RowSpec:
+    template = SpecTemplate(
+        kind, (("family", key),) + tuple(fixed), tuple(needs), supports_mbu=False
+    )
+    return RowSpec(key, key.upper(), template, _COUNT_METRICS, **kw)
+
+
+TABLE2 = TableSpec(
+    "table2",
+    "Table 2 — plain adders (n={n})",
+    None,
+    PAPER_TABLE2,
+    (
+        _plain_row("vbe", "adder"),
+        _plain_row("cdkpm", "adder"),
+        _plain_row("gidney", "adder"),
+        RowSpec(
+            "draper", "Draper",
+            SpecTemplate("adder", (("family", "draper"),), supports_mbu=False),
+            (MetricSpec("qft_units", "qft_units"), MetricSpec("ancillas", "ancillas", paper=0)),
+        ),
+    ),
+)
+
+TABLE3 = TableSpec(
+    "table3",
+    "Table 3 — controlled addition (n={n})",
+    None,
+    PAPER_TABLE3,
+    (
+        _plain_row("cdkpm", "controlled_adder", ((("method", "native")),)),
+        _plain_row("gidney", "controlled_adder", ((("method", "native")),)),
+        RowSpec(
+            "draper", "Draper",
+            SpecTemplate("controlled_adder", (("family", "draper"),), supports_mbu=False),
+            (
+                MetricSpec("toffoli", "toffoli"),
+                MetricSpec("ancillas", "ancillas", paper=1),
+                MetricSpec("qft_units", "qft_units"),
+            ),
+        ),
+    ),
+)
+
+
+def _constant_table(name: str, title: str, kind: str, paper) -> TableSpec:
+    return TableSpec(
+        name,
+        title,
+        "a",
+        paper,
+        (
+            _plain_row("cdkpm", kind, needs=("a",), include=("a",)),
+            _plain_row("gidney", kind, needs=("a",), include=("a",)),
+            RowSpec(
+                "draper", "Draper",
+                SpecTemplate(kind, (("family", "draper"),), ("a",), supports_mbu=False),
+                (
+                    MetricSpec("qft_units", "qft_units"),
+                    MetricSpec("pcqft_units", "pcqft_units"),
+                    MetricSpec("ancillas", "ancillas", paper=0),
+                ),
+                include=("a",),
+            ),
+        ),
+    )
+
+
+TABLE4 = _constant_table(
+    "table4", "Table 4 — addition by a constant (n={n})", "add_const", PAPER_TABLE4
+)
+TABLE5 = _constant_table(
+    "table5", "Table 5 — controlled addition by a constant (n={n})",
+    "controlled_add_const", PAPER_TABLE5,
+)
+
+TABLE6 = TableSpec(
+    "table6",
+    "Table 6 — comparators (n={n})",
+    None,
+    PAPER_TABLE6,
+    (
+        _plain_row("cdkpm", "comparator"),
+        _plain_row("gidney", "comparator"),
+        RowSpec(
+            "draper", "Draper",
+            SpecTemplate("comparator", (("family", "draper"),), supports_mbu=False),
+            (MetricSpec("qft_units", "qft_units"), MetricSpec("ancillas", "ancillas", paper=1)),
+        ),
+    ),
+)
+
+#: Every paper table, by name — the sweep pipeline's menu.
+TABLE_SPECS: Dict[str, TableSpec] = {
+    t.name: t for t in (TABLE1, TABLE2, TABLE3, TABLE4, TABLE5, TABLE6)
 }
 
 
 def table1(n: int, p: int | None = None) -> List[Dict[str, Any]]:
     """Table 1: modular addition, with and without MBU."""
-    if p is None:
-        p = (1 << n) - 1  # worst-case Hamming weight, as the |p| terms assume
-    wp = hamming_weight(p)
-    builders = {
-        "vbe5": lambda mbu: build_modadd_vbe_original(n, p, mbu=mbu),
-        "vbe4": lambda mbu: build_modadd(n, p, "vbe", mbu=mbu),
-        "cdkpm": lambda mbu: build_modadd(n, p, "cdkpm", mbu=mbu),
-        "gidney": lambda mbu: build_modadd(n, p, "gidney", mbu=mbu),
-        "hybrid": lambda mbu: build_modadd(n, p, "gidney", "cdkpm", mbu=mbu),
-    }
-    rows: List[Dict[str, Any]] = []
-    for key, make in builders.items():
-        plain, mbu = make(False), make(True)
-        counts, counts_mbu = plain.counts("expected"), mbu.counts("expected")
-        row: Dict[str, Any] = {"row": TABLE1_LABELS[key], "n": n, "p": p}
-        for metric, measured in [
-            ("qubits", plain.logical_qubits),
-            ("toffoli", counts.toffoli),
-            ("toffoli_mbu", counts_mbu.toffoli),
-            ("cnot_cz", counts.cnot_cz),
-            ("cnot_cz_mbu", counts_mbu.cnot_cz),
-            ("x", counts.x),
-            ("x_mbu", counts_mbu.x),
-        ]:
-            formula = PAPER_TABLE1[key].get(metric)
-            row[metric] = measured
-            row[f"{metric}_paper"] = formula.evaluate(n=n, wp=wp) if formula else None
-        rows.append(row)
-
-    for key, amortized in [("draper", False), ("draper_expect", True)]:
-        plain, mbu = build_modadd_draper(n, p), build_modadd_draper(n, p, mbu=True)
-        discount = 2 if amortized else 0  # first QFT + last IQFT amortised away
-        row = {
-            "row": TABLE1_LABELS[key],
-            "n": n,
-            "p": p,
-            "qubits": plain.logical_qubits,
-            "qubits_paper": PAPER_TABLE1[key]["qubits"].evaluate(n=n),
-            "qft_units": qft_units(plain) - discount,
-            "qft_units_paper": PAPER_TABLE1[key]["qft_units"].evaluate(n=n),
-            "qft_units_mbu": qft_units(mbu) - discount,
-            "qft_units_mbu_paper": PAPER_TABLE1[key]["qft_units_mbu"].evaluate(n=n),
-            "pcqft_units": pcqft_units(plain),
-            "pcqft_units_paper": PAPER_TABLE1[key]["pcqft_units"].evaluate(n=n),
-        }
-        rows.append(row)
-    return rows
+    return build_table_rows(TABLE1, n, p=p)
 
 
 def table2(n: int) -> List[Dict[str, Any]]:
     """Table 2: plain adders."""
-    rows = []
-    for family in ("vbe", "cdkpm", "gidney"):
-        built = build_adder(n, family)
-        counts = built.counts("expected")
-        paper = PAPER_TABLE2[family]
-        rows.append({
-            "row": family.upper(),
-            "toffoli": counts.toffoli,
-            "toffoli_paper": paper["toffoli"].evaluate(n=n),
-            "ancillas": built.ancilla_count,
-            "ancillas_paper": paper["ancillas"].evaluate(n=n),
-            "cnot": counts["cx"],
-            "cnot_paper": paper["cnot"].evaluate(n=n),
-        })
-    built = build_adder(n, "draper")
-    rows.append({
-        "row": "Draper",
-        "qft_units": qft_units(built),
-        "qft_units_paper": PAPER_TABLE2["draper"]["qft_units"].evaluate(n=n),
-        "ancillas": built.ancilla_count,
-        "ancillas_paper": 0,
-    })
-    return rows
+    return build_table_rows(TABLE2, n)
 
 
 def table3(n: int) -> List[Dict[str, Any]]:
     """Table 3: controlled addition."""
-    rows = []
-    for family in ("cdkpm", "gidney"):
-        built = build_controlled_adder(n, family, "native")
-        counts = built.counts("expected")
-        paper = PAPER_TABLE3[family]
-        rows.append({
-            "row": family.upper(),
-            "toffoli": counts.toffoli,
-            "toffoli_paper": paper["toffoli"].evaluate(n=n),
-            "ancillas": built.ancilla_count,
-            "ancillas_paper": paper["ancillas"].evaluate(n=n),
-            "cnot": counts["cx"],
-            "cnot_paper": paper["cnot"].evaluate(n=n),
-        })
-    built = build_controlled_adder(n, "draper")
-    rows.append({
-        "row": "Draper",
-        "toffoli": built.counts().toffoli,
-        "toffoli_paper": PAPER_TABLE3["draper"]["toffoli"].evaluate(n=n),
-        "ancillas": built.ancilla_count,
-        "ancillas_paper": 1,
-        "qft_units": qft_units(built),
-        "qft_units_paper": PAPER_TABLE3["draper"]["qft_units"].evaluate(n=n),
-    })
-    return rows
-
-
-def _constant_table(n: int, a: int | None, controlled: bool) -> List[Dict[str, Any]]:
-    if a is None:
-        a = (1 << n) - 1
-    wa = hamming_weight(a)
-    paper_table = PAPER_TABLE5 if controlled else PAPER_TABLE4
-    make = build_controlled_add_const if controlled else build_add_const
-    rows = []
-    for family in ("cdkpm", "gidney"):
-        built = make(n, a, family)
-        counts = built.counts("expected")
-        paper = paper_table[family]
-        rows.append({
-            "row": family.upper(),
-            "a": a,
-            "toffoli": counts.toffoli,
-            "toffoli_paper": paper["toffoli"].evaluate(n=n, wa=wa),
-            "ancillas": built.ancilla_count,
-            "ancillas_paper": paper["ancillas"].evaluate(n=n, wa=wa),
-            "cnot": counts["cx"],
-            "cnot_paper": paper["cnot"].evaluate(n=n, wa=wa),
-        })
-    built = make(n, a, "draper")
-    rows.append({
-        "row": "Draper",
-        "a": a,
-        "qft_units": qft_units(built),
-        "qft_units_paper": paper_table["draper"]["qft_units"].evaluate(n=n),
-        "pcqft_units": pcqft_units(built),
-        "pcqft_units_paper": paper_table["draper"]["pcqft_units"].evaluate(n=n),
-        "ancillas": built.ancilla_count,
-        "ancillas_paper": 0,
-    })
-    return rows
+    return build_table_rows(TABLE3, n)
 
 
 def table4(n: int, a: int | None = None) -> List[Dict[str, Any]]:
     """Table 4: addition by a constant."""
-    return _constant_table(n, a, controlled=False)
+    return build_table_rows(TABLE4, n, a=a)
 
 
 def table5(n: int, a: int | None = None) -> List[Dict[str, Any]]:
     """Table 5: controlled addition by a constant."""
-    return _constant_table(n, a, controlled=True)
+    return build_table_rows(TABLE5, n, a=a)
 
 
 def table6(n: int) -> List[Dict[str, Any]]:
     """Table 6: comparators."""
-    rows = []
-    for family in ("cdkpm", "gidney"):
-        built = build_comparator(n, family)
-        counts = built.counts("expected")
-        paper = PAPER_TABLE6[family]
-        rows.append({
-            "row": family.upper(),
-            "toffoli": counts.toffoli,
-            "toffoli_paper": paper["toffoli"].evaluate(n=n),
-            "ancillas": built.ancilla_count,
-            "ancillas_paper": paper["ancillas"].evaluate(n=n),
-            "cnot": counts["cx"],
-            "cnot_paper": paper["cnot"].evaluate(n=n),
-        })
-    built = build_comparator(n, "draper")
-    rows.append({
-        "row": "Draper",
-        "qft_units": qft_units(built),
-        "qft_units_paper": PAPER_TABLE6["draper"]["qft_units"].evaluate(n=n),
-        "ancillas": built.ancilla_count,
-        "ancillas_paper": 1,
-    })
-    return rows
+    return build_table_rows(TABLE6, n)
 
 
-def mbu_savings(n: int, p: int | None = None) -> Dict[str, float]:
+# --------------------------------------------------------------------------- #
+# section 1.1 headline savings
+
+#: key -> (template, ratio metric).  The Takahashi row compares the
+#: constant modular adder at a = p // 2 (resolved in :func:`mbu_savings`).
+SAVINGS_SPECS: Dict[str, Tuple[SpecTemplate, str]] = {
+    "vbe5": (SpecTemplate("modadd_vbe_original", needs=("p",)), "toffoli"),
+    "vbe4": (SpecTemplate("modadd", (("family", "vbe"),), ("p",)), "toffoli"),
+    "cdkpm": (SpecTemplate("modadd", (("family", "cdkpm"),), ("p",)), "toffoli"),
+    "gidney": (SpecTemplate("modadd", (("family", "gidney"),), ("p",)), "toffoli"),
+    "hybrid": (
+        SpecTemplate("modadd", (("family", "gidney"), ("mid_family", "cdkpm")), ("p",)),
+        "toffoli",
+    ),
+    "draper": (_MODADD_DRAPER, "qft_units"),
+    "takahashi": (
+        SpecTemplate(
+            "modadd_const",
+            (("family", "cdkpm"), ("architecture", "takahashi")),
+            ("p", "a"),
+        ),
+        "toffoli",
+    ),
+}
+
+
+def mbu_savings(
+    n: int, p: int | None = None, cache: Optional[CircuitCache] = None
+) -> Dict[str, float]:
     """Section-1.1 headline: relative expected-Toffoli savings from MBU."""
     if p is None:
         p = (1 << n) - 1
-    from ..modular import build_modadd_const
-
     out: Dict[str, float] = {}
-    for key, make in {
-        "vbe5": lambda mbu: build_modadd_vbe_original(n, p, mbu=mbu),
-        "vbe4": lambda mbu: build_modadd(n, p, "vbe", mbu=mbu),
-        "cdkpm": lambda mbu: build_modadd(n, p, "cdkpm", mbu=mbu),
-        "gidney": lambda mbu: build_modadd(n, p, "gidney", mbu=mbu),
-        "hybrid": lambda mbu: build_modadd(n, p, "gidney", "cdkpm", mbu=mbu),
-    }.items():
-        base = make(False).counts("expected").toffoli
-        with_mbu = make(True).counts("expected").toffoli
+    for key, (template, metric) in SAVINGS_SPECS.items():
+        a = p // 2 if "a" in template.needs else None
+        pair = []
+        for mbu in (False, True):
+            spec = template.spec(n, p=p, a=a, mbu=mbu)
+            if metric == "qft_units":
+                built = cache.build(spec) if cache is not None else build_spec(spec)
+                pair.append(qft_units(built))
+            elif cache is not None:
+                pair.append(cache.counts(spec).toffoli)
+            else:
+                pair.append(build_spec(spec).counts("expected").toffoli)
+        base, with_mbu = pair
         out[key] = float(1 - with_mbu / base)
-    base = qft_units(build_modadd_draper(n, p))
-    with_mbu = qft_units(build_modadd_draper(n, p, mbu=True))
-    out["draper"] = float(1 - with_mbu / base)
-    taka = build_modadd_const(n, p, p // 2, "cdkpm", "takahashi")
-    taka_mbu = build_modadd_const(n, p, p // 2, "cdkpm", "takahashi", mbu=True)
-    out["takahashi"] = float(
-        1 - taka_mbu.counts("expected").toffoli / taka.counts("expected").toffoli
-    )
     return out
 
 
@@ -308,7 +524,6 @@ def render_rows(rows: Sequence[Dict[str, Any]], title: str = "") -> str:
             if key not in metrics:
                 metrics.append(key)
     header = ["row"] + [m for m in metrics]
-    lines = []
     widths: Dict[str, int] = {}
 
     def cell(row: Dict[str, Any], metric: str) -> str:

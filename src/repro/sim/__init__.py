@@ -34,7 +34,7 @@ the same walker.
 """
 
 from .api import SimulationResult, available_backends, register_backend, simulate
-from .bitplane import BitplaneSimulator, run_bitplane
+from .bitplane import BitplaneSimulator, LaneTallyStats, run_bitplane
 from .classical import ClassicalSimulator, UnsupportedGateError, run_classical
 from .engine import (
     EXECUTE,
@@ -65,6 +65,7 @@ __all__ = [
     "ClassicalSimulator",
     "StatevectorSimulator",
     "BitplaneSimulator",
+    "LaneTallyStats",
     "UnsupportedGateError",
     "run_classical",
     "run_statevector",

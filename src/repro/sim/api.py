@@ -32,7 +32,7 @@ from ..circuits.circuit import Circuit
 from ..circuits.counts import GateCounts
 from .bitplane import BitplaneSimulator, run_bitplane
 from .classical import ClassicalSimulator
-from .outcomes import OutcomeProvider
+from .outcomes import OutcomeProvider, RandomOutcomes
 from .statevector import StatevectorSimulator
 
 __all__ = [
@@ -80,6 +80,7 @@ def simulate(
     inputs: Mapping[str, Any] | None = None,
     backend: str = "classical",
     outcomes: OutcomeProvider | None = None,
+    seed: int | None = None,
     **options: Any,
 ) -> SimulationResult:
     """Run ``circuit`` on basis inputs with the named backend.
@@ -88,7 +89,18 @@ def simulate(
     backend additionally accepts per-lane sequences).  Extra keyword
     options are forwarded to the backend runner (e.g. ``batch=4096`` for
     ``bitplane``, ``tally=False`` for any of the built-ins).
+
+    Seeding contract: ``seed=<int>`` is shorthand for
+    ``outcomes=RandomOutcomes(seed)`` — same seed, same measurement
+    outcomes, on every platform.  Passing both ``seed`` and ``outcomes``
+    is an error.  With neither, the engine defaults to
+    ``RandomOutcomes(0)``, so runs are deterministic by default (see
+    :mod:`repro.sim.outcomes`).
     """
+    if seed is not None:
+        if outcomes is not None:
+            raise ValueError("pass either seed= or outcomes=, not both")
+        outcomes = RandomOutcomes(seed)
     try:
         runner = _BACKENDS[backend]
     except KeyError:
@@ -156,9 +168,13 @@ def _run_bitplane(
     outcomes: OutcomeProvider | None,
     batch: int = 64,
     tally: bool = True,
+    lane_counts: Any = None,
 ) -> SimulationResult:
     _check_registers(circuit, inputs)
-    sim = run_bitplane(circuit, inputs, batch=batch, outcomes=outcomes, tally=tally)
+    sim = run_bitplane(
+        circuit, inputs, batch=batch, outcomes=outcomes, tally=tally,
+        lane_counts=lane_counts,
+    )
     registers = {name: sim.get_register(name) for name in circuit.registers}
     bits: List[List[int]] = [sim.get_bit(b) for b in range(circuit.num_bits)]
     return SimulationResult("bitplane", registers, bits, sim.tally, sim)

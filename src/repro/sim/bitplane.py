@@ -29,6 +29,12 @@ one run is a ``batch``-sample Monte-Carlo experiment.
 Tally semantics: the engine weights each operation by the fraction of
 lanes that execute it, so ``sim.tally`` is the *average per-lane* executed
 gate count — directly comparable to the paper's expected-cost formulas.
+Passing ``lane_counts=("ccx", "ccz")`` additionally keeps an exact
+*per-lane* executed-gate counter for the named gates, turning one run into
+``batch`` i.i.d. cost samples: :meth:`BitplaneSimulator.lane_tally_stats`
+reports their mean (a :class:`~fractions.Fraction`, equal to the engine
+tally), sample variance and standard error — the raw material for the
+pipeline's Monte-Carlo confidence intervals.
 
 Like the classical simulator, diagonal/phase gates are value-preserving
 no-ops on basis states (per-lane phases are not tracked at all here — not
@@ -42,6 +48,8 @@ Bit-plane words use an explicit little-endian ``uint64`` dtype so lane
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Mapping, Sequence, Union
 
@@ -53,7 +61,7 @@ from .classical import UnsupportedGateError, garbage_gate_skips
 from .engine import BranchDecision, ExecutionBackend, ExecutionEngine
 from .outcomes import OutcomeProvider
 
-__all__ = ["BitplaneSimulator", "run_bitplane", "LaneValues"]
+__all__ = ["BitplaneSimulator", "run_bitplane", "LaneValues", "LaneTallyStats"]
 
 _DTYPE = np.dtype("<u8")  # little-endian uint64: lane b = bit b%64 of word b//64
 
@@ -78,6 +86,47 @@ def _pack_int(value: int, words: int) -> np.ndarray:
     return np.frombuffer(value.to_bytes(words * 8, "little"), dtype=_DTYPE).copy()
 
 
+@dataclass(frozen=True)
+class LaneTallyStats:
+    """Summary statistics of a per-lane executed-gate sample.
+
+    ``mean`` is exact (a Fraction: total executed / lanes) and coincides
+    with the engine tally for the same gates; ``variance`` is the unbiased
+    sample variance across lanes, ``stderr`` its standard error of the
+    mean, and ``ci95`` the half-width of a normal-approximation 95%
+    confidence interval.
+    """
+
+    samples: int
+    mean: Fraction
+    variance: float
+    stderr: float
+
+    @classmethod
+    def from_counts(cls, totals: np.ndarray, **extra) -> "LaneTallyStats":
+        """Summarize a 1-D array of per-run executed counts (subclasses
+        forward their extra fields through ``**extra``)."""
+        samples = int(len(totals))
+        if samples < 1:
+            raise ValueError("need at least one sample")
+        mean = Fraction(int(totals.sum()), samples)
+        variance = float(totals.var(ddof=1)) if samples > 1 else 0.0
+        return cls(samples, mean, variance, math.sqrt(variance / samples), **extra)
+
+    @property
+    def ci95(self) -> float:
+        return 1.96 * self.stderr
+
+    def z_score(self, expected) -> float:
+        """Standardized deviation of ``mean`` from a hypothesized value."""
+        if self.stderr == 0.0:
+            return 0.0 if Fraction(expected) == self.mean else math.inf
+        return float(self.mean - Fraction(expected)) / self.stderr
+
+    def agrees_with(self, expected, sigmas: float = 5.0) -> bool:
+        return abs(self.z_score(expected)) <= sigmas
+
+
 class BitplaneSimulator(ExecutionBackend):
     """Simulate ``batch`` computational-basis inputs in one vectorized pass."""
 
@@ -87,6 +136,7 @@ class BitplaneSimulator(ExecutionBackend):
         batch: int = 64,
         outcomes: OutcomeProvider | None = None,
         tally: bool = True,
+        lane_counts: Sequence[str] | None = None,
     ) -> None:
         if batch < 1:
             raise ValueError("batch must be at least 1")
@@ -99,6 +149,13 @@ class BitplaneSimulator(ExecutionBackend):
         self._mask: List[np.ndarray] = [self._valid]
         self._active: List[int] = [batch]
         self._garbage: List[int] = []  # MBU garbage-qubit stack (innermost last)
+        # Per-lane executed-gate counters for the named gates (exact tally
+        # variance across lanes; mirrors the engine tally's semantics, i.e.
+        # gates on MBU garbage qubits count even when their state update is
+        # skipped — they are executed, their effect is just irrelevant).
+        self._lane_track: Dict[str, np.ndarray] = {
+            name: np.zeros(batch, dtype=np.int64) for name in (lane_counts or ())
+        }
         self.engine = ExecutionEngine(self, outcomes=outcomes, tally=tally)
 
     # -- lane preparation / readout -------------------------------------------
@@ -178,6 +235,28 @@ class BitplaneSimulator(ExecutionBackend):
         word, shift = lane >> 6, np.uint64(lane & 63)
         return [int(self.bit_planes[b][word] >> shift) & 1 for b in range(self.circuit.num_bits)]
 
+    # -- per-lane tallies -----------------------------------------------------
+
+    def _mask_lanes(self, mask: np.ndarray) -> np.ndarray:
+        """The mask as a (batch,) 0/1 array (lane b = bit b)."""
+        bits = np.unpackbits(np.ascontiguousarray(mask).view(np.uint8), bitorder="little")
+        return bits[: self.batch]
+
+    def lane_tally(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Exact per-lane executed count, summed over the tracked ``names``
+        (default: every gate passed as ``lane_counts``)."""
+        if not self._lane_track:
+            raise ValueError("no lane_counts were requested at construction")
+        keys = list(self._lane_track) if names is None else list(names)
+        out = np.zeros(self.batch, dtype=np.int64)
+        for name in keys:
+            out += self._lane_track[name]
+        return out
+
+    def lane_tally_stats(self, names: Sequence[str] | None = None) -> LaneTallyStats:
+        """Mean / sample-variance / standard-error of the per-lane tally."""
+        return LaneTallyStats.from_counts(self.lane_tally(names))
+
     # -- execution ------------------------------------------------------------
 
     def run(self) -> "BitplaneSimulator":
@@ -191,6 +270,10 @@ class BitplaneSimulator(ExecutionBackend):
 
     def apply_gate(self, gate: Gate) -> None:
         name, q = gate.name, gate.qubits
+        if self._lane_track:
+            counter = self._lane_track.get(name)
+            if counter is not None:
+                counter += self._mask_lanes(self._mask[-1])
         if self._garbage and garbage_gate_skips(gate, self._garbage):
             return
         mask = self._mask[-1]
@@ -273,13 +356,16 @@ def run_bitplane(
     batch: int = 64,
     outcomes: OutcomeProvider | None = None,
     tally: bool = True,
+    lane_counts: Sequence[str] | None = None,
 ) -> BitplaneSimulator:
     """Run ``batch`` basis-input lanes at once; returns the simulator.
 
     ``inputs`` maps register names to either one ``int`` (broadcast to all
     lanes) or a ``batch``-long sequence of per-lane values.
     """
-    sim = BitplaneSimulator(circuit, batch=batch, outcomes=outcomes, tally=tally)
+    sim = BitplaneSimulator(
+        circuit, batch=batch, outcomes=outcomes, tally=tally, lane_counts=lane_counts
+    )
     for name, values in (inputs or {}).items():
         sim.set_register(name, values)
     sim.run()

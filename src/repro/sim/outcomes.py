@@ -1,9 +1,26 @@
 """Measurement-outcome providers.
 
-Both simulators draw measurement outcomes from an :class:`OutcomeProvider`,
+All simulators draw measurement outcomes from an :class:`OutcomeProvider`,
 so tests can (a) seed randomness reproducibly, (b) force a specific branch
 sequence (e.g. "every MBU correction fires" / "no correction fires"), or
 (c) enumerate branches exhaustively.
+
+Seeding contract
+----------------
+Random-mode reproducibility is guaranteed end to end:
+
+* :class:`RandomOutcomes` is a seeded Mersenne-Twister stream; the same
+  seed always yields the same outcome (and per-lane bitmask) sequence,
+  on every platform and supported Python version.
+* When no provider is given, the execution engine defaults to
+  ``RandomOutcomes(0)`` — runs are deterministic *by default*, never
+  seeded from wall-clock entropy.
+* :func:`repro.sim.simulate` accepts ``seed=<int>`` as shorthand for
+  ``outcomes=RandomOutcomes(seed)`` (passing both is an error), so a
+  caller can thread one integer through an entire experiment.
+* The pipeline layer derives independent per-task seeds with
+  :func:`repro.pipeline.derive_seed` (SHA-256 of the task key), so a
+  sweep's results do not depend on worker scheduling order.
 """
 
 from __future__ import annotations

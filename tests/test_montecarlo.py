@@ -1,0 +1,124 @@
+"""Monte-Carlo expected-cost validation: lanes vs. formulas.
+
+The paper's expected-cost mode weighs every MBU correction by 1/2
+(Lemma 4.1: the X-basis measurement is an unbiased coin).  These tests
+check that a bit-plane run with *random* per-lane outcomes converges to
+exactly those numbers — the statistical leg of the reproduction —
+plus the per-lane tally machinery the estimates are built on.
+
+All tests use fixed seeds, so they are deterministic (no flaky-tolerance
+games); the tolerances still reflect honest sampling theory (a few
+standard errors).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arithmetic import build_adder
+from repro.modular import build_modadd
+from repro.pipeline import derive_seed, mc_expected_counts, mc_or_none
+from repro.sim import RandomOutcomes, run_bitplane, simulate
+
+
+class TestLaneTally:
+    def test_lane_mean_equals_engine_tally(self):
+        """Per-lane counters and the weighted engine tally agree exactly."""
+        built = build_modadd(4, 13, "cdkpm", mbu=True)
+        sim = run_bitplane(
+            built.circuit, {"x": 5, "y": 9}, batch=256,
+            outcomes=RandomOutcomes(3), lane_counts=("ccx", "ccz"),
+        )
+        stats = sim.lane_tally_stats()
+        assert stats.mean == sim.tally["ccx"] + sim.tally["ccz"]
+        assert stats.samples == 256
+
+    def test_deterministic_circuit_has_zero_variance(self):
+        built = build_adder(5, "cdkpm")  # fully reversible: no measurements
+        est = mc_expected_counts(built, batch=64, seed=1)
+        assert est.mean == built.counts("expected").toffoli
+        assert est.variance == 0.0 and est.stderr == 0.0 and est.ci95 == 0.0
+
+    def test_lane_counts_must_be_requested(self):
+        built = build_adder(3, "cdkpm")
+        sim = run_bitplane(built.circuit, batch=8)
+        with pytest.raises(ValueError, match="lane_counts"):
+            sim.lane_tally()
+
+
+class TestSeedThreading:
+    """The simulate() seeding contract (reproducible random mode)."""
+
+    def test_same_seed_same_outcomes(self):
+        built = build_modadd(4, 13, "cdkpm", mbu=True)
+        runs = [
+            simulate(built.circuit, {"x": 3, "y": 7}, backend="bitplane",
+                     batch=64, seed=42).bits
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_different_seeds_differ(self):
+        built = build_modadd(4, 13, "cdkpm", mbu=True)
+        a = simulate(built.circuit, {"x": 3, "y": 7}, backend="bitplane",
+                     batch=64, seed=1).bits
+        b = simulate(built.circuit, {"x": 3, "y": 7}, backend="bitplane",
+                     batch=64, seed=2).bits
+        assert a != b
+
+    def test_seed_and_outcomes_mutually_exclusive(self):
+        built = build_adder(3, "cdkpm")
+        with pytest.raises(ValueError, match="not both"):
+            simulate(built.circuit, {}, seed=1, outcomes=RandomOutcomes(2))
+
+    def test_derive_seed_is_stable_and_spread(self):
+        assert derive_seed("table1", 4, "cdkpm") == derive_seed("table1", 4, "cdkpm")
+        seeds = {derive_seed("t", i) for i in range(64)}
+        assert len(seeds) == 64
+
+
+class TestConvergence:
+    """MC expected MBU cost converges to the paper's expected-cost formula
+    for the comparator-based modular adder at small n (the satellite's
+    headline statistical test)."""
+
+    @pytest.mark.parametrize("family,mid", [("cdkpm", None), ("gidney", "cdkpm")])
+    def test_mc_matches_expected_formula(self, family, mid):
+        built = build_modadd(4, 13, family, mid, mbu=True)
+        expected = built.counts("expected").toffoli
+        est = mc_expected_counts(built, batch=4096, seed=derive_seed(family, mid))
+        # the MBU correction fires in ~half the lanes: mean within 4 sigma
+        assert est.stderr > 0
+        assert est.agrees_with(expected, sigmas=4), (
+            float(est.mean), float(expected), est.stderr
+        )
+
+    def test_error_shrinks_with_more_lanes(self):
+        built = build_modadd(4, 13, "cdkpm", mbu=True)
+        expected = built.counts("expected").toffoli
+        small = mc_expected_counts(built, batch=128, seed=5)
+        large = mc_expected_counts(built, batch=8192, seed=5)
+        assert large.ci95 < small.ci95
+        assert abs(float(large.mean - expected)) <= 4 * large.stderr
+
+    def test_repeats_accumulate_samples(self):
+        built = build_modadd(4, 13, "cdkpm", mbu=True)
+        est = mc_expected_counts(built, batch=128, repeats=4, seed=9)
+        assert est.samples == 512
+
+    def test_bernoulli_variance_of_single_mbu_block(self):
+        """CDKPM modadd has one MBU block: per-lane Toffoli count is
+        base + Bernoulli(1/2) * correction, so the sample variance must
+        approach correction^2 / 4."""
+        built = build_modadd(4, 13, "cdkpm", mbu=True)
+        worst = built.counts("worst").toffoli
+        best = built.counts("best").toffoli
+        correction = float(worst - best)
+        est = mc_expected_counts(built, batch=8192, seed=13)
+        assert est.variance == pytest.approx(correction ** 2 / 4, rel=0.1)
+
+    def test_qft_circuits_skip_gracefully(self):
+        from repro.modular import build_modadd_draper
+
+        built = build_modadd_draper(4, 13, mbu=True)
+        assert mc_or_none(built, batch=16, seed=0) is None

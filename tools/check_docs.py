@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Documentation link / pointer checker (stdlib only; the CI docs job runs it).
+
+Checks, across README.md and docs/*.md:
+
+* every relative markdown link ``[text](path)`` resolves to a real file
+  (anchors are stripped; http(s)/mailto links are skipped);
+* every `` `src/...` `` / `` `tests/...` `` / `` `examples/...` `` code
+  pointer names an existing file or directory (function suffixes like
+  ``module.py (build_x)`` are tolerated);
+* docs/paper-map.md covers every declared table row: for each
+  ``TableSpec`` row key in ``repro.resources.tables.TABLE_SPECS`` there
+  must be a matching table line naming a module and a test.
+
+Exit status is non-zero on any failure, with one line per problem.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+POINTER_RE = re.compile(r"`((?:src|tests|examples|benchmarks|docs|tools)/[^`\s]+)`")
+
+
+def md_files():
+    yield ROOT / "README.md"
+    yield from sorted((ROOT / "docs").glob("*.md"))
+
+
+def check_links(problems: list) -> None:
+    for md in md_files():
+        text = md.read_text()
+        for link in LINK_RE.findall(text):
+            link = link.strip()
+            if link.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = link.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (md.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{md.relative_to(ROOT)}: broken link -> {link}")
+
+
+def check_pointers(problems: list) -> None:
+    for md in md_files():
+        for pointer in POINTER_RE.findall(md.read_text()):
+            path = pointer.split("::", 1)[0].rstrip("/")
+            if not (ROOT / path).exists():
+                problems.append(f"{md.relative_to(ROOT)}: missing path -> {pointer}")
+
+
+def check_paper_map(problems: list) -> None:
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        from repro.resources.tables import TABLE_SPECS
+    except Exception as exc:  # pragma: no cover - import environment issues
+        problems.append(f"paper-map check skipped: cannot import repro ({exc})")
+        return
+    text = (ROOT / "docs" / "paper-map.md").read_text()
+
+    # Split into "## ..." sections so a row label only counts inside its
+    # own table's section (CDKPM/Gidney/Draper appear in all six tables).
+    sections: dict = {}
+    header = ""
+    for line in text.splitlines():
+        if line.startswith("## "):
+            header = line
+            sections[header] = []
+        elif header:
+            sections[header].append(line)
+
+    for spec in TABLE_SPECS.values():
+        number = spec.name.removeprefix("table")
+        section = next(
+            (body for head, body in sections.items() if f"Table {number} " in head),
+            None,
+        )
+        if section is None:
+            problems.append(f"docs/paper-map.md: no section for {spec.name}")
+            continue
+        for row in spec.rows:
+            matches = [
+                ln for ln in section
+                if ln.startswith("|") and f"| {row.label} " in f"{ln} "
+                and ("src/" in ln)
+            ]
+            if not matches:
+                problems.append(
+                    f"docs/paper-map.md: no module row for {spec.name} / {row.label!r}"
+                )
+                continue
+            if not any("tests/" in ln for ln in matches):
+                problems.append(
+                    f"docs/paper-map.md: no test pointer for {spec.name} / {row.label!r}"
+                )
+
+
+def main() -> int:
+    problems: list = []
+    check_links(problems)
+    check_pointers(problems)
+    check_paper_map(problems)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    count = sum(1 for _ in md_files())
+    print(f"check_docs: OK ({count} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
