@@ -1,0 +1,121 @@
+"""Compiled vs interpretive bit-plane execution throughput.
+
+Measures the wall-clock cost of running the MBU modular adder through
+``BitplaneSimulator.run()`` (the interpretive ``ExecutionEngine`` walk)
+against ``run_compiled()`` (the ``repro.transform.compile_program`` linear
+VM) at n = 64, 256 and batch = 1024, 4096, and writes the machine-readable
+``benchmarks/BENCH_transform.json``.  One-off compile time is reported
+separately — a sweep compiles once and runs many batches.
+
+The acceptance bar for the compiled path is a >= 2x speedup over the
+interpretive walk at n = 64, batch = 4096 (tally off);
+``test_report_transform`` asserts it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.modular import build_modadd
+from repro.sim import BitplaneSimulator, RandomOutcomes
+from repro.transform import compile_program
+
+CASES = [(64, 1024), (64, 4096), (256, 4096)]
+
+_RESULTS = {}
+
+
+def _inputs(p, batch):
+    xs = [pow(3, i + 1, p) for i in range(batch)]
+    ys = [pow(5, i + 1, p) for i in range(batch)]
+    return xs, ys
+
+
+def _prepared(circuit, batch, xs, ys, tally=False):
+    sim = BitplaneSimulator(circuit, batch=batch, outcomes=RandomOutcomes(7), tally=tally)
+    sim.set_register("x", xs)
+    sim.set_register("y", ys)
+    return sim
+
+
+@pytest.mark.parametrize("n,batch", CASES)
+def test_transform_throughput(benchmark, n, batch):
+    p = (1 << n) - 59
+    built = build_modadd(n, p, "cdkpm", mbu=True)
+    xs, ys = _inputs(p, batch)
+
+    t0 = time.perf_counter()
+    program = compile_program(built.circuit, tally=False)
+    compile_seconds = time.perf_counter() - t0
+    program_tally = compile_program(built.circuit, tally=True)
+
+    def run_compiled():
+        sim = _prepared(built.circuit, batch, xs, ys)
+        sim.run_compiled(program)
+        return sim
+
+    sim = benchmark(run_compiled)
+    out = sim.get_register("y")
+    for lane in range(0, batch, max(1, batch // 16)):
+        assert out[lane] == (xs[lane] + ys[lane]) % p
+
+    def best(execute, tally=False, rounds=3):
+        """Best-of wall clock of the execution step alone (state preparation
+        is identical for both paths and excluded)."""
+        times = []
+        for _ in range(rounds):
+            sim = _prepared(built.circuit, batch, xs, ys, tally=tally)
+            t0 = time.perf_counter()
+            execute(sim)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    interp = best(lambda sim: sim.run())
+    compiled = best(lambda sim: sim.run_compiled(program))
+    interp_tally = best(lambda sim: sim.run(), tally=True)
+    compiled_tally = best(lambda sim: sim.run_compiled(program_tally), tally=True)
+
+    _RESULTS[f"n{n}_B{batch}"] = {
+        "n": n,
+        "batch": batch,
+        "instructions": len(program),
+        "compile_seconds": compile_seconds,
+        "interpretive_seconds": interp,
+        "compiled_seconds": compiled,
+        "speedup": interp / compiled,
+        "interpretive_tally_seconds": interp_tally,
+        "compiled_tally_seconds": compiled_tally,
+        "speedup_tally": interp_tally / compiled_tally,
+    }
+
+
+def test_report_transform(benchmark, capsys):
+    from conftest import print_once
+
+    if not _RESULTS:  # throughput cases filtered out (-k/-x): keep old JSON
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        return
+    payload = {
+        "benchmark": "compiled_vs_interpretive_bitplane",
+        "circuit": "modadd[cdkpm, mbu=True]",
+        "results": _RESULTS,
+    }
+    out_path = Path(__file__).with_name("BENCH_transform.json")
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = ["Compiled program vs interpretive walk (BitplaneSimulator):"]
+    for key, row in _RESULTS.items():
+        lines.append(
+            f"  {key:10s} interp={row['interpretive_seconds']*1e3:8.2f} ms  "
+            f"compiled={row['compiled_seconds']*1e3:8.2f} ms  "
+            f"speedup={row['speedup']:5.2f}x  "
+            f"(tally on: {row['speedup_tally']:5.2f}x)"
+        )
+    lines.append(f"  -> {out_path.name}")
+    print_once(benchmark, capsys, "\n".join(lines))
+
+    key = "n64_B4096"
+    if key in _RESULTS:  # absent under -k filtering
+        assert _RESULTS[key]["speedup"] >= 2

@@ -13,6 +13,10 @@ The package provides:
 * ``repro.modular`` — all section-3 modular adders (VBE architecture,
   Takahashi, Beauregard) and their controlled / by-constant variants;
 * ``repro.mbu`` — Lemma 4.1 and every section-4 MBU-optimised circuit;
+* ``repro.transform`` — compiler passes over the IR (Lemma 4.1 as the
+  ``insert_mbu`` rewrite, Toffoli lowering, Clifford+T decomposition,
+  peephole cancellation, inversion) plus linear-program compilation for
+  the bit-plane backend;
 * ``repro.resources`` — the paper's cost formulas and Table 1-6 regeneration;
 * ``repro.extensions`` — modular multiplication / exponentiation built on
   top of the (MBU) modular adders (the paper's future-work direction);
@@ -20,7 +24,7 @@ The package provides:
   Monte-Carlo expected-cost checks and versioned JSON/markdown artifacts.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import (
     arithmetic,
@@ -32,6 +36,7 @@ from . import (
     pipeline,
     resources,
     sim,
+    transform,
 )
 
 __all__ = [
@@ -44,5 +49,6 @@ __all__ = [
     "pipeline",
     "resources",
     "sim",
+    "transform",
     "__version__",
 ]

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..circuits.circuit import Circuit
+from ..circuits.markers import UNCOMPUTE_AND, reference_mode, uncompute_label
 
 __all__ = [
     "emit_and",
@@ -51,7 +52,18 @@ def emit_and_uncompute(circ: Circuit, a: int, b: int, target: int) -> None:
 
     Measures the ancilla in the X basis; on outcome 1 applies CZ(a, b) to
     cancel the kicked-back phase and X to reset the ancilla.  Zero Toffolis.
+
+    Under :func:`~repro.circuits.markers.reference_emission` this emits the
+    *coherent* uncompute instead — the adjoint Toffoli, bracketed by
+    ``uncompute-and`` markers — which the ``insert_mbu`` transform pass
+    rewrites back into this very measurement pattern.
     """
+    if reference_mode():
+        label = uncompute_label(UNCOMPUTE_AND, target)
+        circ.begin(label)
+        circ.ccx(a, b, target)
+        circ.end(label)
+        return
     bit = circ.new_bit("and")
     circ.measure(target, bit, basis="x")
     with circ.capture() as body:

@@ -2,6 +2,12 @@
 
 from .circuit import Circuit, Register
 from .draw import draw
+from .markers import (
+    parse_uncompute_label,
+    reference_emission,
+    reference_mode,
+    uncompute_label,
+)
 from .ops import (
     Annotation,
     Conditional,
@@ -11,6 +17,7 @@ from .ops import (
     Operation,
     adjoint_gate,
     iter_flat,
+    strip_annotations,
 )
 from .resources import (
     GateCounts,
@@ -32,6 +39,11 @@ __all__ = [
     "Operation",
     "adjoint_gate",
     "iter_flat",
+    "strip_annotations",
+    "reference_emission",
+    "reference_mode",
+    "uncompute_label",
+    "parse_uncompute_label",
     "GateCounts",
     "count_gates",
     "count_blocks",

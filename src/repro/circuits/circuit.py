@@ -31,6 +31,7 @@ from .ops import (
     Measurement,
     Operation,
     adjoint_gate,
+    strip_annotations,
 )
 
 __all__ = ["Register", "Circuit"]
@@ -244,15 +245,24 @@ class Circuit:
     def adjoint_ops(self, ops: Sequence[Operation] | None = None) -> List[Operation]:
         """Adjoint of a unitary op sequence (reversed, gates conjugated).
 
-        Raises if the sequence contains measurements or conditionals: circuits
-        involving measurement are generally not invertible (remark 2.23).
-        Annotations are kept (begin/end swapped) so block counting still works.
+        Recurses into :class:`~repro.circuits.ops.Conditional` bodies (a
+        classically-controlled block of unitaries is inverted by inverting its
+        body under the same condition) but raises on measurements and MBU
+        blocks: circuits involving measurement are generally not invertible
+        (remark 2.23).  Annotations are kept (begin/end swapped) so block
+        counting still works.
         """
         source = self.ops if ops is None else ops
         out: List[Operation] = []
         for op in reversed(source):
             if isinstance(op, Gate):
                 out.append(adjoint_gate(op))
+            elif isinstance(op, Conditional):
+                out.append(
+                    Conditional(
+                        op.bit, tuple(self.adjoint_ops(op.body)), op.value, op.probability
+                    )
+                )
             elif isinstance(op, Annotation):
                 if op.kind == "begin":
                     out.append(Annotation("end", op.label))
@@ -266,6 +276,53 @@ class Circuit:
                     "(remark 2.23: measurement-based circuits are not invertible)"
                 )
         return out
+
+    def adjoint(self, name: str | None = None) -> "Circuit":
+        """The whole-circuit adjoint as a fresh :class:`Circuit`.
+
+        Shares this circuit's register/bit layout; raises (remark 2.23) when
+        the circuit contains a measurement or an MBU block.
+        """
+        out = self.copy_empty(name if name is not None else f"adjoint({self.name})")
+        out.extend(self.adjoint_ops())
+        return out
+
+    def copy_empty(self, name: str | None = None) -> "Circuit":
+        """A circuit with the same qubit/bit layout and no operations.
+
+        This is how :mod:`repro.transform` passes rebuild circuits: clone the
+        shell, then append rewritten operations (allocating any extra
+        ancillas/bits the rewrite needs).
+        """
+        out = Circuit(self.name if name is None else name)
+        out.num_qubits = self.num_qubits
+        out.num_bits = self.num_bits
+        out.registers = dict(self.registers)
+        out.qubit_labels = list(self.qubit_labels)
+        out.bit_labels = list(self.bit_labels)
+        return out
+
+    def structurally_equal(
+        self,
+        other: "Circuit",
+        include_annotations: bool = False,
+    ) -> bool:
+        """Whether two circuits are the same operation stream on the same
+        qubit/bit layout.
+
+        Recurses into Conditional/MBU bodies (the frozen op dataclasses
+        compare recursively).  ``include_annotations=False`` (the default)
+        ignores :class:`~repro.circuits.ops.Annotation` markers everywhere, so
+        a pass-produced circuit and a hand-built one compare equal even when
+        one of them carries block or uncompute markers.
+        """
+        if self.num_qubits != other.num_qubits or self.num_bits != other.num_bits:
+            return False
+        mine, theirs = self.ops, other.ops
+        if not include_annotations:
+            mine = strip_annotations(mine)
+            theirs = strip_annotations(theirs)
+        return list(mine) == list(theirs)
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -60,21 +60,29 @@ def _cells_for(op: Operation) -> Dict[int, str] | None:
     if isinstance(op, Measurement):
         return {op.qubit: "Mx" if op.basis == "x" else "M"}
     if isinstance(op, Conditional):
+        # Bodies are rendered recursively, so pass-produced nesting
+        # (conditionals holding measurements, MBU blocks or further
+        # conditionals) draws faithfully; an all-annotation or empty body
+        # yields no cells and the column is skipped rather than crashing.
         cells: Dict[int, str] = {}
         for inner in op.body:
             inner_cells = _cells_for(inner)
             if inner_cells:
                 for q, text in inner_cells.items():
                     cells[q] = f"?{text}"
-        return cells
+        return cells or None
     if isinstance(op, MBUBlock):
-        cells = {op.qubit: "~M"}
+        cells = {}
         for inner in op.body:
             inner_cells = _cells_for(inner)
             if inner_cells:
                 for q, text in inner_cells.items():
                     if q != op.qubit:
-                        cells.setdefault(q, "~")
+                        # keep the inner symbol (measurement, conditional,
+                        # gate) under a "~" prefix instead of collapsing the
+                        # whole correction body to a bare tilde
+                        cells.setdefault(q, f"~{text}")
+        cells[op.qubit] = "~M"
         return cells
     return None
 

@@ -1,0 +1,93 @@
+"""Reference-emission mode and uncompute region markers.
+
+The paper's central contribution (Lemma 4.1, thms 4.2-4.12) is a
+*circuit-to-circuit transformation*: replace a coherent uncomputation with a
+measurement plus a classically-conditioned correction.  For the transformation
+to exist as a rewrite (``repro.transform.insert_mbu``) rather than only as a
+construction-time choice, the builders need a *reference* emission path that
+keeps the uncomputation coherent and marks where it lives.
+
+Inside a ``with reference_emission():`` block the two measurement-based
+primitives — :func:`repro.arithmetic.gidney.emit_and_uncompute` (Gidney's
+fig-11 temporary-AND uncompute) and :func:`repro.mbu.lemma.emit_mbu_uncompute`
+(Lemma 4.1) — emit the textbook coherent uncomputation instead, bracketed by
+``begin``/``end`` :class:`~repro.circuits.ops.Annotation` markers whose labels
+encode the uncompute kind and garbage qubit:
+
+=====================  =====================================================
+``uncompute-and[q]``   a single Toffoli returning temporary-AND qubit ``q``
+                       to |0> (the adjoint of the fig-10 compute)
+``uncompute-oracle[q]``  a self-adjoint XOR-oracle re-applying garbage qubit
+                       ``q``'s function, uncomputing it coherently
+=====================  =====================================================
+
+Annotations are ignored by every simulator and resource counter, so a
+reference circuit is an ordinary coherent circuit — simulable on all
+backends — that happens to advertise its uncompute regions.  The
+``insert_mbu`` pass consumes the markers and re-derives the hand-built MBU
+circuits exactly (same ops, same classical-bit order, same expected counts).
+
+The flag is a :class:`contextvars.ContextVar`, so reference emission is
+thread- and task-local and composes with the builders' nested capture blocks
+without any signature changes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import re
+from contextvars import ContextVar
+from typing import Iterator, Optional, Tuple
+
+__all__ = [
+    "UNCOMPUTE_AND",
+    "UNCOMPUTE_ORACLE",
+    "reference_emission",
+    "reference_mode",
+    "uncompute_label",
+    "parse_uncompute_label",
+]
+
+#: Region kind: a temporary logical-AND uncomputed by one Toffoli (fig 11's
+#: coherent counterpart).
+UNCOMPUTE_AND = "uncompute-and"
+
+#: Region kind: a garbage qubit uncomputed by re-applying its XOR oracle
+#: (Lemma 4.1's coherent counterpart).
+UNCOMPUTE_ORACLE = "uncompute-oracle"
+
+_KINDS = (UNCOMPUTE_AND, UNCOMPUTE_ORACLE)
+
+_LABEL_RE = re.compile(r"^(uncompute-(?:and|oracle))\[(\d+)\]$")
+
+_reference: ContextVar[bool] = ContextVar("reference_emission", default=False)
+
+
+@contextlib.contextmanager
+def reference_emission(enabled: bool = True) -> Iterator[None]:
+    """Emit coherent, marker-annotated uncomputations inside this block."""
+    token = _reference.set(enabled)
+    try:
+        yield
+    finally:
+        _reference.reset(token)
+
+
+def reference_mode() -> bool:
+    """Whether builders should emit the coherent reference uncomputations."""
+    return _reference.get()
+
+
+def uncompute_label(kind: str, qubit: int) -> str:
+    """The marker label of one uncompute region, e.g. ``uncompute-and[3]``."""
+    if kind not in _KINDS:
+        raise ValueError(f"unknown uncompute region kind {kind!r}")
+    return f"{kind}[{qubit}]"
+
+
+def parse_uncompute_label(label: str) -> Optional[Tuple[str, int]]:
+    """``(kind, qubit)`` of an uncompute marker label, or None."""
+    match = _LABEL_RE.match(label)
+    if match is None:
+        return None
+    return match.group(1), int(match.group(2))

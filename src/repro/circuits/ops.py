@@ -37,9 +37,11 @@ __all__ = [
     "Operation",
     "GATE_ARITY",
     "SELF_ADJOINT_GATES",
+    "PHASE_ONLY_GATES",
     "PARAMETRIC_GATES",
     "adjoint_gate",
     "iter_flat",
+    "strip_annotations",
 ]
 
 # Gate name -> number of qubits.  Parametric gates take one angle parameter.
@@ -65,6 +67,14 @@ GATE_ARITY = {
 }
 
 SELF_ADJOINT_GATES = frozenset({"x", "y", "z", "h", "cx", "cz", "swap", "ccx", "ccz", "cswap"})
+
+#: Gates that act as pure phases on computational-basis states — value
+#: no-ops for the basis-state backends (``repro.sim.bitplane`` and the
+#: compiled-program lowering both key off this one set, so they can never
+#: diverge on which gates are droppable).
+PHASE_ONLY_GATES = frozenset(
+    {"z", "s", "sdg", "t", "tdg", "cz", "ccz", "phase", "cphase", "ccphase", "rz"}
+)
 
 PARAMETRIC_GATES = frozenset({"phase", "cphase", "ccphase", "rz"})
 
@@ -201,3 +211,18 @@ def iter_flat(ops: Tuple[Operation, ...] | list) -> Iterator[Operation]:
             yield from iter_flat(op.body)
         elif isinstance(op, MBUBlock):
             yield from iter_flat(op.body)
+
+
+def strip_annotations(ops) -> Tuple[Operation, ...]:
+    """The op stream with every :class:`Annotation` removed, recursively
+    (including inside Conditional/MBU bodies)."""
+    out = []
+    for op in ops:
+        if isinstance(op, Annotation):
+            continue
+        if isinstance(op, Conditional):
+            op = Conditional(op.bit, strip_annotations(op.body), op.value, op.probability)
+        elif isinstance(op, MBUBlock):
+            op = MBUBlock(op.qubit, op.bit, strip_annotations(op.body))
+        out.append(op)
+    return tuple(out)

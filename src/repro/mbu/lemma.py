@@ -19,16 +19,17 @@ the right semantics.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from ..circuits.circuit import Circuit
+from ..circuits.markers import UNCOMPUTE_ORACLE, reference_mode, uncompute_label
 
 __all__ = ["emit_mbu_uncompute"]
 
 
 def emit_mbu_uncompute(
     circ: Circuit, garbage: int, emit_oracle: Callable[[], None]
-) -> int:
+) -> Optional[int]:
     """Uncompute ``garbage`` via Lemma 4.1; returns the classical bit.
 
     ``emit_oracle`` must emit a self-adjoint circuit that XORs the garbage
@@ -37,7 +38,19 @@ def emit_mbu_uncompute(
     phase kickback).  The oracle may itself contain measurement-based
     pieces (e.g. a Gidney comparator); on computational-basis data these
     leave no residual phase, so the lemma still applies.
+
+    Under :func:`~repro.circuits.markers.reference_emission` the coherent
+    uncomputation is emitted instead — the oracle applied directly to
+    ``garbage``, bracketed by ``uncompute-oracle`` markers — and ``None`` is
+    returned (no measurement happens).  The ``insert_mbu`` transform pass
+    consumes the markers and re-derives this MBU block as a rewrite.
     """
+    if reference_mode():
+        label = uncompute_label(UNCOMPUTE_ORACLE, garbage)
+        circ.begin(label)
+        emit_oracle()
+        circ.end(label)
+        return None
     with circ.capture() as body:
         circ.h(garbage)
         emit_oracle()

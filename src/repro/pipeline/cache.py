@@ -48,6 +48,7 @@ from ..modular import (
     build_modadd_draper,
     build_modadd_vbe_original,
 )
+from ..transform import apply_transforms, parse_transform_chain
 
 __all__ = [
     "BUILDERS",
@@ -91,17 +92,31 @@ class CircuitSpec:
     ``params`` is a sorted tuple of (keyword, value) pairs forwarded to
     the builder — e.g. ``(("family", "cdkpm"), ("mbu", True), ("p", 251))``.
     Use :meth:`make` to normalize keyword order.
+
+    ``transforms`` is an ordered chain of registered
+    :mod:`repro.transform` pass names applied to the built circuit
+    (``build_spec`` runs them).  It is part of the spec — and therefore of
+    the cache key and the artifact's row identity — because a transformed
+    circuit is a different circuit: ``modadd`` with and without
+    ``lower_toffoli`` must never alias in a :class:`CircuitCache`.
     """
 
     kind: str
     n: int
     params: Tuple[Tuple[str, Any], ...] = ()
+    transforms: Tuple[str, ...] = ()
 
     @classmethod
-    def make(cls, kind: str, n: int, **params: Any) -> "CircuitSpec":
+    def make(
+        cls,
+        kind: str,
+        n: int,
+        transforms: Any = (),
+        **params: Any,
+    ) -> "CircuitSpec":
         if kind not in BUILDERS:
             raise ValueError(f"unknown builder kind {kind!r}; options: {sorted(BUILDERS)}")
-        return cls(kind, n, tuple(sorted(params.items())))
+        return cls(kind, n, tuple(sorted(params.items())), parse_transform_chain(transforms))
 
     def kwargs(self) -> Dict[str, Any]:
         return {"n": self.n, **dict(self.params)}
@@ -110,21 +125,37 @@ class CircuitSpec:
     def key(self) -> str:
         """A compact, human-readable identity string (artifact-friendly)."""
         inner = ",".join(f"{k}={v}" for k, v in self.params)
-        return f"{self.kind}[n={self.n}{',' if inner else ''}{inner}]"
+        chain = f"|{'+'.join(self.transforms)}" if self.transforms else ""
+        return f"{self.kind}[n={self.n}{',' if inner else ''}{inner}{chain}]"
 
     def __str__(self) -> str:  # pragma: no cover - display only
         return self.key
 
 
 def build_spec(spec: CircuitSpec) -> Built:
-    """Construct the circuit a :class:`CircuitSpec` describes (uncached)."""
+    """Construct (and transform) the circuit a :class:`CircuitSpec`
+    describes (uncached)."""
     try:
         builder = BUILDERS[spec.kind]
     except KeyError:
         raise ValueError(
             f"unknown builder kind {spec.kind!r}; options: {sorted(BUILDERS)}"
         ) from None
-    return builder(**spec.kwargs())
+    built = builder(**spec.kwargs())
+    if not spec.transforms:
+        return built
+    circuit = apply_transforms(built.circuit, spec.transforms)
+    # Registers a pass allocated (e.g. lower_toffoli's AND ancilla) are
+    # ancillas by construction: passes never add data registers.
+    extra = tuple(
+        name for name in circuit.registers if name not in built.circuit.registers
+    )
+    return Built(
+        circuit,
+        built.n,
+        built.ancilla_names + extra,
+        {**built.meta, "transforms": spec.transforms},
+    )
 
 
 @dataclass

@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from .artifacts import diff_artifacts, load_artifact, sweep_artifact, write_artifact
@@ -72,12 +73,22 @@ def _parse(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                         metavar=("N_EXP", "N"), default=None,
                         help="add a modular-exponentiation workload (repeatable); "
                              "default: 2 4 and 4 8")
+    parser.add_argument("--transform", default=None, metavar="PASS[,PASS...]",
+                        help="apply a repro.transform pass chain to every table-row "
+                             "circuit, e.g. --transform lower_toffoli,cancel_adjacent "
+                             "(composes with --smoke; becomes part of each cache key)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the tiny pinned smoke configuration instead")
     parser.add_argument("--check", metavar="GOLDEN",
                         help="diff the JSON artifact against a golden file; "
                              "exit 1 on mismatch")
     args = parser.parse_args(argv)
+    from ..transform import parse_transform_chain
+
+    try:
+        args.transform_chain = parse_transform_chain(args.transform)
+    except ValueError as exc:
+        parser.error(str(exc))
     if args.smoke:
         clashes = [
             flag for dest, flag in _SMOKE_CONFLICTS
@@ -92,8 +103,11 @@ def _parse(argv: Optional[Sequence[str]]) -> argparse.Namespace:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parse(argv)
+    transforms = args.transform_chain
     if args.smoke:
         config = smoke_config()
+        if transforms:
+            config = replace(config, transforms=transforms)
     else:
         modexp = args.modexp if args.modexp is not None else [[2, 4], [4, 8]]
         config = SweepConfig(
@@ -105,6 +119,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             workers=args.workers,
             include_savings=not args.no_savings,
             modexp=tuple((ne, n) for ne, n in modexp),
+            transforms=transforms,
         )
 
     result = run_sweep(config)

@@ -67,6 +67,9 @@ class SweepConfig:
     workers: Optional[int] = None
     include_savings: bool = True
     modexp: Tuple[Tuple[int, int], ...] = ()   # (n_exp, n) pairs
+    #: repro.transform pass names applied to every table-row circuit (part
+    #: of each circuit's cache key); savings/modexp tasks are untransformed.
+    transforms: Tuple[str, ...] = ()
 
     def resolved_workers(self) -> int:
         if self.workers is not None:
@@ -98,12 +101,16 @@ def table_rows_with_mc(
     mc_repeats: int = 1,
     mc_gates: Tuple[str, ...] = DEFAULT_GATES,
     cache: Optional[CircuitCache] = None,
+    transforms: Tuple[str, ...] = (),
 ) -> List[Dict[str, Any]]:
     """One table at one width, with Monte-Carlo columns attached.
 
     For every row variant whose metric set includes a ``toffoli`` source,
     adds ``<metric>_mc`` / ``<metric>_mc_ci95`` columns estimated over
-    ``mc_batch * mc_repeats`` random-outcome lanes.
+    ``mc_batch * mc_repeats`` random-outcome lanes.  ``transforms`` applies
+    a pass chain to every row circuit (exact and Monte-Carlo columns both
+    measure the transformed circuit); rows a transform makes unsimulable on
+    the bit-plane backend simply skip their MC columns.
     """
     from ..resources.tables import TABLE_SPECS, build_table_rows
 
@@ -111,13 +118,13 @@ def table_rows_with_mc(
     p, a = spec.defaults(n)
     if cache is None:
         cache = CircuitCache()
-    rows = build_table_rows(spec, n, p=p, a=a, cache=cache)
+    rows = build_table_rows(spec, n, p=p, a=a, cache=cache, transforms=transforms)
     for row_spec, row in zip(spec.rows, rows):
         for metric in row_spec.metrics:
             if metric.source != "toffoli":
                 continue
             circuit_spec = row_spec.template.spec(
-                n, p=p, a=a, mbu=(metric.variant == "mbu")
+                n, p=p, a=a, mbu=(metric.variant == "mbu"), transforms=transforms
             )
             estimate = mc_or_none(
                 cache.build(circuit_spec),
@@ -200,7 +207,7 @@ def _run_task(task: Dict[str, Any], cache: Optional[CircuitCache] = None):
             task["table"], task["n"],
             seed=task["seed"], mc_batch=task["mc_batch"],
             mc_repeats=task["mc_repeats"], mc_gates=tuple(task["mc_gates"]),
-            cache=cache,
+            cache=cache, transforms=tuple(task.get("transforms", ())),
         )
         return ("table", (task["table"], task["n"]), rows)
     if kind == "savings":
@@ -228,7 +235,10 @@ def _plan(config: SweepConfig) -> List[Dict[str, Any]]:
     tasks: List[Dict[str, Any]] = []
     for table in config.tables:
         for n in config.sizes:
-            tasks.append({"kind": "table", "table": table, "n": n, **mc})
+            tasks.append({
+                "kind": "table", "table": table, "n": n,
+                "transforms": tuple(config.transforms), **mc,
+            })
     if config.include_savings:
         for n in config.sizes:
             tasks.append({"kind": "savings", "n": n})

@@ -113,6 +113,7 @@ class SpecTemplate:
         p: Optional[int] = None,
         a: Optional[int] = None,
         mbu: bool = False,
+        transforms: Tuple[str, ...] = (),
     ) -> CircuitSpec:
         params: Dict[str, Any] = dict(self.fixed)
         if "p" in self.needs:
@@ -127,7 +128,7 @@ class SpecTemplate:
             params["mbu"] = mbu
         elif mbu:
             raise ValueError(f"{self.kind} template has no MBU variant")
-        return CircuitSpec.make(self.kind, n, **params)
+        return CircuitSpec.make(self.kind, n, transforms=transforms, **params)
 
 
 #: Sentinel: look the formula up in the paper table under the metric name.
@@ -167,11 +168,16 @@ class RowSpec:
     include: Tuple[str, ...] = ()  # extra row keys copied from the sweep point
 
     def specs(
-        self, n: int, p: Optional[int] = None, a: Optional[int] = None
+        self,
+        n: int,
+        p: Optional[int] = None,
+        a: Optional[int] = None,
+        transforms: Tuple[str, ...] = (),
     ) -> Dict[str, CircuitSpec]:
         """The concrete circuit specs of every variant at one sweep point."""
         return {
-            v: self.template.spec(n, p=p, a=a, mbu=(v == "mbu")) for v in self.variants
+            v: self.template.spec(n, p=p, a=a, mbu=(v == "mbu"), transforms=transforms)
+            for v in self.variants
         }
 
 
@@ -229,11 +235,15 @@ def build_table_rows(
     p: Optional[int] = None,
     a: Optional[int] = None,
     cache: Optional[CircuitCache] = None,
+    transforms: Tuple[str, ...] = (),
 ) -> List[Dict[str, Any]]:
     """Materialize one table's rows at width ``n`` (the sweep work unit).
 
     With a :class:`CircuitCache`, construction and expected-mode counting
     are memoized across rows, tables and repeated sweep points.
+    ``transforms`` applies a :mod:`repro.transform` pass chain to every
+    row circuit before measuring (and becomes part of each cache key), so
+    a sweep can report e.g. post-``lower_toffoli`` costs.
     """
     spec = TABLE_SPECS[table] if isinstance(table, str) else table
     p, a = spec.defaults(n, p, a)
@@ -245,7 +255,7 @@ def build_table_rows(
 
     rows: List[Dict[str, Any]] = []
     for row_spec in spec.rows:
-        specs = row_spec.specs(n, p=p, a=a)
+        specs = row_spec.specs(n, p=p, a=a, transforms=transforms)
         built = {
             v: (cache.build(s) if cache is not None else build_spec(s))
             for v, s in specs.items()

@@ -1,0 +1,54 @@
+"""Exact Clifford+T accounting via the ``decompose_clifford_t`` pass.
+
+The paper reports Toffoli counts; fault-tolerant cost models want T-counts.
+With the standard 7-T Toffoli network (``repro.transform``'s
+``decompose_clifford_t`` pass) the two are rigidly linked: every
+Toffoli-class gate (ccx / ccz / cswap) costs exactly 7 T/T†.
+:func:`t_count` *measures* the T-count by actually decomposing the circuit
+and counting; :func:`predicted_t_count` evaluates the 7-per-Toffoli closed
+form on the undecomposed circuit.  ``tests/test_transforms.py`` asserts the
+two agree — and match ``resources/formulas.py``'s Toffoli predictions × 7 —
+for the Gidney-family adder rows of Table 2/3.
+
+Both accept a :class:`~repro.arithmetic.builders.Built` or a bare
+:class:`~repro.circuits.circuit.Circuit`; ``mode`` is the usual counting
+mode (``expected`` weights MBU corrections by their probability, which
+matters when a Toffoli sits inside a correction branch).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from ..circuits.circuit import Circuit
+from ..circuits.resources import GateCounts, count_gates
+from ..transform import apply_transforms
+
+__all__ = ["T_PER_TOFFOLI", "clifford_t_counts", "t_count", "predicted_t_count"]
+
+#: T/T† gates per Toffoli-class gate in the standard exact network.
+T_PER_TOFFOLI = 7
+
+_CircuitLike = Union[Circuit, "object"]
+
+
+def _circuit(target: _CircuitLike) -> Circuit:
+    return target.circuit if hasattr(target, "circuit") else target
+
+
+def clifford_t_counts(target: _CircuitLike, mode: str = "expected") -> GateCounts:
+    """Gate counts of the circuit after ``decompose_clifford_t``."""
+    return count_gates(apply_transforms(_circuit(target), ("decompose_clifford_t",)), mode=mode)
+
+
+def t_count(target: _CircuitLike, mode: str = "expected") -> Fraction:
+    """Measured T-count: decompose to Clifford+T, count ``t`` + ``tdg``."""
+    counts = clifford_t_counts(target, mode)
+    return counts["t"] + counts["tdg"]
+
+
+def predicted_t_count(target: _CircuitLike, mode: str = "expected") -> Fraction:
+    """Closed form: 7 × (ccx + ccz + cswap) of the undecomposed circuit."""
+    counts = count_gates(_circuit(target), mode=mode)
+    return T_PER_TOFFOLI * (counts["ccx"] + counts["ccz"] + counts["cswap"])

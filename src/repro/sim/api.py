@@ -81,6 +81,7 @@ def simulate(
     backend: str = "classical",
     outcomes: OutcomeProvider | None = None,
     seed: int | None = None,
+    transforms: Any = None,
     **options: Any,
 ) -> SimulationResult:
     """Run ``circuit`` on basis inputs with the named backend.
@@ -88,7 +89,13 @@ def simulate(
     ``inputs`` maps register names to integer values (the ``bitplane``
     backend additionally accepts per-lane sequences).  Extra keyword
     options are forwarded to the backend runner (e.g. ``batch=4096`` for
-    ``bitplane``, ``tally=False`` for any of the built-ins).
+    ``bitplane``, ``tally=False`` for any of the built-ins, or
+    ``compiled=True`` for ``bitplane``'s pre-compiled execution path).
+
+    ``transforms`` applies a :mod:`repro.transform` pass chain to the
+    circuit before simulation — registered pass names (a list or a
+    comma-separated string), pass instances, or a ``PassManager``-
+    compatible mix, e.g. ``transforms=["lower_toffoli"]``.
 
     Seeding contract: ``seed=<int>`` is shorthand for
     ``outcomes=RandomOutcomes(seed)`` — same seed, same measurement
@@ -101,6 +108,15 @@ def simulate(
         if outcomes is not None:
             raise ValueError("pass either seed= or outcomes=, not both")
         outcomes = RandomOutcomes(seed)
+    if transforms:  # None or an empty chain are both "no transforms"
+        if options.get("program") is not None:
+            raise ValueError(
+                "pass either transforms= or a pre-compiled program=, not both: "
+                "the program was compiled from the untransformed circuit"
+            )
+        from ..transform import apply_transforms  # deferred: transform sits above sim
+
+        circuit = apply_transforms(circuit, transforms)
     try:
         runner = _BACKENDS[backend]
     except KeyError:
@@ -169,12 +185,23 @@ def _run_bitplane(
     batch: int = 64,
     tally: bool = True,
     lane_counts: Any = None,
+    compiled: bool = False,
+    program: Any = None,
 ) -> SimulationResult:
     _check_registers(circuit, inputs)
-    sim = run_bitplane(
-        circuit, inputs, batch=batch, outcomes=outcomes, tally=tally,
-        lane_counts=lane_counts,
-    )
+    if compiled or program is not None:
+        sim = BitplaneSimulator(
+            circuit, batch=batch, outcomes=outcomes, tally=tally,
+            lane_counts=lane_counts,
+        )
+        for name, values in (inputs or {}).items():
+            sim.set_register(name, values)
+        sim.run_compiled(program)
+    else:
+        sim = run_bitplane(
+            circuit, inputs, batch=batch, outcomes=outcomes, tally=tally,
+            lane_counts=lane_counts,
+        )
     registers = {name: sim.get_register(name) for name in circuit.registers}
     bits: List[List[int]] = [sim.get_bit(b) for b in range(circuit.num_bits)]
     return SimulationResult("bitplane", registers, bits, sim.tally, sim)

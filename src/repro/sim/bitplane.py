@@ -56,7 +56,7 @@ from typing import Dict, List, Mapping, Sequence, Union
 import numpy as np
 
 from ..circuits.circuit import Circuit, Register
-from ..circuits.ops import Conditional, Gate, MBUBlock, Measurement
+from ..circuits.ops import PHASE_ONLY_GATES, Conditional, Gate, MBUBlock, Measurement
 from .classical import UnsupportedGateError, garbage_gate_skips
 from .engine import BranchDecision, ExecutionBackend, ExecutionEngine
 from .outcomes import OutcomeProvider
@@ -69,9 +69,7 @@ _DTYPE = np.dtype("<u8")  # little-endian uint64: lane b = bit b%64 of word b//6
 LaneValues = Union[int, Sequence[int]]
 
 # Gates that only kick phases on computational-basis states.
-_PHASE_ONLY = frozenset(
-    {"z", "s", "sdg", "t", "tdg", "cz", "ccz", "phase", "cphase", "ccphase", "rz"}
-)
+_PHASE_ONLY = PHASE_ONLY_GATES
 
 if hasattr(np, "bitwise_count"):
     def _popcount(plane: np.ndarray) -> int:
@@ -261,6 +259,158 @@ class BitplaneSimulator(ExecutionBackend):
 
     def run(self) -> "BitplaneSimulator":
         self.engine.execute(self.circuit.ops)
+        return self
+
+    def run_compiled(self, program=None) -> "BitplaneSimulator":
+        """Execute a :class:`~repro.transform.compile.CompiledProgram`.
+
+        With ``program=None`` the circuit is compiled on the fly (tally
+        metadata included iff the engine's tally is enabled).  The VM is a
+        flat program-counter loop over pre-resolved instructions — no
+        ``isinstance`` dispatch, no gate-name comparisons, no dynamic
+        garbage-qubit checks, and branches with zero active lanes jump over
+        their whole body.  State lives in arbitrary-precision Python ints
+        for the duration of the run (one bigint per qubit/bit plane): a
+        bitwise op on a 4096-lane plane is then a single C call instead of
+        a numpy ufunc dispatch, which is where the interpretive walk spends
+        most of its time.  Several times faster end to end — see
+        ``benchmarks/BENCH_transform.json``.
+
+        Results (states, bits, measurement-outcome stream and the engine
+        tally) are identical to :meth:`run`.  Per-lane ``lane_counts``
+        tracking is not supported in compiled mode.
+        """
+        from ..transform.compile import (  # deferred: transform layers above sim
+            OP_CCX,
+            OP_COND,
+            OP_CSWAP,
+            OP_CX,
+            OP_ENDCOND,
+            OP_ENDMBU,
+            OP_MBU,
+            OP_MX,
+            OP_MZ,
+            OP_SWAP,
+            OP_X,
+            compile_program,
+        )
+
+        if self._lane_track:
+            raise ValueError("lane_counts tracking is not supported in compiled mode")
+        tallying = self.engine.tally is not None
+        if program is None:
+            program = compile_program(self.circuit, tally=tallying)
+        if (program.num_qubits, program.num_bits) != (
+            self.circuit.num_qubits,
+            self.circuit.num_bits,
+        ):
+            raise ValueError(
+                f"program layout ({program.num_qubits} qubits, {program.num_bits} "
+                f"bits) does not match circuit "
+                f"({self.circuit.num_qubits}, {self.circuit.num_bits})"
+            )
+
+        if tallying and not program.has_tally:
+            raise ValueError(
+                "engine tally is enabled but the program was compiled with "
+                "tally=False; recompile with compile_program(circuit, tally=True) "
+                "or construct the simulator with tally=False"
+            )
+        instructions = program.instructions
+        tallies = program.tallies if tallying else None
+        num_qubits, num_bits = self.circuit.num_qubits, self.circuit.num_bits
+        planes = [
+            int.from_bytes(self.planes[q].tobytes(), "little")
+            for q in range(num_qubits)
+        ]
+        bits = [
+            int.from_bytes(self.bit_planes[b].tobytes(), "little")
+            for b in range(num_bits)
+        ]
+        batch = self.batch
+        sample = self.engine.sample_lanes
+        executed: Dict[str, int] = {}
+        mask_stack = [(1 << batch) - 1]
+        mask = mask_stack[-1]
+        active = batch
+        end = len(instructions)
+        pc = 0
+        while pc < end:
+            instr = instructions[pc]
+            if tallies is not None:
+                for name in tallies[pc]:
+                    executed[name] = executed.get(name, 0) + active
+            op = instr[0]
+            if op == OP_CX:
+                planes[instr[2]] ^= planes[instr[1]] & mask
+            elif op == OP_CCX:
+                planes[instr[3]] ^= planes[instr[1]] & planes[instr[2]] & mask
+            elif op == OP_X:
+                planes[instr[1]] ^= mask
+            elif op == OP_COND:
+                bit_plane = bits[instr[1]]
+                sub = (mask & bit_plane) if instr[2] else (mask & ~bit_plane)
+                mask_stack.append(sub)
+                mask = sub
+                if tallies is not None:
+                    active = sub.bit_count()
+                if not sub:
+                    pc = instr[3]
+                    continue
+            elif op == OP_ENDCOND:
+                mask_stack.pop()
+                mask = mask_stack[-1]
+                if tallies is not None:
+                    active = mask.bit_count()
+            elif op == OP_ENDMBU:
+                mask_stack.pop()
+                mask = mask_stack[-1]
+                if tallies is not None:
+                    active = mask.bit_count()
+                # both MBU branches leave the garbage qubit in |0>
+                planes[instr[1]] &= ~mask
+            elif op == OP_MBU:
+                outcome = sample(0.5, batch)
+                b = instr[2]
+                bits[b] = (bits[b] & ~mask) | (outcome & mask)
+                sub = mask & outcome
+                mask_stack.append(sub)
+                mask = sub
+                if tallies is not None:
+                    active = sub.bit_count()
+                if not sub:
+                    pc = instr[3]
+                    continue
+            elif op == OP_MX:
+                outcome = sample(0.5, batch)
+                q, b = instr[1], instr[2]
+                planes[q] = (planes[q] & ~mask) | (outcome & mask)
+                bits[b] = (bits[b] & ~mask) | (outcome & mask)
+            elif op == OP_MZ:
+                q, b = instr[1], instr[2]
+                bits[b] = (bits[b] & ~mask) | (planes[q] & mask)
+            elif op == OP_SWAP:
+                a, b = instr[1], instr[2]
+                delta = (planes[a] ^ planes[b]) & mask
+                planes[a] ^= delta
+                planes[b] ^= delta
+            elif op == OP_CSWAP:
+                c, a, b = instr[1], instr[2], instr[3]
+                delta = (planes[a] ^ planes[b]) & mask & planes[c]
+                planes[a] ^= delta
+                planes[b] ^= delta
+            # else OP_NOP: tally flush only
+            pc += 1
+
+        words = self.words
+        for q in range(num_qubits):
+            self.planes[q] = _pack_int(planes[q], words)
+        for b in range(num_bits):
+            self.bit_planes[b] = _pack_int(bits[b], words)
+        if tallies is not None:
+            tally = self.engine.tally
+            for name, total in executed.items():
+                tally.add(name, Fraction(total, batch))
         return self
 
     def _sample_plane(self, p_one: float) -> np.ndarray:

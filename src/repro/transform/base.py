@@ -1,0 +1,148 @@
+"""The pass framework: :class:`Pass`, :class:`PassManager` and the registry.
+
+A *pass* is a named, pure circuit-to-circuit rewrite over the
+:mod:`repro.circuits` IR: ``run`` takes a :class:`~repro.circuits.circuit.Circuit`
+and returns a fresh one (the input is never mutated).  Passes that need
+extra resources — a classical bit for an inserted measurement, an ancilla
+qubit for a lowered Toffoli — allocate them on the output circuit via
+``Circuit.copy_empty()``; everything else (registers, labels, qubit
+indices) is shared with the input.
+
+Passes are registered by name in :data:`PASSES` so callers can refer to
+them as strings everywhere a chain crosses a serialization boundary — the
+``simulate(..., transforms=[...])`` entry point, the pipeline's
+``CircuitSpec.transforms`` cache key, and the CLI ``--transform`` flag all
+speak the same names.  :func:`apply_transforms` is the one-shot helper;
+:class:`PassManager` is the reusable pipeline object.
+
+This module (and the whole ``repro.transform`` package) imports only from
+:mod:`repro.circuits` and the leaf ``repro.sim.classical`` helpers, so the
+builders, resource counters and pipeline can all layer on top of it without
+cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple, Type, Union
+
+from ..circuits.circuit import Circuit
+
+__all__ = [
+    "Pass",
+    "PassManager",
+    "PASSES",
+    "register_pass",
+    "resolve_pass",
+    "available_passes",
+    "apply_transforms",
+    "parse_transform_chain",
+]
+
+#: A pass reference: an instance, a registered name, or a Pass subclass.
+PassLike = Union["Pass", str, Type["Pass"]]
+
+
+class Pass:
+    """A named, pure circuit-to-circuit rewrite."""
+
+    #: Registry name; subclasses override.
+    name: str = "pass"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        """Return the rewritten circuit (the input is left untouched)."""
+        raise NotImplementedError
+
+    def __call__(self, circuit: Circuit) -> Circuit:
+        return self.run(circuit)
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+#: Name -> zero-argument factory for every registered pass.
+PASSES: Dict[str, Callable[[], "Pass"]] = {}
+
+
+def register_pass(cls: Type["Pass"]) -> Type["Pass"]:
+    """Class decorator: register ``cls`` under ``cls.name``."""
+    PASSES[cls.name] = cls
+    return cls
+
+
+def available_passes() -> Tuple[str, ...]:
+    """The registered pass names, sorted."""
+    return tuple(sorted(PASSES))
+
+
+def resolve_pass(spec: PassLike) -> "Pass":
+    """A :class:`Pass` instance from a name, class or instance."""
+    if isinstance(spec, Pass):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return PASSES[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown transform pass {spec!r}; "
+                f"available: {', '.join(available_passes())}"
+            ) from None
+    if isinstance(spec, type) and issubclass(spec, Pass):
+        return spec()
+    raise TypeError(f"cannot resolve {spec!r} to a transform pass")
+
+
+def parse_transform_chain(chain: Union[str, Iterable[str], None]) -> Tuple[str, ...]:
+    """Normalize a transform chain to a tuple of validated pass names.
+
+    Accepts a comma-separated string (the CLI form), any iterable of names,
+    or ``None``/empty (no transforms).  Unknown names raise eagerly so a
+    typo fails at configuration time, not mid-sweep.
+    """
+    if chain is None:
+        return ()
+    if isinstance(chain, str):
+        names = [part.strip() for part in chain.split(",") if part.strip()]
+    else:
+        names = [str(part) for part in chain]
+    for name in names:
+        if name not in PASSES:
+            raise ValueError(
+                f"unknown transform pass {name!r}; "
+                f"available: {', '.join(available_passes())}"
+            )
+    return tuple(names)
+
+
+class PassManager:
+    """An ordered chain of passes applied as one transformation."""
+
+    def __init__(self, passes: Union[str, Iterable[PassLike], None] = ()) -> None:
+        if passes is None:
+            passes = ()
+        elif isinstance(passes, str):
+            passes = parse_transform_chain(passes)
+        elif isinstance(passes, (Pass, type)):
+            passes = (passes,)
+        self.passes: List[Pass] = [resolve_pass(p) for p in passes]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.passes)
+
+    def run(self, circuit: Circuit) -> Circuit:
+        for pass_ in self.passes:
+            circuit = pass_.run(circuit)
+        return circuit
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"PassManager({list(self.names)!r})"
+
+
+def apply_transforms(
+    circuit: Circuit, transforms: Union[str, Iterable[PassLike], None]
+) -> Circuit:
+    """Apply a pass chain to ``circuit`` (no-op on an empty chain)."""
+    manager = PassManager(transforms)
+    if not manager.passes:
+        return circuit
+    return manager.run(circuit)

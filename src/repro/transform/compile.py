@@ -1,0 +1,224 @@
+"""Lowering circuits to linear bit-plane programs: :func:`compile_program`.
+
+The interpretive bit-plane walk (``ExecutionEngine`` driving
+``BitplaneSimulator``) pays per-operation Python overhead: ``isinstance``
+dispatch, gate-name string comparisons, tally bookkeeping and dynamic
+garbage-qubit checks.  All of that is static: for a fixed circuit the
+control-flow nesting, the MBU garbage stack, which gates are basis-state
+no-ops (diagonal/phase gates) and which garbage-targeting gates are
+skipped can be resolved *once, at compile time*.
+
+:func:`compile_program` flattens the nested ``Conditional``/``MBUBlock``
+IR into a linear instruction stream of small tuples:
+
+* integer opcodes with pre-extracted qubit/bit operands;
+* ``COND``/``MBU`` instructions carrying a pre-computed jump target, so a
+  branch with zero active lanes skips its whole body in O(1);
+* phase-only gates, annotations and statically-skipped garbage gates are
+  dropped from the stream entirely (their *tally* contribution is kept —
+  see below);
+* compile-time errors for anything the bit-plane semantics cannot run
+  (bare ``h``, measuring a garbage qubit, reading garbage as a control),
+  mirroring the interpretive backend's runtime checks.
+
+Executed-gate accounting stays exact: every instruction carries the tuple
+of gate-name tallies it accounts for (dropped ops attach to the next
+instruction in the same branch scope, or to a flush ``NOP`` — weights are
+constant within a scope, so order is irrelevant), and the VM accumulates
+*integer* executed-lane counts per name, folding them into the engine's
+``GateCounts`` as ``Fraction(total, batch)`` at the end — identical to the
+interpretive average-per-lane tally.
+
+:meth:`repro.sim.bitplane.BitplaneSimulator.run_compiled` executes these
+programs; ``benchmarks/bench_transform.py`` records the compiled-vs-
+interpretive speedup to ``benchmarks/BENCH_transform.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..circuits.circuit import Circuit
+from ..circuits.ops import (
+    PHASE_ONLY_GATES,
+    Annotation,
+    Conditional,
+    Gate,
+    MBUBlock,
+    Measurement,
+    Operation,
+)
+from ..sim.classical import UnsupportedGateError, garbage_gate_skips
+
+__all__ = [
+    "CompiledProgram",
+    "compile_program",
+    "OP_NOP",
+    "OP_X",
+    "OP_CX",
+    "OP_CCX",
+    "OP_SWAP",
+    "OP_CSWAP",
+    "OP_MZ",
+    "OP_MX",
+    "OP_COND",
+    "OP_ENDCOND",
+    "OP_MBU",
+    "OP_ENDMBU",
+]
+
+# Opcodes (ints, compared by the VM's dispatch chain — ordered by typical
+# frequency in ripple-carry arithmetic: cx, ccx, x dominate).
+OP_NOP = 0      # (OP_NOP,)                      tally-only flush
+OP_X = 1        # (OP_X, q)
+OP_CX = 2       # (OP_CX, c, t)
+OP_CCX = 3      # (OP_CCX, c1, c2, t)
+OP_SWAP = 4     # (OP_SWAP, a, b)
+OP_CSWAP = 5    # (OP_CSWAP, c, a, b)
+OP_MZ = 6       # (OP_MZ, q, bit)
+OP_MX = 7       # (OP_MX, q, bit)
+OP_COND = 8     # (OP_COND, bit, value, jump)    jump = pc of matching ENDCOND
+OP_ENDCOND = 9  # (OP_ENDCOND,)
+OP_MBU = 10     # (OP_MBU, q, bit, jump)         jump = pc of matching ENDMBU
+OP_ENDMBU = 11  # (OP_ENDMBU, q)
+
+# Gates that only kick phases on computational-basis states (value no-ops);
+# shared with the interpretive bit-plane backend so the two cannot diverge.
+_PHASE_ONLY = PHASE_ONLY_GATES
+
+_GATE_OPCODE = {"x": OP_X, "y": OP_X, "cx": OP_CX, "ccx": OP_CCX,
+                "swap": OP_SWAP, "cswap": OP_CSWAP}
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A circuit lowered to a linear bit-plane instruction stream.
+
+    ``instructions[pc]`` is an opcode tuple; ``tallies[pc]`` is the tuple
+    of gate names that instruction accounts for.  ``has_tally`` records
+    whether tally metadata was compiled in at all (``tally=False`` programs
+    can only be executed with tallying disabled).  ``source`` names the
+    circuit the program was compiled from; ``num_qubits``/``num_bits`` pin
+    the layout a simulator must provide.
+    """
+
+    num_qubits: int
+    num_bits: int
+    instructions: Tuple[Tuple[int, ...], ...]
+    tallies: Tuple[Tuple[str, ...], ...]
+    has_tally: bool = True
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def counts_static(self) -> Dict[str, int]:
+        """Instruction-count census by opcode (diagnostics / tests)."""
+        census: Dict[str, int] = {}
+        names = {v: k for k, v in globals().items() if k.startswith("OP_")}
+        for instr in self.instructions:
+            key = names[instr[0]]
+            census[key] = census.get(key, 0) + 1
+        return census
+
+
+@dataclass
+class _Emitter:
+    tally: bool
+    instructions: List[Tuple[int, ...]] = field(default_factory=list)
+    tallies: List[Tuple[str, ...]] = field(default_factory=list)
+    pending: List[str] = field(default_factory=list)
+
+    def note(self, *names: str) -> None:
+        if self.tally:
+            self.pending.extend(names)
+
+    def emit(self, instr: Tuple[int, ...]) -> int:
+        self.instructions.append(instr)
+        self.tallies.append(tuple(self.pending))
+        self.pending.clear()
+        return len(self.instructions) - 1
+
+    def flush(self) -> None:
+        """Attach leftover tally names to a NOP before leaving a scope
+        (weights differ across scope boundaries, so they cannot ride on an
+        outer instruction)."""
+        if self.pending:
+            self.emit((OP_NOP,))
+
+    def patch_jump(self, pc: int, target: int) -> None:
+        instr = self.instructions[pc]
+        self.instructions[pc] = instr[:-1] + (target,)
+
+
+def compile_program(circuit: Circuit, tally: bool = True) -> CompiledProgram:
+    """Flatten ``circuit`` into a :class:`CompiledProgram`.
+
+    ``tally=False`` drops all executed-gate accounting metadata, which lets
+    the VM skip tally work entirely — the fastest configuration.  Raises
+    :class:`~repro.sim.classical.UnsupportedGateError` at *compile* time
+    for operations without basis-state semantics (the interpretive backend
+    would raise at run time).
+    """
+    emitter = _Emitter(tally)
+    _compile_ops(circuit.ops, emitter, garbage=[])
+    emitter.flush()
+    return CompiledProgram(
+        num_qubits=circuit.num_qubits,
+        num_bits=circuit.num_bits,
+        instructions=tuple(emitter.instructions),
+        tallies=tuple(emitter.tallies),
+        has_tally=tally,
+        source=circuit.name,
+    )
+
+
+def _compile_ops(ops: Sequence[Operation], em: _Emitter, garbage: List[int]) -> None:
+    for op in ops:
+        if isinstance(op, Gate):
+            name = op.name
+            em.note(name)
+            if garbage and garbage_gate_skips(op, garbage):
+                continue  # statically resolved: phase-only on the +/- garbage
+            if name in _PHASE_ONLY:
+                continue
+            opcode = _GATE_OPCODE.get(name)
+            if opcode is None:
+                raise UnsupportedGateError(
+                    f"gate {name!r} has no basis-state semantics; "
+                    "compiled bit-plane programs cannot contain it"
+                )
+            em.emit((opcode, *op.qubits))
+        elif isinstance(op, Measurement):
+            if op.qubit in garbage:
+                raise UnsupportedGateError(
+                    "measurement of garbage qubit inside MBU body"
+                )
+            if op.basis == "x":
+                em.note("h", "measure")
+                em.emit((OP_MX, op.qubit, op.bit))
+            else:
+                em.note("measure")
+                em.emit((OP_MZ, op.qubit, op.bit))
+        elif isinstance(op, Conditional):
+            header = em.emit((OP_COND, op.bit, op.value, -1))
+            _compile_ops(op.body, em, garbage)
+            em.flush()
+            end = em.emit((OP_ENDCOND,))
+            em.patch_jump(header, end)
+        elif isinstance(op, MBUBlock):
+            if op.qubit in garbage:
+                raise UnsupportedGateError("nested MBU on an active garbage qubit")
+            em.note("h", "measure")
+            header = em.emit((OP_MBU, op.qubit, op.bit, -1))
+            garbage.append(op.qubit)
+            _compile_ops(op.body, em, garbage)
+            garbage.pop()
+            em.flush()
+            end = em.emit((OP_ENDMBU, op.qubit))
+            em.patch_jump(header, end)
+        elif isinstance(op, Annotation):
+            continue
+        else:  # pragma: no cover
+            raise TypeError(f"unknown operation {op!r}")

@@ -1,0 +1,336 @@
+"""The concrete transformation passes.
+
+Paper mapping: ``insert_mbu`` is Lemma 4.1 (and its fig-11 special case,
+Gidney's temporary-AND uncompute) *as a rewrite* — it consumes the
+``uncompute-and`` / ``uncompute-oracle`` markers the builders emit under
+:func:`~repro.circuits.markers.reference_emission` and replaces each
+coherent uncomputation with the measurement + classically-conditioned
+correction, reproducing the hand-built ``mbu=True`` circuits operation for
+operation (this is how thms 4.2-4.12 relate to their section-2/3 baselines).
+``lower_toffoli`` is Gidney 2018's temporary logical-AND (figs 10-11)
+applied to arbitrary Toffolis; ``decompose_clifford_t`` is the standard
+7-T-gate Toffoli network, enabling exact T-counts; ``invert`` and
+``cancel_adjacent`` are the stock structural passes every rewrite layer
+needs (Reqomp-style uncomputation synthesis, ancilla reuse and depth
+scheduling all build on them).
+
+Every pass is pure: the input circuit is never mutated.  Semantics
+preservation is property-tested across the classical / statevector /
+bitplane backends in ``tests/test_transform_semantics.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..circuits.circuit import Circuit
+from ..circuits.markers import (
+    UNCOMPUTE_AND,
+    UNCOMPUTE_ORACLE,
+    parse_uncompute_label,
+)
+from ..circuits.ops import (
+    Annotation,
+    Conditional,
+    Gate,
+    MBUBlock,
+    Measurement,
+    Operation,
+    adjoint_gate,
+    iter_flat,
+)
+from .base import Pass, register_pass
+
+__all__ = [
+    "InvertPass",
+    "InsertMBUPass",
+    "LowerToffoliPass",
+    "DecomposeCliffordTPass",
+    "CancelAdjacentPass",
+]
+
+
+@register_pass
+class InvertPass(Pass):
+    """Whole-circuit adjoint (reverse + conjugate), recursing into
+    Conditional bodies; raises on measurements/MBU blocks (remark 2.23)."""
+
+    name = "invert"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        return circuit.adjoint()
+
+
+@register_pass
+class InsertMBUPass(Pass):
+    """Lemma 4.1 as a rewrite: replace marked coherent uncomputations with
+    measurements plus classically-conditioned corrections.
+
+    Two region kinds are consumed (see :mod:`repro.circuits.markers`):
+
+    * ``uncompute-and[q]`` — a single Toffoli returning temporary-AND qubit
+      ``q`` to |0>; replaced by Gidney's fig-11 pattern: an X-basis
+      measurement of ``q`` and a conditional (CZ on the two controls, X on
+      ``q``), each firing with probability 1/2.
+    * ``uncompute-oracle[q]`` — a self-adjoint XOR-oracle uncomputing
+      garbage qubit ``q``; replaced by an :class:`MBUBlock` whose correction
+      body is ``(H, oracle, H, X)`` — exactly what
+      :func:`repro.mbu.lemma.emit_mbu_uncompute` builds by hand.
+
+    Regions are rewritten innermost-first, so an oracle that itself contains
+    temporary-AND uncomputes (e.g. a Gidney comparator) ends up with the
+    measurement-based ANDs *inside* the MBU correction body, matching the
+    hand-built circuits bit-for-bit (same ops, same classical-bit order).
+    """
+
+    name = "insert_mbu"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        out = circuit.copy_empty()
+        out.extend(self._rewrite(tuple(circuit.ops), out))
+        return out
+
+    # -- region plumbing ---------------------------------------------------
+
+    @staticmethod
+    def _find_end(ops: Sequence[Operation], start: int, label: str) -> int:
+        depth = 0
+        for i in range(start, len(ops)):
+            op = ops[i]
+            if isinstance(op, Annotation) and op.label == label:
+                if op.kind == "begin":
+                    depth += 1
+                elif op.kind == "end":
+                    depth -= 1
+                    if depth == 0:
+                        return i
+        raise ValueError(f"unterminated uncompute region {label!r}")
+
+    def _rewrite(self, ops: Sequence[Operation], circ: Circuit) -> List[Operation]:
+        out: List[Operation] = []
+        i = 0
+        while i < len(ops):
+            op = ops[i]
+            if isinstance(op, Annotation) and op.kind == "begin":
+                parsed = parse_uncompute_label(op.label)
+                if parsed is not None:
+                    kind, qubit = parsed
+                    end = self._find_end(ops, i, op.label)
+                    inner = self._rewrite(ops[i + 1 : end], circ)
+                    out.extend(self._rewrite_region(kind, qubit, inner, circ))
+                    i = end + 1
+                    continue
+            if isinstance(op, Conditional):
+                op = Conditional(
+                    op.bit, tuple(self._rewrite(op.body, circ)), op.value, op.probability
+                )
+            elif isinstance(op, MBUBlock):
+                op = MBUBlock(op.qubit, op.bit, tuple(self._rewrite(op.body, circ)))
+            out.append(op)
+            i += 1
+        return out
+
+    @staticmethod
+    def _rewrite_region(
+        kind: str, qubit: int, inner: List[Operation], circ: Circuit
+    ) -> List[Operation]:
+        if kind == UNCOMPUTE_AND:
+            gates = [op for op in inner if not isinstance(op, Annotation)]
+            if len(gates) != 1 or not (
+                isinstance(gates[0], Gate)
+                and gates[0].name == "ccx"
+                and gates[0].qubits[2] == qubit
+            ):
+                raise ValueError(
+                    f"malformed {UNCOMPUTE_AND} region on qubit {qubit}: "
+                    f"expected exactly one ccx targeting it, got {inner!r}"
+                )
+            a, b, _ = gates[0].qubits
+            bit = circ.new_bit("and")
+            return [
+                Measurement(qubit, bit, "x"),
+                Conditional(bit, (Gate("cz", (a, b)), Gate("x", (qubit,)))),
+            ]
+        if kind == UNCOMPUTE_ORACLE:
+            bit = circ.new_bit("mbu")
+            body = (
+                Gate("h", (qubit,)),
+                *inner,
+                Gate("h", (qubit,)),
+                Gate("x", (qubit,)),
+            )
+            return [MBUBlock(qubit, bit, body)]
+        raise ValueError(f"unknown uncompute region kind {kind!r}")  # pragma: no cover
+
+
+@register_pass
+class LowerToffoliPass(Pass):
+    """ccx -> Gidney temporary logical-AND compute + measurement-based
+    uncompute (figs 10-11).
+
+    Each Toffoli ``ccx(a, b, t)`` becomes: AND-compute into a shared clean
+    ancilla (one ccx, the fig-10 compute), ``cx(anc, t)``, then the fig-11
+    measurement-based AND uncompute (X-measure + conditional CZ/X), which
+    returns the ancilla to |0> — so one ancilla serves every lowered Toffoli
+    sequentially.  The construction is exact as a channel, so it is valid
+    anywhere, including inside MBU correction bodies (where the ``cx`` onto
+    the |-> garbage qubit becomes the intended phase kickback).
+    """
+
+    name = "lower_toffoli"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        out = circuit.copy_empty()
+        if not any(
+            isinstance(op, Gate) and op.name == "ccx" for op in iter_flat(circuit.ops)
+        ):
+            out.extend(circuit.ops)
+            return out
+        anc = out.add_register(self._fresh_name(out, "tof_and_anc"), 1)[0]
+        out.extend(self._rewrite(circuit.ops, out, anc))
+        return out
+
+    @staticmethod
+    def _fresh_name(circ: Circuit, base: str) -> str:
+        name, i = base, 0
+        while name in circ.registers:
+            i += 1
+            name = f"{base}{i}"
+        return name
+
+    def _rewrite(
+        self, ops: Sequence[Operation], circ: Circuit, anc: int
+    ) -> Tuple[Operation, ...]:
+        out: List[Operation] = []
+        for op in ops:
+            if isinstance(op, Gate) and op.name == "ccx":
+                a, b, t = op.qubits
+                bit = circ.new_bit("and")
+                out.append(Gate("ccx", (a, b, anc)))
+                out.append(Gate("cx", (anc, t)))
+                out.append(Measurement(anc, bit, "x"))
+                out.append(Conditional(bit, (Gate("cz", (a, b)), Gate("x", (anc,)))))
+            elif isinstance(op, Conditional):
+                out.append(
+                    Conditional(
+                        op.bit, self._rewrite(op.body, circ, anc), op.value, op.probability
+                    )
+                )
+            elif isinstance(op, MBUBlock):
+                out.append(MBUBlock(op.qubit, op.bit, self._rewrite(op.body, circ, anc)))
+            else:
+                out.append(op)
+        return tuple(out)
+
+
+#: The standard 7-T / 6-CNOT CCZ network on (a, b, c) — Nielsen & Chuang
+#: fig. 4.9 minus the outer Hadamards.
+def _ccz_network(a: int, b: int, c: int) -> Tuple[Gate, ...]:
+    return (
+        Gate("cx", (b, c)),
+        Gate("tdg", (c,)),
+        Gate("cx", (a, c)),
+        Gate("t", (c,)),
+        Gate("cx", (b, c)),
+        Gate("tdg", (c,)),
+        Gate("cx", (a, c)),
+        Gate("t", (b,)),
+        Gate("t", (c,)),
+        Gate("cx", (a, b)),
+        Gate("t", (a,)),
+        Gate("tdg", (b,)),
+        Gate("cx", (a, b)),
+    )
+
+
+@register_pass
+class DecomposeCliffordTPass(Pass):
+    """ccx / ccz / cswap -> the exact Clifford+T network (7 T per Toffoli).
+
+    ``ccx(a,b,c) = H(c) CCZ(a,b,c) H(c)`` with the standard 13-gate CCZ
+    network; ``cswap(c,x,y) = CX(y,x) CCX(c,x,y) CX(y,x)``.  Each Toffoli-
+    class gate costs exactly 7 T/T† and 6 (or 8 for cswap) CNOTs, which is
+    what :mod:`repro.resources` T-count accounting assumes.  Parametric
+    phase gates (ccphase/cphase/rz) are left untouched — they are not
+    Clifford+T representable without approximation.
+
+    The output contains bare Hadamards, so it simulates on the statevector
+    backend only (the basis-state backends reject ``h`` by design).
+    """
+
+    name = "decompose_clifford_t"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        out = circuit.copy_empty()
+        out.extend(self._rewrite(circuit.ops))
+        return out
+
+    def _rewrite(self, ops: Sequence[Operation]) -> Tuple[Operation, ...]:
+        out: List[Operation] = []
+        for op in ops:
+            if isinstance(op, Gate) and op.name in ("ccx", "ccz", "cswap"):
+                out.extend(self._decompose(op))
+            elif isinstance(op, Conditional):
+                out.append(
+                    Conditional(op.bit, self._rewrite(op.body), op.value, op.probability)
+                )
+            elif isinstance(op, MBUBlock):
+                out.append(MBUBlock(op.qubit, op.bit, self._rewrite(op.body)))
+            else:
+                out.append(op)
+        return tuple(out)
+
+    @staticmethod
+    def _decompose(gate: Gate) -> Tuple[Gate, ...]:
+        if gate.name == "ccz":
+            return _ccz_network(*gate.qubits)
+        if gate.name == "ccx":
+            a, b, c = gate.qubits
+            return (Gate("h", (c,)), *_ccz_network(a, b, c), Gate("h", (c,)))
+        # cswap(ctrl, x, y) = CX(y,x) CCX(ctrl,x,y) CX(y,x)
+        ctrl, x, y = gate.qubits
+        return (
+            Gate("cx", (y, x)),
+            Gate("h", (y,)),
+            *_ccz_network(ctrl, x, y),
+            Gate("h", (y,)),
+            Gate("cx", (y, x)),
+        )
+
+
+@register_pass
+class CancelAdjacentPass(Pass):
+    """Peephole elimination of adjacent inverse gate pairs.
+
+    A gate cancels with the immediately preceding gate when it equals its
+    adjoint (self-adjoint pairs like ``cx``/``cx``, name pairs like
+    ``t``/``tdg``, parametric pairs with negated angles).  Cancellation
+    chains through the stack — removing a pair can expose a new one.
+    Measurements, conditionals, MBU blocks and annotations act as barriers
+    (nothing cancels across them); bodies are rewritten recursively.
+    """
+
+    name = "cancel_adjacent"
+
+    def run(self, circuit: Circuit) -> Circuit:
+        out = circuit.copy_empty()
+        out.extend(self._rewrite(circuit.ops))
+        return out
+
+    def _rewrite(self, ops: Sequence[Operation]) -> Tuple[Operation, ...]:
+        out: List[Operation] = []
+        for op in ops:
+            if isinstance(op, Gate):
+                if out and isinstance(out[-1], Gate) and out[-1] == adjoint_gate(op):
+                    out.pop()
+                else:
+                    out.append(op)
+            elif isinstance(op, Conditional):
+                out.append(
+                    Conditional(op.bit, self._rewrite(op.body), op.value, op.probability)
+                )
+            elif isinstance(op, MBUBlock):
+                out.append(MBUBlock(op.qubit, op.bit, self._rewrite(op.body)))
+            else:
+                out.append(op)
+        return tuple(out)

@@ -141,6 +141,69 @@ class TestCircuitBuilding:
         assert kinds == ["Conditional", "Gate"]
 
 
+class TestStructuralEquality:
+    def _pair(self):
+        circs = []
+        for _ in range(2):
+            circ = Circuit()
+            q = circ.add_register("q", 2)
+            bit = circ.new_bit()
+            circ.cx(q[0], q[1])
+            with circ.capture() as body:
+                circ.cz(q[0], q[1])
+            circ.cond(bit, body)
+            circs.append(circ)
+        return circs
+
+    def test_equal_streams_compare_equal(self):
+        a, b = self._pair()
+        assert a.structurally_equal(b) and b.structurally_equal(a)
+
+    def test_annotations_ignored_by_default(self):
+        a, b = self._pair()
+        b.begin("QFT")
+        b.end("QFT")
+        assert a.structurally_equal(b)
+        assert not a.structurally_equal(b, include_annotations=True)
+
+    def test_annotations_inside_bodies_ignored(self):
+        a, b = self._pair()
+        cond = b.ops[-1]
+        b.ops[-1] = Conditional(
+            cond.bit, (Annotation("note", "x"),) + cond.body, cond.value, cond.probability
+        )
+        assert a.structurally_equal(b)
+
+    def test_differing_ops_or_layout_not_equal(self):
+        a, b = self._pair()
+        b.x(0)
+        assert not a.structurally_equal(b)
+        c = Circuit()
+        c.add_register("q", 2)
+        assert not a.structurally_equal(c)  # bit layout differs
+
+    def test_body_differences_detected(self):
+        a, b = self._pair()
+        cond = b.ops[-1]
+        b.ops[-1] = Conditional(cond.bit, (Gate("x", (0,)),), cond.value, cond.probability)
+        assert not a.structurally_equal(b)
+
+
+class TestCopyEmpty:
+    def test_copies_layout_not_ops(self):
+        circ = Circuit("orig")
+        q = circ.add_register("q", 3)
+        circ.new_bit("flag")
+        circ.x(q[0])
+        shell = circ.copy_empty()
+        assert shell.name == "orig"
+        assert shell.num_qubits == 3 and shell.num_bits == 1
+        assert shell.registers.keys() == circ.registers.keys()
+        assert shell.ops == []
+        shell.add_register("extra", 1)  # allocation is independent
+        assert circ.num_qubits == 3
+
+
 class TestAdjoint:
     def test_adjoint_reverses_and_conjugates(self):
         circ = Circuit()
@@ -176,3 +239,38 @@ class TestAdjoint:
         circ.cphase(a[1], a[2], 0.3)
         twice = circ.adjoint_ops(circ.adjoint_ops())
         assert twice == circ.ops
+
+    def test_adjoint_recurses_into_conditional_bodies(self):
+        circ = Circuit()
+        q = circ.add_register("q", 2)
+        bit = circ.new_bit()
+        circ.x(q[0])
+        with circ.capture() as body:
+            circ.s(q[0])
+            circ.cx(q[0], q[1])
+        circ.cond(bit, body)
+        adj = circ.adjoint_ops()
+        cond, gate = adj
+        assert isinstance(cond, Conditional)
+        assert [op.name for op in cond.body] == ["cx", "sdg"]
+        assert cond.probability == circ.ops[-1].probability
+        assert gate == Gate("x", (q[0],))
+        assert circ.adjoint_ops(adj) == circ.ops  # still an involution
+
+    def test_adjoint_rejects_mbu_blocks(self):
+        circ = Circuit()
+        q = circ.add_qubit("q")
+        circ.mbu(q, ())
+        with pytest.raises(ValueError, match="remark 2.23"):
+            circ.adjoint_ops()
+
+    def test_circuit_adjoint_returns_fresh_circuit(self):
+        circ = Circuit("fwd")
+        a = circ.add_register("a", 2)
+        circ.s(a[0])
+        circ.cx(a[0], a[1])
+        adj = circ.adjoint()
+        assert adj.name == "adjoint(fwd)"
+        assert adj.num_qubits == 2
+        assert [op.name for op in adj.ops] == ["cx", "sdg"]
+        assert [op.name for op in circ.ops] == ["s", "cx"]  # original untouched

@@ -1,6 +1,37 @@
 """ASCII drawer smoke tests."""
 
-from repro.circuits import Circuit, draw
+from repro.circuits import Circuit, Conditional, draw
+
+
+def test_draw_pass_produced_nesting():
+    """Regression: bodies produced by transform passes (measurements and
+    conditionals nested inside Conditional/MBU bodies, empty conditional
+    bodies) must render instead of collapsing or crashing."""
+    from repro.modular import build_modadd
+    from repro.circuits import reference_emission
+    from repro.transform import apply_transforms
+
+    with reference_emission():
+        ref = build_modadd(3, 5, "gidney", mbu=True)
+    rewritten = apply_transforms(ref.circuit, ["insert_mbu"])
+    art = draw(rewritten, max_width=100_000)
+    assert "~M" in art   # the MBU block itself
+    assert "~*" in art   # inner gate symbols survive under the "~" prefix
+    assert "~X" in art
+
+    lowered = apply_transforms(build_modadd(3, 5, "cdkpm").circuit, ["lower_toffoli"])
+    art2 = draw(lowered, max_width=100_000)
+    assert "Mx" in art2 and "?Z" in art2 and "?X" in art2
+
+
+def test_draw_skips_empty_conditional_body():
+    circ = Circuit()
+    q = circ.add_qubit("q")
+    bit = circ.new_bit()
+    circ.append(Conditional(bit, ()))  # pass-produced empty body
+    circ.x(q)
+    art = draw(circ)
+    assert "X" in art  # renders without crashing; empty column skipped
 
 
 def test_draw_basic_gates():

@@ -24,6 +24,7 @@ from repro.resources import table1, table4, table6
 from repro.resources.tables import TABLE_SPECS, build_table_rows
 
 GOLDEN = Path(__file__).parent / "golden" / "sweep_smoke.json"
+TRANSFORM_GOLDEN = Path(__file__).parent / "golden" / "sweep_smoke_transform.json"
 
 
 class TestCircuitSpec:
@@ -220,3 +221,46 @@ class TestGolden:
             cli_main(["--smoke", "--seed", "42"])
         assert exc.value.code == 2
         assert "--smoke pins" in capsys.readouterr().err
+
+
+class TestTransformFlag:
+    """The --transform chain, wired through SweepConfig and CircuitSpec."""
+
+    def test_transform_smoke_matches_golden(self, tmp_path):
+        rc = cli_main([
+            "--smoke", "--transform", "lower_toffoli",
+            "--out", str(tmp_path), "--check", str(TRANSFORM_GOLDEN),
+        ])
+        assert rc == 0
+
+    def test_transform_changes_measured_counts(self):
+        from dataclasses import replace
+
+        base = run_sweep(smoke_config())
+        lowered = run_sweep(replace(smoke_config(), transforms=("lower_toffoli",)))
+        row = base.tables["table6"][4][1]       # Gidney comparator row
+        row_low = lowered.tables["table6"][4][1]
+        assert row["row"] == row_low["row"] == "GIDNEY"
+        # lowering adds one CNOT per Toffoli but keeps the Toffoli count
+        assert row_low["toffoli"] == row["toffoli"]
+        assert row_low["cnot"] == row["cnot"] + row["toffoli"]
+        # the config records the chain, so artifacts are self-describing
+        assert sweep_artifact(lowered)["config"]["transforms"] == ["lower_toffoli"]
+
+    def test_transformed_specs_do_not_alias_in_cache(self):
+        cache = CircuitCache()
+        plain = CircuitSpec.make("comparator", 3, family="gidney")
+        lowered = CircuitSpec.make(
+            "comparator", 3, family="gidney", transforms=("lower_toffoli",)
+        )
+        a = cache.build(plain)
+        b = cache.build(lowered)
+        assert a is not b
+        assert b.circuit.num_qubits == a.circuit.num_qubits + 1
+        assert cache.build(lowered) is b  # memoized under the chained key
+
+    def test_unknown_transform_flag_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["--smoke", "--transform", "bogus"])
+        assert exc.value.code == 2
+        assert "unknown transform pass" in capsys.readouterr().err

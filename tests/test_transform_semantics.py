@@ -1,0 +1,201 @@
+"""Property tests: every transform pass preserves circuit semantics.
+
+Extends the ``tests/test_sim_cross.py`` pattern to the transform layer: for
+random small circuits *and* for every Table 1-6 row builder, applying a
+pass must leave the computed register values unchanged on every backend
+that can simulate the circuit (``classical`` / ``statevector`` /
+``bitplane``).  Measurement-based rewrites (``insert_mbu``,
+``lower_toffoli``) are checked under random outcomes — the data registers
+must be outcome-independent, which is exactly the paper's correctness
+claim for MBU.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, count_gates, reference_emission
+from repro.pipeline.cache import build_spec
+from repro.resources.tables import TABLE_SPECS
+from repro.sim import StatevectorSimulator, simulate
+from repro.transform import apply_transforms
+
+N_QUBITS = 5
+
+_KINDS = {"x": 1, "cx": 2, "ccx": 3, "swap": 2, "cz": 2, "cswap": 3}
+
+
+def _random_circuit(rng: random.Random, n_ops: int, *, unitary_only: bool = False) -> Circuit:
+    """A random reversible circuit; unless ``unitary_only``, it also mixes
+    in temporary-AND compute/uncompute patterns on a scratch ancilla."""
+    circ = Circuit()
+    a = circ.add_register("a", N_QUBITS)
+    anc = None if unitary_only else circ.add_register("anc", 1)
+    for i in range(n_ops):
+        kind = rng.choice(list(_KINDS))
+        qubits = [a[q] for q in rng.sample(range(N_QUBITS), k=_KINDS[kind])]
+        getattr(circ, kind)(*qubits)
+        if anc is not None and i % 7 == 6:
+            u, v = rng.sample(range(N_QUBITS), k=2)
+            circ.ccx(a[u], a[v], anc[0])  # temp AND compute
+            circ.ccx(a[u], a[v], anc[0])  # coherent uncompute (adjacent pair)
+    return circ
+
+
+def _values(circuit: Circuit, inputs, seed: int, backend: str):
+    result = simulate(circuit, inputs, backend=backend, seed=seed, tally=False,
+                      **({"batch": 8} if backend == "bitplane" else {}))
+    if backend == "bitplane":
+        return {name: lanes[0] for name, lanes in result.registers.items()}
+    return result.registers
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 2**N_QUBITS - 1))
+@settings(max_examples=25, deadline=None)
+def test_cancel_adjacent_preserves_semantics(seed, value):
+    rng = random.Random(seed)
+    circ = _random_circuit(rng, 20)
+    out = apply_transforms(circ, ["cancel_adjacent"])
+    for backend in ("classical", "bitplane"):
+        assert _values(out, {"a": value}, seed, backend) == _values(
+            circ, {"a": value}, seed, backend
+        )
+    sv0 = StatevectorSimulator(circ)
+    sv0.set_basis_state({"a": value})
+    sv0.run()
+    sv1 = StatevectorSimulator(out)
+    sv1.set_basis_state({"a": value})
+    sv1.run()
+    assert sv0.register_values().keys() == sv1.register_values().keys()
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 2**N_QUBITS - 1))
+@settings(max_examples=25, deadline=None)
+def test_invert_composes_to_identity(seed, value):
+    rng = random.Random(seed)
+    circ = _random_circuit(rng, 15, unitary_only=True)
+    inv = apply_transforms(circ, ["invert"])
+    for backend in ("classical", "bitplane"):
+        mid = _values(circ, {"a": value}, seed, backend)["a"]
+        back = _values(inv, {"a": mid}, seed, backend)["a"]
+        assert back == value
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 2**N_QUBITS - 1), st.integers(0, 99))
+@settings(max_examples=25, deadline=None)
+def test_lower_toffoli_preserves_semantics(seed, value, outcome_seed):
+    rng = random.Random(seed)
+    circ = _random_circuit(rng, 15, unitary_only=True)
+    out = apply_transforms(circ, ["lower_toffoli"])
+    for backend in ("classical", "bitplane"):
+        ref = _values(circ, {"a": value}, seed, backend)["a"]
+        got = _values(out, {"a": value}, outcome_seed, backend)
+        assert got["a"] == ref  # outcome-independent
+        assert got.get("tof_and_anc", 0) == 0  # ancilla returned clean
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 2**N_QUBITS - 1))
+@settings(max_examples=10, deadline=None)
+def test_decompose_clifford_t_preserves_semantics(seed, value):
+    rng = random.Random(seed)
+    circ = _random_circuit(rng, 10, unitary_only=True)
+    out = apply_transforms(circ, ["decompose_clifford_t"])
+    sv0 = StatevectorSimulator(circ)
+    sv0.set_basis_state({"a": value})
+    sv0.run()
+    sv1 = StatevectorSimulator(out)
+    sv1.set_basis_state({"a": value})
+    sv1.run()
+    (ref_key, ref_amp), = sv0.register_values().items()
+    (got_key, got_amp), = sv1.register_values().items()
+    assert got_key == ref_key
+    assert abs(abs(got_amp) - abs(ref_amp)) < 1e-9
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 2**N_QUBITS - 1), st.integers(0, 99))
+@settings(max_examples=20, deadline=None)
+def test_insert_mbu_preserves_semantics_on_random_oracles(seed, value, outcome_seed):
+    """Compute a garbage bit from random data, uncompute it through a marked
+    reference oracle; after insert_mbu the data is intact and g is |0>,
+    whatever the measurement outcome."""
+    from repro.circuits import uncompute_label
+
+    rng = random.Random(seed)
+    circ = Circuit()
+    a = circ.add_register("a", N_QUBITS)
+    g = circ.add_register("g", 1)
+
+    pairs = [rng.sample(range(N_QUBITS), k=2) for _ in range(3)]
+
+    def oracle():
+        for u, v in pairs:
+            circ.ccx(a[u], a[v], g[0])
+        circ.cx(a[pairs[0][0]], g[0])
+
+    oracle()  # compute garbage
+    label = uncompute_label("uncompute-oracle", g[0])
+    circ.begin(label)
+    oracle()  # coherent reference uncompute
+    circ.end(label)
+
+    out = apply_transforms(circ, ["insert_mbu"])
+    assert count_gates(out)["measure"] == 1
+    for backend in ("classical", "bitplane"):
+        got = _values(out, {"a": value}, outcome_seed, backend)
+        assert got == {"a": value, "g": 0}
+
+
+def _basis_rows():
+    """Every non-QFT table row variant (the ones with basis-state
+    semantics), as (id, CircuitSpec) pairs at a small width."""
+    rows = []
+    n = 3
+    for table, spec in sorted(TABLE_SPECS.items()):
+        p, a = spec.defaults(n)
+        for row in spec.rows:
+            if row.key.startswith("draper"):
+                continue  # QFT-based: no basis-state semantics
+            for variant, circuit_spec in row.specs(n, p=p, a=a).items():
+                rows.append((f"{table}-{row.key}-{variant}", circuit_spec))
+    return rows
+
+
+@pytest.mark.parametrize("pass_name", ["cancel_adjacent", "lower_toffoli"])
+@pytest.mark.parametrize("row_id,circuit_spec", _basis_rows())
+def test_passes_preserve_table_row_semantics(pass_name, row_id, circuit_spec):
+    """For every ripple-carry table-row builder, the pass output computes
+    the same register values as the original on classical and bitplane."""
+    built = build_spec(circuit_spec)
+    transformed = apply_transforms(built.circuit, [pass_name])
+    inputs = {}
+    for name, reg in built.circuit.registers.items():
+        if name in built.ancilla_names or not len(reg):
+            continue
+        inputs[name] = min(3, (1 << len(reg)) - 1) if name != "y" else 1
+    for backend in ("classical", "bitplane"):
+        ref = _values(built.circuit, inputs, 5, backend)
+        got = _values(transformed, inputs, 17, backend)
+        for name in built.circuit.registers:
+            assert got[name] == ref[name], (row_id, pass_name, name)
+
+
+@pytest.mark.parametrize("row_id,circuit_spec", _basis_rows())
+def test_insert_mbu_preserves_table_row_semantics(row_id, circuit_spec):
+    """insert_mbu(reference build) computes the same values as the
+    hand-built circuit for every ripple-carry table row."""
+    built = build_spec(circuit_spec)
+    with reference_emission():
+        ref_built = build_spec(circuit_spec)
+    transformed = apply_transforms(ref_built.circuit, ["insert_mbu"])
+    inputs = {}
+    for name, reg in built.circuit.registers.items():
+        if name in built.ancilla_names or not len(reg):
+            continue
+        inputs[name] = min(2, (1 << len(reg)) - 1)
+    for backend in ("classical", "bitplane"):
+        ref = _values(built.circuit, inputs, 9, backend)
+        got = _values(transformed, inputs, 23, backend)
+        for name in built.circuit.registers:
+            assert got[name] == ref[name], (row_id, name)
