@@ -1,0 +1,202 @@
+"""Fused-kernel VM vs PR 3's scalar compiled VM, plus pipeline-level reuse.
+
+Two layers of measurement, both written to ``benchmarks/BENCH_fused.json``:
+
+* **Kernel level** — the MBU modular adder through four execution
+  strategies (interpretive walk, scalar compiled VM, fused generated
+  kernel, fused stacked-plane numpy kernels) at n = 64, 256 and batch =
+  1024/4096, tally off and on.  The acceptance bar is fused (codegen)
+  >= 2x over the scalar compiled VM at n = 256, batch = 4096;
+  ``test_report_fused`` asserts it.  One-off compile/fuse/kernel-
+  generation times are reported separately — a sweep pays them once.
+* **Pipeline level** — ``mc_expected_counts`` at paper scale: one
+  compiled program re-run across every repetition on one reset simulator
+  (the new default) against the per-repetition interpretive rebuild
+  (PR 2's path).  This is the number that moves end-to-end sweep wall
+  time, not just microbenchmarks.
+
+Set ``BENCH_FUSED_SMOKE=1`` to run the reduced CI configuration (small
+case only, relaxed floors) — the ``perf-smoke`` CI job does.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.modular import build_modadd
+from repro.pipeline.montecarlo import mc_expected_counts
+from repro.sim import BitplaneSimulator, RandomOutcomes
+from repro.transform import compile_program, fuse_program
+
+SMOKE = bool(os.environ.get("BENCH_FUSED_SMOKE"))
+CASES = [(64, 1024)] if SMOKE else [(64, 1024), (64, 4096), (256, 4096)]
+#: Fused-vs-scalar floor asserted by the report test (per case key).
+FLOORS = {"n64_B1024": 1.3} if SMOKE else {"n256_B4096": 2.0}
+MC_CONFIG = (16, 256, 4) if SMOKE else (64, 2048, 8)   # (n, batch, repeats)
+
+_RESULTS = {}
+_PIPELINE = {}
+
+
+def _inputs(p, batch):
+    xs = [pow(3, i + 1, p) for i in range(batch)]
+    ys = [pow(5, i + 1, p) for i in range(batch)]
+    return xs, ys
+
+
+def _prepared(circuit, batch, xs, ys, tally=False):
+    sim = BitplaneSimulator(circuit, batch=batch, outcomes=RandomOutcomes(7), tally=tally)
+    sim.set_register("x", xs)
+    sim.set_register("y", ys)
+    return sim
+
+
+@pytest.mark.parametrize("n,batch", CASES)
+def test_fused_throughput(benchmark, n, batch):
+    p = (1 << n) - 59
+    built = build_modadd(n, p, "cdkpm", mbu=True)
+    xs, ys = _inputs(p, batch)
+
+    t0 = time.perf_counter()
+    program = compile_program(built.circuit, tally=False)
+    compile_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fused = fuse_program(program)
+    fuse_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fused.kernel(events=False)
+    kernel_seconds = time.perf_counter() - t0
+    program_tally = compile_program(built.circuit, tally=True)
+    fused_tally = fuse_program(program_tally)
+    fused_tally.kernel(events=True)
+
+    def run_fused():
+        sim = _prepared(built.circuit, batch, xs, ys)
+        sim.run_compiled(fused)
+        return sim
+
+    sim = benchmark(run_fused)
+    out = sim.get_register("y")
+    for lane in range(0, batch, max(1, batch // 16)):
+        assert out[lane] == (xs[lane] + ys[lane]) % p
+
+    def best(execute, tally=False, rounds=5):
+        """Best-of wall clock of the execution step alone (state preparation
+        is identical for every path and excluded)."""
+        times = []
+        for _ in range(rounds):
+            sim = _prepared(built.circuit, batch, xs, ys, tally=tally)
+            t0 = time.perf_counter()
+            execute(sim)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    interp = best(lambda sim: sim.run())
+    scalar = best(lambda sim: sim.run_compiled(program, fused=False))
+    codegen = best(lambda sim: sim.run_compiled(fused))
+    arrays = best(lambda sim: sim.run_compiled(fused, kernels="arrays"))
+    scalar_tally = best(lambda sim: sim.run_compiled(program_tally, fused=False), tally=True)
+    codegen_tally = best(lambda sim: sim.run_compiled(fused_tally), tally=True)
+
+    stats = fused.fusion_stats()
+    _RESULTS[f"n{n}_B{batch}"] = {
+        "n": n,
+        "batch": batch,
+        "instructions": len(program),
+        "fusion_stats": stats,
+        "compile_seconds": compile_seconds,
+        "fuse_seconds": fuse_seconds,
+        "kernel_generation_seconds": kernel_seconds,
+        "interpretive_seconds": interp,
+        "scalar_compiled_seconds": scalar,
+        "fused_codegen_seconds": codegen,
+        "fused_arrays_seconds": arrays,
+        "speedup_vs_scalar": scalar / codegen,
+        "speedup_vs_interpretive": interp / codegen,
+        "arrays_vs_scalar": scalar / arrays,
+        "scalar_tally_seconds": scalar_tally,
+        "fused_tally_seconds": codegen_tally,
+        "speedup_tally_vs_scalar": scalar_tally / codegen_tally,
+    }
+
+
+def test_mc_program_reuse(benchmark):
+    """Pipeline-level: one compiled program + reset buffers across MC
+    repetitions vs the per-repetition interpretive rebuild."""
+    n, mc_batch, repeats = MC_CONFIG
+    p = (1 << n) - 59
+    built = build_modadd(n, p, "cdkpm", mbu=True)
+    kwargs = dict(batch=mc_batch, repeats=repeats, seed=11, gates=("ccx", "ccz"))
+
+    # warm (compile + kernel outside the timed comparison; reuse is the point)
+    fused = fuse_program(compile_program(built.circuit, tally=True))
+    fused.kernel(events=True)
+
+    compiled_est = benchmark(lambda: mc_expected_counts(built, program=fused, **kwargs))
+    t0 = time.perf_counter()
+    interp_est = mc_expected_counts(built, compiled=False, **kwargs)
+    interp_seconds = time.perf_counter() - t0
+    assert compiled_est.mean == interp_est.mean  # bit-identical estimates
+
+    fresh = mc_expected_counts(built, **kwargs)  # includes one-off compile
+    _PIPELINE.update({
+        "n": n,
+        "mc_batch": mc_batch,
+        "mc_repeats": repeats,
+        "interpretive_seconds": interp_seconds,
+        "compiled_run_seconds": compiled_est.run_seconds,
+        "compile_once_seconds": fresh.compile_seconds,
+        "end_to_end_speedup": interp_seconds / (compiled_est.run_seconds or 1e-12),
+        "samples": compiled_est.samples,
+        "mean": str(compiled_est.mean),
+    })
+
+
+def test_report_fused(benchmark, capsys):
+    from conftest import print_once
+
+    if not _RESULTS:  # throughput cases filtered out (-k/-x): keep old JSON
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        return
+    payload = {
+        "benchmark": "fused_vs_scalar_compiled_bitplane",
+        "circuit": "modadd[cdkpm, mbu=True]",
+        "smoke": SMOKE,
+        "results": _RESULTS,
+        "mc_program_reuse": _PIPELINE,
+    }
+    out_path = Path(__file__).with_name("BENCH_fused.json")
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = ["Fused kernels vs scalar compiled VM (BitplaneSimulator):"]
+    for key, row in _RESULTS.items():
+        lines.append(
+            f"  {key:10s} scalar={row['scalar_compiled_seconds']*1e3:8.2f} ms  "
+            f"fused={row['fused_codegen_seconds']*1e3:8.2f} ms  "
+            f"speedup={row['speedup_vs_scalar']:5.2f}x  "
+            f"(tally on: {row['speedup_tally_vs_scalar']:5.2f}x, "
+            f"arrays: {row['arrays_vs_scalar']:5.2f}x, "
+            f"vs interp: {row['speedup_vs_interpretive']:5.2f}x)"
+        )
+    if _PIPELINE:
+        lines.append(
+            f"  mc reuse (n={_PIPELINE['n']}, {_PIPELINE['mc_repeats']} reps x "
+            f"{_PIPELINE['mc_batch']} lanes): interpretive="
+            f"{_PIPELINE['interpretive_seconds']*1e3:.1f} ms  compiled(reused)="
+            f"{_PIPELINE['compiled_run_seconds']*1e3:.1f} ms  "
+            f"-> {_PIPELINE['end_to_end_speedup']:.1f}x"
+        )
+    lines.append(f"  -> {out_path.name}")
+    print_once(benchmark, capsys, "\n".join(lines))
+
+    for key, floor in FLOORS.items():
+        if key in _RESULTS:  # absent under -k filtering
+            assert _RESULTS[key]["speedup_vs_scalar"] >= floor, (
+                f"{key}: fused/scalar speedup "
+                f"{_RESULTS[key]['speedup_vs_scalar']:.2f}x below floor {floor}x"
+            )
+    if _PIPELINE:
+        assert _PIPELINE["end_to_end_speedup"] >= 2.0

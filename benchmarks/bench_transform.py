@@ -51,9 +51,12 @@ def test_transform_throughput(benchmark, n, batch):
     compile_seconds = time.perf_counter() - t0
     program_tally = compile_program(built.circuit, tally=True)
 
+    # fused=False throughout: this benchmark pins the *scalar* compiled VM
+    # against the interpretive walk (PR 3's metric); the fused kernels have
+    # their own benchmark (bench_fused.py -> BENCH_fused.json).
     def run_compiled():
         sim = _prepared(built.circuit, batch, xs, ys)
-        sim.run_compiled(program)
+        sim.run_compiled(program, fused=False)
         return sim
 
     sim = benchmark(run_compiled)
@@ -73,9 +76,11 @@ def test_transform_throughput(benchmark, n, batch):
         return min(times)
 
     interp = best(lambda sim: sim.run())
-    compiled = best(lambda sim: sim.run_compiled(program))
+    compiled = best(lambda sim: sim.run_compiled(program, fused=False))
     interp_tally = best(lambda sim: sim.run(), tally=True)
-    compiled_tally = best(lambda sim: sim.run_compiled(program_tally), tally=True)
+    compiled_tally = best(
+        lambda sim: sim.run_compiled(program_tally, fused=False), tally=True
+    )
 
     _RESULTS[f"n{n}_B{batch}"] = {
         "n": n,

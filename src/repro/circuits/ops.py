@@ -81,7 +81,7 @@ PARAMETRIC_GATES = frozenset({"phase", "cphase", "ccphase", "rz"})
 _ADJOINT_NAME = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Gate:
     """A unitary gate applied to concrete qubit indices.
 
@@ -113,7 +113,7 @@ class Gate:
         return adjoint_gate(self)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Measurement:
     """Projective single-qubit measurement into classical bit ``bit``.
 
@@ -131,7 +131,7 @@ class Measurement:
             raise ValueError(f"measurement basis must be 'z' or 'x', got {self.basis!r}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Conditional:
     """Execute ``body`` when classical ``bit`` equals ``value``.
 
@@ -152,7 +152,7 @@ class Conditional:
             raise ValueError("probability must lie in [0, 1]")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MBUBlock:
     """Measurement-based uncomputation of a single garbage qubit (Lemma 4.1).
 
@@ -177,7 +177,7 @@ class MBUBlock:
         return Fraction(1, 2)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Annotation:
     """Structural marker, ignored by simulators.
 

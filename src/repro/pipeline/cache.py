@@ -48,6 +48,7 @@ from ..modular import (
     build_modadd_draper,
     build_modadd_vbe_original,
 )
+from ..sim.classical import UnsupportedGateError
 from ..transform import apply_transforms, parse_transform_chain
 
 __all__ = [
@@ -167,6 +168,8 @@ class CacheStats:
     evictions: int = 0
     count_hits: int = 0
     count_misses: int = 0
+    program_hits: int = 0
+    program_misses: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -180,6 +183,8 @@ class CacheStats:
             "evictions": self.evictions,
             "count_hits": self.count_hits,
             "count_misses": self.count_misses,
+            "program_hits": self.program_hits,
+            "program_misses": self.program_misses,
             "hit_ratio": round(self.hit_ratio, 4),
         }
 
@@ -198,6 +203,7 @@ class CircuitCache:
         self.maxsize = maxsize
         self._entries: "OrderedDict[CircuitSpec, Built]" = OrderedDict()
         self._counts: Dict[Tuple[CircuitSpec, str], Any] = {}
+        self._programs: Dict[Tuple[CircuitSpec, bool], Any] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
 
@@ -220,6 +226,8 @@ class CircuitCache:
                     self.stats.evictions += 1
                     for mode in ("expected", "worst", "best"):
                         self._counts.pop((evicted, mode), None)
+                    for tally in (False, True):
+                        self._programs.pop((evicted, tally), None)
             return self._entries[spec]
 
     def counts(self, spec: CircuitSpec, mode: str = "expected"):
@@ -237,10 +245,54 @@ class CircuitCache:
                 self._counts[key] = counted
         return counted
 
+    def program(self, spec: CircuitSpec, tally: bool = True):
+        """Memoized compiled+fused bit-plane program for the spec's circuit.
+
+        This is the pipeline-wide program reuse point: every Monte-Carlo
+        estimate of the same (spec, transforms) cell — across tables,
+        savings summaries and repetitions — executes one
+        :class:`~repro.transform.compile.FusedProgram` (whose generated
+        kernel is itself cached on the program).  Raises
+        :class:`~repro.sim.classical.UnsupportedGateError` for circuits
+        without basis-state semantics, like the builders themselves would
+        at simulation time.
+        """
+        key = (spec, tally)
+        with self._lock:
+            if key in self._programs:
+                self.stats.program_hits += 1
+                cached = self._programs[key]
+                if isinstance(cached, _Unsupported):
+                    # memoized compile failure (QFT rows): raise a fresh
+                    # exception so callers never share a mutable instance
+                    raise UnsupportedGateError(*cached.args)
+                return cached
+        built = self.build(spec)
+        from ..transform.compile import compile_program, fuse_program
+
+        try:
+            # This cache holds the FusedProgram itself, so the module-level
+            # fusion memo must not additionally pin the throwaway key.
+            program = fuse_program(
+                compile_program(built.circuit, tally=tally), memoize=False
+            )
+        except UnsupportedGateError as exc:
+            with self._lock:
+                self.stats.program_misses += 1
+                if spec in self._entries:
+                    self._programs[key] = _Unsupported(exc.args)
+            raise
+        with self._lock:
+            self.stats.program_misses += 1
+            if spec in self._entries:  # don't pin programs of evicted circuits
+                self._programs[key] = program
+        return program
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self._counts.clear()
+            self._programs.clear()
             self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -248,6 +300,14 @@ class CircuitCache:
 
     def __contains__(self, spec: CircuitSpec) -> bool:
         return spec in self._entries
+
+
+@dataclass(frozen=True)
+class _Unsupported:
+    """Memoized compile failure: the args of the UnsupportedGateError a
+    spec's circuit raised, replayed as a fresh exception on every hit."""
+
+    args: Tuple[Any, ...]
 
 
 _DEFAULT = CircuitCache()

@@ -11,15 +11,20 @@ and a normal-approximation confidence interval to put next to the
 closed-form expectation.
 
 Determinism: estimates depend only on ``(seed, batch, repeats)`` — never
-on wall clock, worker scheduling or platform.  :func:`derive_seed` folds
-an arbitrary task key into an independent 63-bit seed with SHA-256, which
-is how the sweep runner gives every (table, n, row, variant) cell its own
-reproducible stream.
+on wall clock, worker scheduling or platform, and not on the execution
+strategy either: the default compiled path (one fused program re-run
+across all repetitions on one reset simulator; see
+``docs/performance.md``) consumes the exact same per-repetition outcome
+streams as the interpretive walk, so the estimates are bit-identical.
+:func:`derive_seed` folds an arbitrary task key into an independent
+63-bit seed with SHA-256, which is how the sweep runner gives every
+(table, n, row, variant) cell its own reproducible stream.
 """
 
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Sequence, Tuple
 
@@ -56,10 +61,17 @@ class MCEstimate(LaneTallyStats):
     mean/variance/stderr/``ci95``/``z_score`` machinery) with the
     estimate's provenance: which gates were counted and the sweep seed.
     ``samples`` is ``batch * repeats``.
+
+    ``compile_seconds``/``run_seconds`` expose the compile/run split of the
+    estimate's wall time: compilation happens (at most) once per circuit —
+    zero when a pre-built program was supplied — while the run time covers
+    every repetition executed against the one compiled program.
     """
 
     gates: Tuple[str, ...] = ()
     seed: int = 0
+    compile_seconds: float = 0.0
+    run_seconds: float = 0.0
 
 
 def _circuit_of(target) -> Circuit:
@@ -74,6 +86,8 @@ def mc_expected_counts(
     seed: int = 0,
     gates: Sequence[str] = DEFAULT_GATES,
     inputs: Optional[Mapping[str, Any]] = None,
+    compiled: bool = True,
+    program: Any = None,
 ) -> MCEstimate:
     """Estimate the expected executed count of ``gates`` over random outcomes.
 
@@ -85,25 +99,67 @@ def mc_expected_counts(
     data).  Raises :class:`~repro.sim.classical.UnsupportedGateError` for
     circuits outside basis-state semantics (e.g. QFT-based Draper rows);
     use :func:`mc_or_none` to skip those.
+
+    ``compiled=True`` (the default) compiles the circuit *once* — or takes
+    a pre-built ``program`` (a
+    :class:`~repro.transform.compile.FusedProgram` or
+    :class:`~repro.transform.compile.CompiledProgram`, e.g. from
+    :meth:`~repro.pipeline.cache.CircuitCache.program`) — and re-runs it
+    for every repetition on one simulator whose plane buffers are reset in
+    place, instead of rebuilding execution state per repetition.  Results
+    are bit-identical to the interpretive path (``compiled=False``): the
+    estimate still depends only on ``(seed, batch, repeats)``.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
     circuit = _circuit_of(target)
-    chunks = []
-    for r in range(repeats):
-        sim = BitplaneSimulator(
-            circuit,
-            batch=batch,
-            outcomes=RandomOutcomes(derive_seed(seed, "rep", r)),
-            tally=False,
-            lane_counts=tuple(gates),
+    compile_seconds = 0.0
+    if compiled:
+        from ..transform.compile import (
+            CompiledProgram,
+            compile_program,
+            fuse_program,
         )
+
+        if program is None:
+            start = time.perf_counter()
+            program = fuse_program(
+                compile_program(circuit, tally=True), memoize=False
+            )
+            program.kernel(events=True)  # kernel generation is compile work
+            compile_seconds = time.perf_counter() - start
+        elif isinstance(program, CompiledProgram):
+            start = time.perf_counter()
+            program = fuse_program(program)
+            compile_seconds = time.perf_counter() - start
+    sim = BitplaneSimulator(
+        circuit,
+        batch=batch,
+        outcomes=RandomOutcomes(derive_seed(seed, "rep", 0)),
+        tally=False,
+        lane_counts=tuple(gates),
+    )
+    chunks = []
+    start = time.perf_counter()
+    for r in range(repeats):
+        if r:
+            sim.reset(RandomOutcomes(derive_seed(seed, "rep", r)))
         for name, value in (inputs or {}).items():
             sim.set_register(name, value)
-        sim.run()
+        if compiled:
+            sim.run_compiled(program)
+        else:
+            sim.run()
         chunks.append(sim.lane_tally())
+    run_seconds = time.perf_counter() - start
     totals = np.concatenate(chunks)
-    return MCEstimate.from_counts(totals, gates=tuple(gates), seed=seed)
+    return MCEstimate.from_counts(
+        totals,
+        gates=tuple(gates),
+        seed=seed,
+        compile_seconds=compile_seconds,
+        run_seconds=run_seconds,
+    )
 
 
 def mc_or_none(target, **kwargs) -> Optional[MCEstimate]:

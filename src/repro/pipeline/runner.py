@@ -6,9 +6,13 @@ on a ``concurrent.futures.ProcessPoolExecutor``.  Each task returns plain
 row dicts (ints / Fractions — picklable), so workers never ship circuits
 across process boundaries; every worker process keeps its own
 :class:`~repro.pipeline.cache.CircuitCache` and the serial path reuses the
-caller's.  Per-task seeds are derived from the sweep seed and the task key
-(:func:`~repro.pipeline.montecarlo.derive_seed`), so results are identical
-whatever the worker count or scheduling order.
+caller's.  Workers run compiled by default: every Monte-Carlo column pulls
+its circuit's fused program from the cache
+(:meth:`~repro.pipeline.cache.CircuitCache.program`), so a circuit is
+compiled once per worker however many columns, repetitions and tables
+revisit it.  Per-task seeds are derived from the sweep seed and the task
+key (:func:`~repro.pipeline.montecarlo.derive_seed`), so results are
+identical whatever the worker count or scheduling order.
 
 On top of the exact expected-mode counts, every row variant that has a
 Toffoli metric gets an empirical column pair — ``<metric>_mc`` (Monte-
@@ -35,6 +39,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..sim.classical import UnsupportedGateError
 from .cache import CircuitCache, CircuitSpec
 from .montecarlo import DEFAULT_GATES, derive_seed, mc_or_none
 
@@ -126,14 +131,19 @@ def table_rows_with_mc(
             circuit_spec = row_spec.template.spec(
                 n, p=p, a=a, mbu=(metric.variant == "mbu"), transforms=transforms
             )
+            try:  # compile once per (spec, transforms); reused sweep-wide
+                program = cache.program(circuit_spec)
+            except UnsupportedGateError:  # no basis-state semantics (QFT rows)
+                continue
             estimate = mc_or_none(
                 cache.build(circuit_spec),
                 batch=mc_batch,
                 repeats=mc_repeats,
                 gates=mc_gates,
                 seed=derive_seed(seed, table, n, row_spec.key, metric.variant),
+                program=program,
             )
-            if estimate is None:  # no basis-state semantics (QFT rows)
+            if estimate is None:  # pragma: no cover - compile already vetted
                 continue
             row[f"{metric.name}_mc"] = estimate.mean
             row[f"{metric.name}_mc_ci95"] = round(estimate.ci95, 9)
@@ -171,12 +181,17 @@ def modexp_row(
         row[f"toffoli{suffix}"] = cache.counts(spec).toffoli
         row[f"toffoli{suffix}_paper"] = formula["toffoli"]
         if suffix == "_mbu":
-            estimate = mc_or_none(
+            try:  # compile once per spec; reused sweep-wide
+                program = cache.program(spec)
+            except UnsupportedGateError:
+                program = None
+            estimate = None if program is None else mc_or_none(
                 built,
                 batch=mc_batch,
                 repeats=mc_repeats,
                 gates=mc_gates,
                 seed=derive_seed(seed, "modexp", n_exp, n),
+                program=program,
             )
             if estimate is not None:
                 row["toffoli_mbu_mc"] = estimate.mean

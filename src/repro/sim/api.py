@@ -187,6 +187,8 @@ def _run_bitplane(
     lane_counts: Any = None,
     compiled: bool = False,
     program: Any = None,
+    fused: bool = True,
+    kernels: str | None = None,
 ) -> SimulationResult:
     _check_registers(circuit, inputs)
     if compiled or program is not None:
@@ -196,7 +198,12 @@ def _run_bitplane(
         )
         for name, values in (inputs or {}).items():
             sim.set_register(name, values)
-        sim.run_compiled(program)
+        sim.run_compiled(program, fused=fused, kernels=kernels)
+    elif kernels is not None or fused is not True:
+        raise ValueError(
+            "kernels=/fused= select a compiled execution strategy; "
+            "pass compiled=True (or program=) to use them"
+        )
     else:
         sim = run_bitplane(
             circuit, inputs, batch=batch, outcomes=outcomes, tally=tally,

@@ -56,6 +56,7 @@ from typing import Dict, List, Mapping, Sequence, Union
 import numpy as np
 
 from ..circuits.circuit import Circuit, Register
+from ..circuits.counts import GateCounts
 from ..circuits.ops import PHASE_ONLY_GATES, Conditional, Gate, MBUBlock, Measurement
 from .classical import UnsupportedGateError, garbage_gate_skips
 from .engine import BranchDecision, ExecutionBackend, ExecutionEngine
@@ -141,8 +142,16 @@ class BitplaneSimulator(ExecutionBackend):
         self.circuit = circuit
         self.batch = batch
         self.words = (batch + 63) // 64
-        self.planes = np.zeros((circuit.num_qubits, self.words), dtype=_DTYPE)
-        self.bit_planes = np.zeros((circuit.num_bits, self.words), dtype=_DTYPE)
+        self._planes_np = np.zeros((circuit.num_qubits, self.words), dtype=_DTYPE)
+        self._bit_planes_np = np.zeros((circuit.num_bits, self.words), dtype=_DTYPE)
+        # Fused compiled runs leave their state as resident bigints (one per
+        # plane) and only materialize the numpy planes when somebody reads
+        # them — see the `planes` / `bit_planes` properties.  `_dirty_*`
+        # tracks which rows the kernels have changed since the last sync.
+        self._plane_ints: List[int] | None = None
+        self._bit_ints: List[int] | None = None
+        self._dirty_planes: set = set()
+        self._dirty_bits: set = set()
         self._valid = _pack_int((1 << batch) - 1, self.words)
         self._mask: List[np.ndarray] = [self._valid]
         self._active: List[int] = [batch]
@@ -155,6 +164,71 @@ class BitplaneSimulator(ExecutionBackend):
             name: np.zeros(batch, dtype=np.int64) for name in (lane_counts or ())
         }
         self.engine = ExecutionEngine(self, outcomes=outcomes, tally=tally)
+
+    # -- plane state: numpy canonical, bigint-resident after fused runs -------
+
+    @property
+    def planes(self) -> np.ndarray:
+        """The ``(num_qubits, words)`` qubit plane matrix.
+
+        Reading this property synchronizes any bigint-resident state a fused
+        compiled run left behind (and conservatively invalidates it, since
+        the caller may mutate the returned array).  Pipelines that only need
+        tallies or lane counters between fused runs therefore never pay for
+        numpy materialization at all.
+        """
+        self._sync_planes()
+        return self._planes_np
+
+    @property
+    def bit_planes(self) -> np.ndarray:
+        """The ``(num_bits, words)`` classical-bit plane matrix (same
+        synchronization contract as :attr:`planes`)."""
+        self._sync_bits()
+        return self._bit_planes_np
+
+    def _materialize_rows(self, array: np.ndarray, ints: List[int], rows) -> None:
+        """Repack the given bigint ``rows`` into ``array`` in place (one
+        zero-copy byte view; all-zero values skip the int conversion)."""
+        if array.size == 0:  # memoryview cannot cast zero-sized views
+            return
+        stride = self.words * 8
+        zeros = bytes(stride)
+        mv = memoryview(array).cast("B")
+        for i in rows:
+            value = ints[i]
+            mv[i * stride : (i + 1) * stride] = (
+                value.to_bytes(stride, "little") if value else zeros
+            )
+        mv.release()
+
+    def _rows_to_ints(self, array: np.ndarray) -> List[int]:
+        """Unpack every row of ``array`` into a bigint (all-zero rows skip
+        the byte conversion)."""
+        if array.size == 0:  # memoryview cannot cast zero-sized views
+            return [0] * array.shape[0]
+        stride = self.words * 8
+        from_bytes = int.from_bytes
+        mv = memoryview(array).cast("B")
+        live = array.any(axis=1).tolist()
+        ints = [
+            from_bytes(mv[i * stride : (i + 1) * stride], "little") if live[i] else 0
+            for i in range(array.shape[0])
+        ]
+        mv.release()
+        return ints
+
+    def _sync_planes(self) -> None:
+        if self._plane_ints is not None:
+            self._materialize_rows(self._planes_np, self._plane_ints, self._dirty_planes)
+            self._plane_ints = None
+            self._dirty_planes.clear()
+
+    def _sync_bits(self) -> None:
+        if self._bit_ints is not None:
+            self._materialize_rows(self._bit_planes_np, self._bit_ints, self._dirty_bits)
+            self._bit_ints = None
+            self._dirty_bits.clear()
 
     # -- lane preparation / readout -------------------------------------------
 
@@ -261,26 +335,64 @@ class BitplaneSimulator(ExecutionBackend):
         self.engine.execute(self.circuit.ops)
         return self
 
-    def run_compiled(self, program=None) -> "BitplaneSimulator":
-        """Execute a :class:`~repro.transform.compile.CompiledProgram`.
+    def reset(self, outcomes: OutcomeProvider | None = None) -> "BitplaneSimulator":
+        """Return the simulator to its pristine state without reallocating.
 
-        With ``program=None`` the circuit is compiled on the fly (tally
-        metadata included iff the engine's tally is enabled).  The VM is a
-        flat program-counter loop over pre-resolved instructions — no
-        ``isinstance`` dispatch, no gate-name comparisons, no dynamic
-        garbage-qubit checks, and branches with zero active lanes jump over
-        their whole body.  State lives in arbitrary-precision Python ints
-        for the duration of the run (one bigint per qubit/bit plane): a
-        bitwise op on a 4096-lane plane is then a single C call instead of
-        a numpy ufunc dispatch, which is where the interpretive walk spends
-        most of its time.  Several times faster end to end — see
-        ``benchmarks/BENCH_transform.json``.
+        Zeroes the plane buffers and per-lane counters in place, empties
+        the mask/garbage stacks, starts a fresh tally, and swaps in a new
+        outcome provider (or rewinds the existing one via its ``reset``).
+        This is how :func:`repro.pipeline.montecarlo.mc_expected_counts`
+        reuses one simulator (and one compiled program) across
+        repetitions.
+        """
+        self._planes_np[:] = 0
+        self._bit_planes_np[:] = 0
+        self._plane_ints = None
+        self._bit_ints = None
+        self._dirty_planes.clear()
+        self._dirty_bits.clear()
+        self._mask = [self._valid]
+        self._active = [self.batch]
+        self._garbage = []
+        for counter in self._lane_track.values():
+            counter[:] = 0
+        if outcomes is not None:
+            self.engine.outcomes = outcomes
+        else:
+            self.engine.outcomes.reset()
+        if self.engine.tally is not None:
+            self.engine.tally = GateCounts()
+        return self
 
-        Results (states, bits, measurement-outcome stream and the engine
-        tally) are identical to :meth:`run`.  Per-lane ``lane_counts``
-        tracking is not supported in compiled mode.
+    def run_compiled(
+        self, program=None, *, fused: bool = True, kernels: str | None = None
+    ) -> "BitplaneSimulator":
+        """Execute a compiled (and by default *fused*) bit-plane program.
+
+        ``program`` may be a :class:`~repro.transform.compile.CompiledProgram`,
+        a :class:`~repro.transform.compile.FusedProgram`, or ``None`` (the
+        circuit is compiled on the fly; tally metadata included iff the
+        engine tally or ``lane_counts`` tracking needs it).
+
+        ``fused=True`` (default) executes through the fused kernels of
+        :mod:`repro.sim.kernels`: ``kernels="codegen"`` (default) runs the
+        generated straight-line bigint kernel, ``kernels="arrays"`` the
+        stacked-plane numpy gather/scatter strategy.  Executed-gate tallies
+        come from per-scope entry events, and — unlike the scalar path —
+        exact per-lane ``lane_counts`` tracking is supported.
+
+        ``fused=False`` is the scalar escape hatch: the flat
+        program-counter loop over pre-resolved instruction tuples, with
+        state in one bigint per plane (PR 3's compiled VM, and the baseline
+        ``benchmarks/bench_fused.py`` measures the fused kernels against).
+
+        Results (states, bits, measurement-outcome stream, tally and lane
+        tallies) are identical to :meth:`run` on every path — see
+        ``tests/test_fused_vm.py``.
         """
         from ..transform.compile import (  # deferred: transform layers above sim
+            CompiledProgram,
+            FusedProgram,
             OP_CCX,
             OP_COND,
             OP_CSWAP,
@@ -293,13 +405,28 @@ class BitplaneSimulator(ExecutionBackend):
             OP_SWAP,
             OP_X,
             compile_program,
+            fuse_program,
         )
 
-        if self._lane_track:
-            raise ValueError("lane_counts tracking is not supported in compiled mode")
+        if kernels not in (None, "codegen", "arrays"):
+            raise ValueError(
+                f"unknown fused kernel strategy {kernels!r}; "
+                "options: 'codegen', 'arrays'"
+            )
+        if kernels is not None and not fused:
+            raise ValueError("kernels= selects a fused strategy; pass fused=True")
         tallying = self.engine.tally is not None
-        if program is None:
-            program = compile_program(self.circuit, tally=tallying)
+        tracking = bool(self._lane_track)
+        if tracking and not fused:
+            raise ValueError(
+                "lane_counts tracking is not supported by the scalar compiled "
+                "VM; use run_compiled(fused=True) (the default) or the "
+                "interpretive run()"
+            )
+        needs_meta = tallying or tracking
+        fresh_compile = program is None
+        if fresh_compile:
+            program = compile_program(self.circuit, tally=needs_meta)
         if (program.num_qubits, program.num_bits) != (
             self.circuit.num_qubits,
             self.circuit.num_bits,
@@ -309,13 +436,23 @@ class BitplaneSimulator(ExecutionBackend):
                 f"bits) does not match circuit "
                 f"({self.circuit.num_qubits}, {self.circuit.num_bits})"
             )
-
-        if tallying and not program.has_tally:
+        if needs_meta and not program.has_tally:
             raise ValueError(
-                "engine tally is enabled but the program was compiled with "
-                "tally=False; recompile with compile_program(circuit, tally=True) "
-                "or construct the simulator with tally=False"
+                "engine tally (or lane_counts tracking) is enabled but the "
+                "program was compiled with tally=False; recompile with "
+                "compile_program(circuit, tally=True) or construct the "
+                "simulator with tally=False"
             )
+
+        if fused:
+            if isinstance(program, CompiledProgram):
+                # Memoize only caller-held programs: a program compiled on
+                # the fly above dies with this call, so pinning it in the
+                # fusion memo would only waste memory.
+                program = fuse_program(program, memoize=not fresh_compile)
+            return self._run_fused(program, kernels or "codegen", tallying, tracking)
+        if isinstance(program, FusedProgram):
+            program = program.scalar
         instructions = program.instructions
         tallies = program.tallies if tallying else None
         num_qubits, num_bits = self.circuit.num_qubits, self.circuit.num_bits
@@ -411,6 +548,69 @@ class BitplaneSimulator(ExecutionBackend):
             tally = self.engine.tally
             for name, total in executed.items():
                 tally.add(name, Fraction(total, batch))
+        return self
+
+    def _run_fused(
+        self, program, strategy: str, tallying: bool, tracking: bool
+    ) -> "BitplaneSimulator":
+        """Execute a :class:`~repro.transform.compile.FusedProgram` and fold
+        its per-scope-entry events into the tally / lane counters."""
+        from .kernels import run_fused_arrays  # local: avoids import at startup
+
+        collect = tallying or tracking
+        if strategy == "arrays":
+            events = run_fused_arrays(self, program, collect)
+        else:
+            # Marshal the numpy planes into resident bigints (zero-copy
+            # memoryview slicing; all-zero rows — fresh ancillas, all-zero
+            # inputs — skip the byte conversion entirely), run the kernel,
+            # and *leave* the state as bigints: the numpy planes are only
+            # rebuilt when someone reads them (see the `planes` property),
+            # so chained fused runs and tally-only pipelines never pay the
+            # marshal-out at all.
+            kernel = program.kernel(events=collect)
+            planes = self._plane_ints
+            if planes is None:
+                planes = self._rows_to_ints(self._planes_np)
+            bits = self._bit_ints
+            if bits is None:
+                bits = self._rows_to_ints(self._bit_planes_np)
+            events: List[tuple] = []
+            kernel(
+                planes, bits, (1 << self.batch) - 1, self.batch,
+                self.engine.sample_lanes, events,
+            )
+            self._plane_ints = planes
+            self._bit_ints = bits
+            self._dirty_planes.update(kernel.__written_planes__)
+            self._dirty_bits.update(kernel.__written_bits__)
+
+        if collect:
+            scopes = program.scopes
+            if tallying:
+                totals: Dict[str, int] = {}
+                for sid, mask in events:
+                    active = mask.bit_count()
+                    if active:
+                        for name, count in scopes[sid].counts.items():
+                            totals[name] = totals.get(name, 0) + count * active
+                tally = self.engine.tally
+                for name, total in totals.items():
+                    tally.add(name, Fraction(total, self.batch))
+            if tracking:
+                for sid, mask in events:
+                    counts = scopes[sid].counts
+                    tracked = [
+                        (name, count)
+                        for name, count in counts.items()
+                        if name in self._lane_track and count
+                    ]
+                    if tracked and mask:
+                        lanes = self._mask_lanes(
+                            _pack_int(mask, self.words)
+                        ).astype(np.int64)
+                        for name, count in tracked:
+                            self._lane_track[name] += count * lanes
         return self
 
     def _sample_plane(self, p_one: float) -> np.ndarray:

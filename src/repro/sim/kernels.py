@@ -1,0 +1,394 @@
+"""Fused execution kernels for compiled bit-plane programs.
+
+This module turns a :class:`~repro.transform.compile.FusedProgram` into
+machine-efficient execution, two ways:
+
+**Generated straight-line kernels** (:func:`build_kernel`, the default).
+The scope tree is compiled *once per program* into one Python function of
+straight-line bigint arithmetic: every plane becomes a local variable,
+branch scopes become nested ``if`` blocks on bigint masks, and the whole
+instruction stream runs with zero interpreter dispatch — no program
+counter, no tuple unpacking, no per-instruction tally bookkeeping.  Three
+specializations make this more than dispatch removal:
+
+* *Full-mask elision* — code at branch depth 0 always runs with the
+  all-lanes mask, and plane integers never carry bits at or above
+  ``batch`` (an invariant every operation preserves), so the ``& mask``
+  that dominates the scalar VM's per-instruction cost disappears from the
+  top-level stream: ``cx`` becomes a single bigint XOR.
+* *Swap renaming* — a full-mask ``swap`` exchanges two local variable
+  bindings at *codegen* time and emits no runtime code at all.
+* *Per-scope tally events* — executed-gate accounting reduces to one
+  ``(scope_id, mask)`` event per dynamic scope entry; totals are
+  reconstructed afterwards from the program's static per-scope counts.
+  The same events drive exact per-lane ``lane_counts`` tracking, which the
+  scalar compiled VM cannot do at all.
+
+**Stacked-plane array kernels** (:func:`run_fused_arrays`,
+``kernels="arrays"``).  The literal gather → combine → scatter execution
+of superinstructions over the simulator's ``(qubits, words)`` plane
+matrix: a run of k same-opcode gates is a handful of fancy-indexed
+bitwise numpy ops (safe because fusion guarantees conflict-free, unique
+write targets).  Measured honestly, this path *loses* to the bigint
+kernels at the benchmark batch of 4096 lanes (64 words): numpy ufunc
+dispatch and gather copies cost more than CPython bigint ops, and
+ripple-carry circuits keep ~60% of instructions in runs of length ≤ 2
+where fancy indexing has nothing to amortize.  It is kept as a working,
+property-tested alternative — the crossover candidate for much wider
+batches — and ``benchmarks/bench_fused.py`` records both strategies so
+the trade-off stays visible.  See ``docs/performance.md``.
+
+Layering note: this module lives in :mod:`repro.sim` but executes
+:mod:`repro.transform` programs, so transform types are imported lazily
+inside functions (the transform package imports ``repro.sim.classical``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "build_kernel",
+    "generate_source",
+    "run_fused_arrays",
+    "fused_x",
+    "fused_cx",
+    "fused_ccx",
+    "fused_swap",
+    "fused_cswap",
+]
+
+
+def _opcodes():
+    from ..transform import compile as tc  # deferred: transform sits above sim
+
+    return tc
+
+
+# --------------------------------------------------------------------------- #
+# generated straight-line kernels (the default fused path)
+
+
+def generate_source(fused, *, events: bool, func_name: str = "_fused_kernel") -> str:
+    """Python source of the straight-line kernel for ``fused`` (see
+    :func:`build_kernel` for the callable and its metadata)."""
+    return _generate(fused, events=events, func_name=func_name)[0]
+
+
+def _generate(fused, *, events: bool, func_name: str = "_fused_kernel"):
+    """Generate the kernel source plus its plane/bit usage metadata.
+
+    The generated function has signature
+    ``(P, B, _m0, _batch, _sample, _ev)``: ``P`` is the list of per-qubit
+    plane bigints (mutated via write-back), ``B`` the list of classical-bit
+    plane bigints (mutated in place), ``_m0`` the all-lanes mask
+    ``(1 << batch) - 1`` (callers must pass exactly that — depth-0 code
+    relies on it), ``_sample`` the engine's ``sample_lanes`` and ``_ev`` a
+    list collecting ``(scope_id, mask)`` tally events (ignored when the
+    kernel was generated with ``events=False``).
+    """
+    tc = _opcodes()
+
+    # -- which planes/bits need locals / a write-back ---------------------
+    used: set = set()
+    written: set = set()
+    used_bits: set = set()
+    written_bits: set = set()
+    stack = [fused.root]
+    while stack:
+        scope = stack.pop()
+        if scope.kind == "mbu":
+            used.add(scope.header[0])
+            written.add(scope.header[0])
+            used_bits.add(scope.header[1])
+            written_bits.add(scope.header[1])
+        elif scope.kind == "cond":
+            used_bits.add(scope.header[0])
+        for kind, item in scope.items:
+            if kind == "run":
+                used.update(int(v) for v in item.operands.ravel())
+                written.update(
+                    int(item.operands[row, col])
+                    for col in (i - 1 for i in tc._RUN_WRITES[item.opcode])
+                    for row in range(item.count)
+                )
+            elif kind == "instr":
+                op = item[0]
+                if op == tc.OP_MZ or op == tc.OP_MX:
+                    used.add(item[1])
+                    if op == tc.OP_MX:
+                        written.add(item[1])
+                    used_bits.add(item[2])
+                    written_bits.add(item[2])
+                else:
+                    used.update(item[1:])
+                    written.update(item[i] for i in tc._RUN_WRITES[op])
+            else:
+                stack.append(item)
+
+    var = {q: f"p{q}" for q in sorted(used)}
+    lines: List[str] = [f"def {func_name}(P, B, _m0, _batch, _sample, _ev):"]
+    for q in sorted(used):
+        lines.append(f"    p{q} = P[{q}]")
+    if events:
+        lines.append("    _ev.append((0, _m0))")
+
+    def emit_gate(op: int, operands: Tuple[int, ...], pad: str, mask: str, full: bool) -> None:
+        if op == tc.OP_CX:
+            c, t = operands
+            rhs = var[c] if full else f"{var[c]} & {mask}"
+            lines.append(f"{pad}{var[t]} ^= {rhs}")
+        elif op == tc.OP_CCX:
+            c1, c2, t = operands
+            rhs = f"{var[c1]} & {var[c2]}" if full else f"{var[c1]} & {var[c2]} & {mask}"
+            lines.append(f"{pad}{var[t]} ^= {rhs}")
+        elif op == tc.OP_X:
+            (q,) = operands
+            lines.append(f"{pad}{var[q]} ^= {mask}")
+        elif op == tc.OP_SWAP:
+            a, b = operands
+            if full:
+                # Full-mask swap is a pure renaming of the two locals: zero
+                # runtime cost; the write-back below resolves the final map.
+                var[a], var[b] = var[b], var[a]
+            else:
+                lines.append(f"{pad}_d = ({var[a]} ^ {var[b]}) & {mask}")
+                lines.append(f"{pad}{var[a]} ^= _d")
+                lines.append(f"{pad}{var[b]} ^= _d")
+        elif op == tc.OP_CSWAP:
+            c, a, b = operands
+            guard = var[c] if full else f"{mask} & {var[c]}"
+            lines.append(f"{pad}_d = ({var[a]} ^ {var[b]}) & {guard}")
+            lines.append(f"{pad}{var[a]} ^= _d")
+            lines.append(f"{pad}{var[b]} ^= _d")
+        else:  # pragma: no cover - fuse_program only packs the five above
+            raise ValueError(f"unexpected opcode {op} in a fused run")
+
+    def emit_scope(scope, depth: int) -> None:
+        pad = "    " * (depth + 1)
+        mask = "_m0" if depth == 0 else f"_m{depth}"
+        full = depth == 0
+        for kind, item in scope.items:
+            if kind == "run":
+                for row in item.operands:
+                    emit_gate(item.opcode, tuple(int(v) for v in row), pad, mask, full)
+            elif kind == "instr":
+                op = item[0]
+                if op == tc.OP_MZ:
+                    q, b = item[1], item[2]
+                    if full:
+                        lines.append(f"{pad}B[{b}] = {var[q]}")
+                    else:
+                        lines.append(
+                            f"{pad}B[{b}] = (B[{b}] & ~{mask}) | ({var[q]} & {mask})"
+                        )
+                elif op == tc.OP_MX:
+                    q, b = item[1], item[2]
+                    if full:
+                        lines.append(f"{pad}_o = _sample(0.5, _batch) & _m0")
+                        lines.append(f"{pad}{var[q]} = _o")
+                        lines.append(f"{pad}B[{b}] = _o")
+                    else:
+                        lines.append(f"{pad}_o = _sample(0.5, _batch)")
+                        lines.append(
+                            f"{pad}{var[q]} = ({var[q]} & ~{mask}) | (_o & {mask})"
+                        )
+                        lines.append(
+                            f"{pad}B[{b}] = (B[{b}] & ~{mask}) | (_o & {mask})"
+                        )
+                else:
+                    emit_gate(op, item[1:], pad, mask, full)
+            else:  # nested scope
+                sub = f"_m{depth + 1}"
+                if item.kind == "cond":
+                    bit, value = item.header
+                    if value:
+                        src = f"B[{bit}]" if full else f"{mask} & B[{bit}]"
+                    else:
+                        src = f"{mask} & ~B[{bit}]"
+                    lines.append(f"{pad}{sub} = {src}")
+                else:  # mbu
+                    bit = item.header[1]
+                    if full:
+                        lines.append(f"{pad}_o = _sample(0.5, _batch) & _m0")
+                        lines.append(f"{pad}B[{bit}] = _o")
+                        lines.append(f"{pad}{sub} = _o")
+                    else:
+                        lines.append(f"{pad}_o = _sample(0.5, _batch)")
+                        lines.append(
+                            f"{pad}B[{bit}] = (B[{bit}] & ~{mask}) | (_o & {mask})"
+                        )
+                        lines.append(f"{pad}{sub} = {mask} & _o")
+                lines.append(f"{pad}if {sub}:")
+                body_start = len(lines)
+                if events:
+                    lines.append(f"{pad}    _ev.append(({item.sid}, {sub}))")
+                emit_scope(item, depth + 1)
+                if len(lines) == body_start:
+                    lines.append(f"{pad}    pass")
+                if item.kind == "mbu":
+                    q = item.header[0]
+                    # Both MBU branches leave the garbage qubit in |0>.
+                    if full:
+                        lines.append(f"{pad}{var[q]} = 0")
+                    else:
+                        lines.append(f"{pad}{var[q]} &= ~{mask}")
+
+    emit_scope(fused.root, 0)
+    # Write back only planes the program can have changed: read-only and
+    # untouched entries of P keep the values the caller marshalled in (they
+    # are part of the resident state), and __written_planes__ tells the
+    # caller which numpy rows will need repacking.
+    for q in sorted(written):
+        lines.append(f"    P[{q}] = {var[q]}")
+    lines.append("    return None")
+    source = "\n".join(lines) + "\n"
+    meta = {
+        "used_planes": tuple(sorted(used)),
+        "written_planes": tuple(sorted(written)),
+        "used_bits": tuple(sorted(used_bits)),
+        "written_bits": tuple(sorted(written_bits)),
+    }
+    return source, meta
+
+
+def build_kernel(fused, *, events: bool) -> Callable:
+    """Compile (and return) the straight-line kernel for ``fused``.
+
+    One-time cost per (program, events) pair; cached by
+    :meth:`~repro.transform.compile.FusedProgram.kernel`.  The source is
+    kept on the function as ``__fused_source__`` for inspection, and the
+    plane/bit usage census as ``__used_planes__`` / ``__written_planes__``
+    / ``__written_bits__`` (plus ``__used_bits__``) — the written sets tell
+    callers which rows of their numpy buffers the kernel can have changed,
+    i.e. which ones need repacking.  The caller must still marshal *every*
+    plane into the ``P``/``B`` lists it passes in: the lists double as the
+    resident state reused by later (possibly different) programs, so
+    entries outside ``__used_planes__`` have to be correct too.
+    """
+    source, meta = _generate(fused, events=events)
+    namespace: Dict[str, Any] = {}
+    exec(compile(source, f"<fused-kernel:{fused.source or 'circuit'}>", "exec"), namespace)
+    fn = namespace["_fused_kernel"]
+    fn.__fused_source__ = source
+    fn.__used_planes__ = meta["used_planes"]
+    fn.__written_planes__ = meta["written_planes"]
+    fn.__used_bits__ = meta["used_bits"]
+    fn.__written_bits__ = meta["written_bits"]
+    return fn
+
+
+# --------------------------------------------------------------------------- #
+# stacked-plane numpy kernels (the literal gather/scatter strategy)
+
+
+def fused_x(planes: np.ndarray, ops: np.ndarray, mask: np.ndarray) -> None:
+    """k X gates: one fancy-indexed XOR over stacked planes."""
+    planes[ops[:, 0]] ^= mask
+
+
+def fused_cx(planes: np.ndarray, ops: np.ndarray, mask: np.ndarray) -> None:
+    """k CX gates: gather controls, mask, scatter-XOR into targets."""
+    planes[ops[:, 1]] ^= planes[ops[:, 0]] & mask
+
+
+def fused_ccx(planes: np.ndarray, ops: np.ndarray, mask: np.ndarray) -> None:
+    """k CCX gates: gather both control blocks, AND, scatter-XOR."""
+    planes[ops[:, 2]] ^= planes[ops[:, 0]] & planes[ops[:, 1]] & mask
+
+
+def fused_swap(planes: np.ndarray, ops: np.ndarray, mask: np.ndarray) -> None:
+    """k SWAPs (pairwise-disjoint by the write-conflict check)."""
+    a, b = ops[:, 0], ops[:, 1]
+    delta = (planes[a] ^ planes[b]) & mask
+    planes[a] ^= delta
+    planes[b] ^= delta
+
+
+def fused_cswap(planes: np.ndarray, ops: np.ndarray, mask: np.ndarray) -> None:
+    """k CSWAPs under their control planes."""
+    c, a, b = ops[:, 0], ops[:, 1], ops[:, 2]
+    delta = (planes[a] ^ planes[b]) & mask & planes[c]
+    planes[a] ^= delta
+    planes[b] ^= delta
+
+
+def run_fused_arrays(sim, fused, collect_events: bool) -> List[Tuple[int, int]]:
+    """Execute ``fused`` directly on ``sim``'s numpy plane matrices.
+
+    Superinstructions run through the ``fused_*`` gather/scatter kernels;
+    leftover scalar instructions and measurements use plain whole-plane
+    numpy ops.  Returns the ``(scope_id, mask_int)`` tally events (empty
+    when ``collect_events`` is false).
+    """
+    tc = _opcodes()
+    kernels = {
+        tc.OP_X: fused_x,
+        tc.OP_CX: fused_cx,
+        tc.OP_CCX: fused_ccx,
+        tc.OP_SWAP: fused_swap,
+        tc.OP_CSWAP: fused_cswap,
+    }
+    planes = sim.planes
+    bit_planes = sim.bit_planes
+    batch = sim.batch
+    words = sim.words
+    sample = sim.engine.sample_lanes
+    events: List[Tuple[int, int]] = []
+
+    def pack(value: int) -> np.ndarray:
+        return np.frombuffer(value.to_bytes(words * 8, "little"), dtype=planes.dtype).copy()
+
+    def mask_int(mask: np.ndarray) -> int:
+        return int.from_bytes(np.ascontiguousarray(mask).tobytes(), "little")
+
+    def walk(scope, mask: np.ndarray) -> None:
+        if collect_events:
+            events.append((scope.sid, mask_int(mask)))
+        for kind, item in scope.items:
+            if kind == "run":
+                kernels[item.opcode](planes, item.operands, mask)
+            elif kind == "instr":
+                op = item[0]
+                if op == tc.OP_CX:
+                    planes[item[2]] ^= planes[item[1]] & mask
+                elif op == tc.OP_CCX:
+                    planes[item[3]] ^= planes[item[1]] & planes[item[2]] & mask
+                elif op == tc.OP_X:
+                    planes[item[1]] ^= mask
+                elif op == tc.OP_SWAP:
+                    a, b = item[1], item[2]
+                    delta = (planes[a] ^ planes[b]) & mask
+                    planes[a] ^= delta
+                    planes[b] ^= delta
+                elif op == tc.OP_CSWAP:
+                    c, a, b = item[1], item[2], item[3]
+                    delta = (planes[a] ^ planes[b]) & mask & planes[c]
+                    planes[a] ^= delta
+                    planes[b] ^= delta
+                elif op == tc.OP_MZ:
+                    q, b = item[1], item[2]
+                    bit_planes[b] = (bit_planes[b] & ~mask) | (planes[q] & mask)
+                else:  # OP_MX
+                    q, b = item[1], item[2]
+                    outcome = pack(sample(0.5, batch))
+                    planes[q] = (planes[q] & ~mask) | (outcome & mask)
+                    bit_planes[b] = (bit_planes[b] & ~mask) | (outcome & mask)
+            else:  # nested scope
+                if item.kind == "cond":
+                    bit, value = item.header
+                    sub = (mask & bit_planes[bit]) if value else (mask & ~bit_planes[bit])
+                else:  # mbu
+                    q, bit = item.header
+                    outcome = pack(sample(0.5, batch))
+                    bit_planes[bit] = (bit_planes[bit] & ~mask) | (outcome & mask)
+                    sub = mask & outcome
+                if sub.any():
+                    walk(item, sub)
+                if item.kind == "mbu":
+                    planes[item.header[0]] &= ~mask
+
+    walk(fused.root, sim._valid)
+    return events

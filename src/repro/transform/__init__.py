@@ -27,7 +27,11 @@ pipeline's ``CircuitSpec(transforms=...)`` cache key and the CLI
 pre-resolved control flow, which
 :meth:`repro.sim.bitplane.BitplaneSimulator.run_compiled` executes several
 times faster than the interpretive op-stream walk (see
-``benchmarks/BENCH_transform.json``).
+``benchmarks/BENCH_transform.json``).  :func:`fuse_program` is the third:
+it regroups the stream into a :class:`FusedProgram` of same-opcode
+superinstructions with per-scope tally aggregation, which the fused
+kernels in :mod:`repro.sim.kernels` execute array-at-a-time (see
+``benchmarks/BENCH_fused.json`` and ``docs/performance.md``).
 """
 
 from .base import (
@@ -40,7 +44,14 @@ from .base import (
     register_pass,
     resolve_pass,
 )
-from .compile import CompiledProgram, compile_program
+from .compile import (
+    CompiledProgram,
+    FusedProgram,
+    FusedRun,
+    FusedScope,
+    compile_program,
+    fuse_program,
+)
 from .passes import (
     CancelAdjacentPass,
     DecomposeCliffordTPass,
@@ -65,4 +76,8 @@ __all__ = [
     "CancelAdjacentPass",
     "CompiledProgram",
     "compile_program",
+    "FusedProgram",
+    "FusedRun",
+    "FusedScope",
+    "fuse_program",
 ]

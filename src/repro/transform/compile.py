@@ -32,12 +32,37 @@ interpretive average-per-lane tally.
 :meth:`repro.sim.bitplane.BitplaneSimulator.run_compiled` executes these
 programs; ``benchmarks/bench_transform.py`` records the compiled-vs-
 interpretive speedup to ``benchmarks/BENCH_transform.json``.
+
+Two further compile-time optimizations sit on top of the flattening:
+
+* **Peephole cancellation** (``cancel=True``, the default): adjacent
+  identical self-inverse instructions — the stream-level image of
+  ``cancel_adjacent`` inverse pairs, after phase gates and statically
+  skipped garbage gates have dropped out — are removed *from the stream
+  only*.  Their tally contribution is kept (both gates execute; their net
+  state effect is identity), so results and gate accounting stay identical
+  to the interpretive walk.  ``swap``/``cswap`` operands are canonicalized
+  (sorted swapped pair) so symmetric pairs cancel too.
+* **Fusion** (:func:`fuse_program`): the linear stream is regrouped into a
+  :class:`FusedProgram` — a branch-scope tree whose straight-line segments
+  carry *superinstructions*: maximal runs of same-opcode instructions with
+  operands pre-packed into numpy index arrays.  A run splits when an
+  instruction reads *or writes* a plane written earlier in the same run
+  (the write-conflict check), so every run is safe to execute as a few
+  gather/scatter array ops — and has unique write targets by construction.
+  Tally metadata is aggregated per branch scope (weights are constant
+  within a scope), which is what lets the fused VM replace per-instruction
+  tally bookkeeping with one event per scope *entry*.
+  :mod:`repro.sim.kernels` executes fused programs.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..circuits.circuit import Circuit
 from ..circuits.ops import (
@@ -54,6 +79,10 @@ from ..sim.classical import UnsupportedGateError, garbage_gate_skips
 __all__ = [
     "CompiledProgram",
     "compile_program",
+    "FusedProgram",
+    "FusedRun",
+    "FusedScope",
+    "fuse_program",
     "OP_NOP",
     "OP_X",
     "OP_CX",
@@ -90,8 +119,14 @@ _PHASE_ONLY = PHASE_ONLY_GATES
 _GATE_OPCODE = {"x": OP_X, "y": OP_X, "cx": OP_CX, "ccx": OP_CCX,
                 "swap": OP_SWAP, "cswap": OP_CSWAP}
 
+#: Self-inverse at the stream level: two adjacent identical instructions of
+#: these opcodes are a value-identity on every lane (x/y both lower to OP_X,
+#: and an x·y pair is phase-only on basis states, so name differences are
+#: irrelevant here — tally names are preserved separately).
+_CANCELLABLE = frozenset({OP_X, OP_CX, OP_CCX, OP_SWAP, OP_CSWAP})
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class CompiledProgram:
     """A circuit lowered to a linear bit-plane instruction stream.
 
@@ -123,9 +158,10 @@ class CompiledProgram:
         return census
 
 
-@dataclass
+@dataclass(slots=True)
 class _Emitter:
     tally: bool
+    cancel: bool = False
     instructions: List[Tuple[int, ...]] = field(default_factory=list)
     tallies: List[Tuple[str, ...]] = field(default_factory=list)
     pending: List[str] = field(default_factory=list)
@@ -135,6 +171,21 @@ class _Emitter:
             self.pending.extend(names)
 
     def emit(self, instr: Tuple[int, ...]) -> int:
+        if (
+            self.cancel
+            and instr[0] in _CANCELLABLE
+            and self.instructions
+            and self.instructions[-1] == instr
+        ):
+            # Adjacent identical self-inverse pair: a value-identity on every
+            # lane.  Drop both from the stream but keep both tally
+            # contributions (the gates execute; only their net effect is
+            # nothing).  Scope headers/ends and measurements never match a
+            # gate tuple, so cancellation cannot cross a barrier, and only
+            # the tail is ever popped, so recorded jump-patch pcs stay valid.
+            self.instructions.pop()
+            self.pending.extend(self.tallies.pop())
+            return -1
         self.instructions.append(instr)
         self.tallies.append(tuple(self.pending))
         self.pending.clear()
@@ -152,7 +203,9 @@ class _Emitter:
         self.instructions[pc] = instr[:-1] + (target,)
 
 
-def compile_program(circuit: Circuit, tally: bool = True) -> CompiledProgram:
+def compile_program(
+    circuit: Circuit, tally: bool = True, cancel: bool = True
+) -> CompiledProgram:
     """Flatten ``circuit`` into a :class:`CompiledProgram`.
 
     ``tally=False`` drops all executed-gate accounting metadata, which lets
@@ -160,8 +213,16 @@ def compile_program(circuit: Circuit, tally: bool = True) -> CompiledProgram:
     :class:`~repro.sim.classical.UnsupportedGateError` at *compile* time
     for operations without basis-state semantics (the interpretive backend
     would raise at run time).
+
+    ``cancel=True`` (the default) peephole-eliminates adjacent identical
+    self-inverse instructions from the stream — the compiled analogue of
+    running :class:`~repro.transform.passes.CancelAdjacentPass` to a
+    fixpoint, except that the cancelled gates' tally contributions are
+    *kept*, so the executed-gate accounting still matches the interpretive
+    walk exactly.  Compiled streams therefore never carry adjacent inverse
+    pairs.
     """
-    emitter = _Emitter(tally)
+    emitter = _Emitter(tally, cancel=cancel)
     _compile_ops(circuit.ops, emitter, garbage=[])
     emitter.flush()
     return CompiledProgram(
@@ -189,7 +250,16 @@ def _compile_ops(ops: Sequence[Operation], em: _Emitter, garbage: List[int]) -> 
                     f"gate {name!r} has no basis-state semantics; "
                     "compiled bit-plane programs cannot contain it"
                 )
-            em.emit((opcode, *op.qubits))
+            qubits = op.qubits
+            # Canonicalize the symmetric operand pair so swap(a,b)/swap(b,a)
+            # compile identically (they are the same permutation) — this is
+            # what lets peephole cancellation and run packing treat them as
+            # equal.
+            if opcode == OP_SWAP:
+                qubits = tuple(sorted(qubits))
+            elif opcode == OP_CSWAP:
+                qubits = (qubits[0], *sorted(qubits[1:]))
+            em.emit((opcode, *qubits))
         elif isinstance(op, Measurement):
             if op.qubit in garbage:
                 raise UnsupportedGateError(
@@ -222,3 +292,292 @@ def _compile_ops(ops: Sequence[Operation], em: _Emitter, garbage: List[int]) -> 
             continue
         else:  # pragma: no cover
             raise TypeError(f"unknown operation {op!r}")
+
+
+# --------------------------------------------------------------------------- #
+# the fusion stage
+
+
+#: Planes an instruction reads / writes, per opcode (operand positions).
+#: ``swap``/``cswap`` write non-commutatively (the delta depends on current
+#: values), so their operands appear on the write side too.
+_RUN_READS = {OP_X: (), OP_CX: (1,), OP_CCX: (1, 2), OP_SWAP: (1, 2),
+              OP_CSWAP: (1, 2, 3)}
+_RUN_WRITES = {OP_X: (1,), OP_CX: (2,), OP_CCX: (3,), OP_SWAP: (1, 2),
+               OP_CSWAP: (2, 3)}
+
+
+class FusedRun:
+    """A superinstruction: ``count`` same-opcode gates as one array op.
+
+    ``operands`` is a ``(count, arity)`` index array (``np.intp``), one row
+    per fused gate, columns in the opcode's operand order.  By construction
+    (the write-conflict check in :func:`fuse_program`) no fused gate reads
+    or writes a plane written earlier in the same run, so the run can
+    execute as gather → combine → scatter, and its write targets are
+    unique.
+    """
+
+    __slots__ = ("opcode", "operands", "count")
+
+    def __init__(self, opcode: int, operands: np.ndarray) -> None:
+        self.opcode = opcode
+        self.operands = operands
+        self.count = int(operands.shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"FusedRun(opcode={self.opcode}, count={self.count})"
+
+    def __getstate__(self):
+        return (self.opcode, self.operands)
+
+    def __setstate__(self, state):
+        self.__init__(*state)
+
+
+class FusedScope:
+    """One branch scope of a fused program.
+
+    ``kind`` is ``"root"``, ``"cond"`` or ``"mbu"``; ``header`` carries the
+    branch operands (``()``, ``(bit, value)`` or ``(qubit, bit)``).
+    ``items`` is the scope's straight-line body: ``("run", FusedRun)``,
+    ``("instr", opcode_tuple)`` (measurements and unfused singletons), and
+    ``("scope", FusedScope)`` entries.  ``counts`` maps gate name to the
+    number of times it executes per entry of this scope (nested scopes
+    excluded — they have their own counts), which is the whole of the fused
+    VM's tally metadata: executed totals are ``counts[name] * active_lanes``
+    summed over dynamic scope entries.
+    """
+
+    __slots__ = ("sid", "kind", "header", "items", "counts")
+
+    def __init__(self, sid: int, kind: str, header: Tuple[int, ...]) -> None:
+        self.sid = sid
+        self.kind = kind
+        self.header = header
+        self.items: List[Tuple[str, Any]] = []
+        self.counts: Dict[str, int] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"FusedScope(sid={self.sid}, kind={self.kind!r}, items={len(self.items)})"
+
+    def __getstate__(self):
+        return (self.sid, self.kind, self.header, self.items, self.counts)
+
+    def __setstate__(self, state):
+        self.sid, self.kind, self.header, self.items, self.counts = state
+
+
+class FusedProgram:
+    """A compiled program regrouped for array-at-a-time execution.
+
+    ``root`` is the scope tree (``scopes[0]``); ``scopes`` indexes every
+    scope by ``sid`` for tally post-processing.  ``scalar`` keeps the
+    :class:`CompiledProgram` the fusion ran on — the scalar fallback path
+    executes it directly, and diagnostics compare against it.  Generated
+    kernels (see :mod:`repro.sim.kernels`) are cached per program and are
+    *not* pickled: a fused program shipped to a worker process recompiles
+    its kernel on first use.
+    """
+
+    __slots__ = ("num_qubits", "num_bits", "root", "scopes", "scalar",
+                 "has_tally", "source", "_kernels")
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_bits: int,
+        root: FusedScope,
+        scopes: Tuple[FusedScope, ...],
+        scalar: CompiledProgram,
+        has_tally: bool,
+        source: str = "",
+    ) -> None:
+        self.num_qubits = num_qubits
+        self.num_bits = num_bits
+        self.root = root
+        self.scopes = scopes
+        self.scalar = scalar
+        self.has_tally = has_tally
+        self.source = source
+        self._kernels: Dict[bool, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self.scalar)
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        stats = self.fusion_stats()
+        return (
+            f"FusedProgram({self.source!r}, instructions={len(self)}, "
+            f"runs={stats['runs']}, fused={stats['fused_instructions']})"
+        )
+
+    def __getstate__(self):
+        return (self.num_qubits, self.num_bits, self.root, self.scopes,
+                self.scalar, self.has_tally, self.source)
+
+    def __setstate__(self, state):
+        self.__init__(*state)
+
+    def kernel(self, events: bool):
+        """The (cached) generated straight-line kernel; see
+        :func:`repro.sim.kernels.build_kernel`."""
+        fn = self._kernels.get(events)
+        if fn is None:
+            from ..sim.kernels import build_kernel  # deferred: sim above transform
+
+            fn = self._kernels[events] = build_kernel(self, events=events)
+        return fn
+
+    def fusion_stats(self) -> Dict[str, int]:
+        """Superinstruction census: how much of the stream was fused."""
+        runs = fused = scalars = scopes = 0
+        longest = 0
+        stack = [self.root]
+        while stack:
+            scope = stack.pop()
+            scopes += 1
+            for kind, item in scope.items:
+                if kind == "run":
+                    runs += 1
+                    fused += item.count
+                    longest = max(longest, item.count)
+                elif kind == "instr":
+                    scalars += 1
+                else:
+                    stack.append(item)
+        return {
+            "runs": runs,
+            "fused_instructions": fused,
+            "scalar_instructions": scalars,
+            "longest_run": longest,
+            "scopes": scopes,
+        }
+
+
+#: Memo of recently fused caller-held programs, keyed by the compiled
+#: program's id.  Entries hold a strong reference to their source program
+#: (via ``FusedProgram.scalar``), so a live entry's key can never be
+#: recycled; the LRU bound keeps the memo from pinning old programs
+#: forever, and programs fused on the fly (``memoize=False`` call sites)
+#: never enter it at all.  Guarded by a lock: threaded sweep workers share
+#: one process-wide memo.
+_FUSED_MEMO: "Dict[int, FusedProgram]" = {}
+_FUSED_MEMO_MAX = 16
+_FUSED_MEMO_LOCK = threading.Lock()
+
+
+def fuse_program(
+    program: Union[CompiledProgram, Circuit],
+    tally: Optional[bool] = None,
+    *,
+    memoize: Optional[bool] = None,
+) -> FusedProgram:
+    """Regroup a compiled program into a :class:`FusedProgram`.
+
+    Accepts a :class:`CompiledProgram` or a :class:`~repro.circuits.circuit.Circuit`
+    (compiled on the fly with ``tally`` metadata, default on).  Within each
+    branch scope, maximal runs of same-opcode gate instructions become
+    :class:`FusedRun` superinstructions; a run splits when the next
+    instruction touches (reads or writes) a plane written earlier in the
+    run, so fused execution order is indistinguishable from sequential.
+    Measurements and branch headers are barriers.  Per-instruction tally
+    tuples are aggregated into per-scope ``counts``.
+
+    Fusing the *same* :class:`CompiledProgram` object again returns the
+    memoized :class:`FusedProgram` (and with it the cached generated
+    kernel), so repeatedly executing a pre-compiled program — the sweep
+    and benchmark pattern — pays fusion and code generation once.
+    ``memoize`` defaults to exactly that case (a caller-held
+    :class:`CompiledProgram`); pass ``memoize=False`` when fusing a
+    program nobody retains a handle to, so the memo doesn't pin it.
+    """
+    if isinstance(program, Circuit):
+        program = compile_program(program, tally=True if tally is None else tally)
+        if memoize is None:
+            memoize = False  # the key object dies with this call frame
+    else:
+        if memoize is None:
+            memoize = True
+        if memoize:
+            with _FUSED_MEMO_LOCK:
+                cached = _FUSED_MEMO.get(id(program))
+                if cached is not None and cached.scalar is program:
+                    # refresh recency: a hot program is not the next eviction
+                    _FUSED_MEMO.pop(id(program))
+                    _FUSED_MEMO[id(program)] = cached
+                    return cached
+    instructions = program.instructions
+    tallies = program.tallies
+
+    root = FusedScope(0, "root", ())
+    scopes: List[FusedScope] = [root]
+    stack = [root]
+
+    run_op: Optional[int] = None
+    run_ops: List[Tuple[int, ...]] = []
+    run_written: set = set()
+
+    def flush_run() -> None:
+        nonlocal run_op
+        if not run_ops:
+            return
+        scope = stack[-1]
+        if len(run_ops) == 1:
+            scope.items.append(("instr", run_ops[0]))
+        else:
+            operands = np.array(
+                [instr[1:] for instr in run_ops], dtype=np.intp
+            ).reshape(len(run_ops), -1)
+            scope.items.append(("run", FusedRun(run_op, operands)))
+        run_ops.clear()
+        run_written.clear()
+        run_op = None
+
+    for pc, instr in enumerate(instructions):
+        op = instr[0]
+        names = tallies[pc]
+        if names:
+            counts = stack[-1].counts
+            for name in names:
+                counts[name] = counts.get(name, 0) + 1
+        if op in _RUN_READS:
+            touched = {instr[1 + i] for i in range(len(instr) - 1)}
+            writes = {instr[i] for i in _RUN_WRITES[op]}
+            if op != run_op or (touched & run_written):
+                flush_run()
+                run_op = op
+            run_ops.append(instr)
+            run_written |= writes
+        elif op == OP_NOP:
+            continue  # tally-only: names already credited to the scope
+        elif op == OP_COND or op == OP_MBU:
+            flush_run()
+            kind = "cond" if op == OP_COND else "mbu"
+            scope = FusedScope(len(scopes), kind, (instr[1], instr[2]))
+            scopes.append(scope)
+            stack[-1].items.append(("scope", scope))
+            stack.append(scope)
+        elif op == OP_ENDCOND or op == OP_ENDMBU:
+            flush_run()
+            stack.pop()
+        else:  # OP_MZ / OP_MX
+            flush_run()
+            stack[-1].items.append(("instr", instr))
+    flush_run()
+
+    fused = FusedProgram(
+        num_qubits=program.num_qubits,
+        num_bits=program.num_bits,
+        root=root,
+        scopes=tuple(scopes),
+        scalar=program,
+        has_tally=program.has_tally,
+        source=program.source,
+    )
+    if memoize:
+        with _FUSED_MEMO_LOCK:
+            if len(_FUSED_MEMO) >= _FUSED_MEMO_MAX:
+                _FUSED_MEMO.pop(next(iter(_FUSED_MEMO)))
+            _FUSED_MEMO[id(program)] = fused
+    return fused

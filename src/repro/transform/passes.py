@@ -300,28 +300,55 @@ class DecomposeCliffordTPass(Pass):
 
 @register_pass
 class CancelAdjacentPass(Pass):
-    """Peephole elimination of adjacent inverse gate pairs.
+    """Peephole elimination of adjacent inverse gate pairs, to a fixpoint.
 
     A gate cancels with the immediately preceding gate when it equals its
     adjoint (self-adjoint pairs like ``cx``/``cx``, name pairs like
-    ``t``/``tdg``, parametric pairs with negated angles).  Cancellation
-    chains through the stack — removing a pair can expose a new one.
-    Measurements, conditionals, MBU blocks and annotations act as barriers
-    (nothing cancels across them); bodies are rewritten recursively.
+    ``t``/``tdg``, parametric pairs with negated angles) — including the
+    operand-symmetric cases ``swap(a,b)``/``swap(b,a)`` and
+    ``cswap(c,a,b)``/``cswap(c,b,a)``, which plain gate equality misses.
+    Cancellation chains through the stack (removing a pair can expose a new
+    one) and :meth:`run` re-applies the scan until the circuit stops
+    shrinking, so a single pass invocation is guaranteed to reach a
+    fixpoint — no manual chaining needed.  Measurements, conditionals, MBU
+    blocks and annotations act as barriers (nothing cancels across them);
+    bodies are rewritten recursively.
+
+    ``compile_program`` applies the same elimination at the instruction-
+    stream level by default (with tally preserved), so compiled programs
+    never carry adjacent inverse pairs even when this pass was not run.
     """
 
     name = "cancel_adjacent"
 
     def run(self, circuit: Circuit) -> Circuit:
-        out = circuit.copy_empty()
-        out.extend(self._rewrite(circuit.ops))
-        return out
+        before = _op_count(circuit.ops)
+        while True:
+            out = circuit.copy_empty()
+            out.extend(self._rewrite(circuit.ops))
+            after = _op_count(out.ops)
+            if after == before:
+                return out
+            circuit, before = out, after
+
+    @staticmethod
+    def _cancels(prev: Gate, op: Gate) -> bool:
+        if prev == adjoint_gate(op):
+            return True
+        # swap / cswap are symmetric in the swapped pair
+        if prev.name == op.name == "swap":
+            return set(prev.qubits) == set(op.qubits)
+        if prev.name == op.name == "cswap":
+            return prev.qubits[0] == op.qubits[0] and set(prev.qubits[1:]) == set(
+                op.qubits[1:]
+            )
+        return False
 
     def _rewrite(self, ops: Sequence[Operation]) -> Tuple[Operation, ...]:
         out: List[Operation] = []
         for op in ops:
             if isinstance(op, Gate):
-                if out and isinstance(out[-1], Gate) and out[-1] == adjoint_gate(op):
+                if out and isinstance(out[-1], Gate) and self._cancels(out[-1], op):
                     out.pop()
                 else:
                     out.append(op)
@@ -334,3 +361,8 @@ class CancelAdjacentPass(Pass):
             else:
                 out.append(op)
         return tuple(out)
+
+
+def _op_count(ops: Sequence[Operation]) -> int:
+    """Total operation count, descending into Conditional/MBU bodies."""
+    return sum(1 for _ in iter_flat(list(ops)))

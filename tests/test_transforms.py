@@ -462,11 +462,13 @@ class TestCompiledPrograms:
                 transforms=["cancel_adjacent"], program=program, tally=False,
             )
 
-    def test_lane_counts_unsupported_in_compiled_mode(self):
+    def test_lane_counts_unsupported_in_scalar_compiled_mode(self):
+        """The scalar (fused=False) VM has no per-lane counters; the fused
+        path supports them (see tests/test_fused_vm.py)."""
         built = build_modadd(3, 5, "cdkpm", mbu=True)
         sim = BitplaneSimulator(built.circuit, batch=8, lane_counts=("ccx",))
         with pytest.raises(ValueError, match="lane_counts"):
-            sim.run_compiled()
+            sim.run_compiled(fused=False)
 
     def test_zero_active_branch_is_jumped(self):
         """A conditional whose bit is never set must leave state untouched

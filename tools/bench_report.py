@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Aggregate every ``benchmarks/BENCH_*.json`` into one trajectory table.
+
+Each benchmark writes a machine-readable artifact with its own schema;
+this tool (stdlib only, like ``tools/check_docs.py``) flattens them into
+a single markdown table plus the headline *performance trajectory* — the
+chain of backend-ladder speedups the repo has accumulated PR over PR:
+
+    classical -> bitplane -> compiled -> fused
+
+Usage::
+
+    python tools/bench_report.py             # print markdown to stdout
+    python tools/bench_report.py --out docs/bench-report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO / "benchmarks"
+
+#: The headline speedup metric per benchmark artifact (field of each case
+#: row), used for the trajectory summary.  Anything else numeric still
+#: lands in the full table.
+HEADLINE = {
+    "bitplane_vs_looped_classical": ("speedup_per_input", "bitplane vs looped classical (per input)"),
+    "compiled_vs_interpretive_bitplane": ("speedup", "compiled VM vs interpretive walk"),
+    "fused_vs_scalar_compiled_bitplane": ("speedup_vs_scalar", "fused kernels vs scalar compiled VM"),
+}
+
+
+def load_artifacts() -> dict:
+    artifacts = {}
+    for path in sorted(BENCH_DIR.glob("BENCH_*.json")):
+        try:
+            artifacts[path.name] = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:  # pragma: no cover - corrupt file
+            print(f"warning: {path.name}: {exc}", file=sys.stderr)
+    return artifacts
+
+
+def flatten(artifacts: dict):
+    """Yield (file, benchmark, case, metric, value) for every numeric leaf."""
+    for fname, payload in artifacts.items():
+        bench = payload.get("benchmark", fname)
+        sections = dict(payload.get("results", {}))
+        for extra in ("mc_program_reuse",):
+            if payload.get(extra):
+                sections[extra] = payload[extra]
+        for case, row in sections.items():
+            if not isinstance(row, dict):
+                continue
+            for metric, value in row.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                yield fname, bench, case, metric, value
+
+
+def fmt(value) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if abs(value) >= 100:
+        return f"{value:.1f}"
+    if abs(value) >= 0.01:
+        return f"{value:.4g}"
+    return f"{value:.3e}"
+
+
+def trajectory_lines(artifacts: dict) -> list:
+    lines = ["## Performance trajectory", ""]
+    found = False
+    for payload in artifacts.values():
+        bench = payload.get("benchmark", "")
+        if bench not in HEADLINE:
+            continue
+        metric, label = HEADLINE[bench]
+        speedups = {
+            case: row[metric]
+            for case, row in payload.get("results", {}).items()
+            if isinstance(row, dict) and metric in row
+        }
+        if not speedups:
+            continue
+        found = True
+        best_case = max(speedups, key=speedups.get)
+        cases = ", ".join(f"{c}: {fmt(v)}x" for c, v in sorted(speedups.items()))
+        smoke = " **[smoke run — reduced sizes, not the headline numbers]**" \
+            if payload.get("smoke") else ""
+        lines.append(f"- **{label}** — {cases} (best: {best_case}){smoke}")
+        reuse = payload.get("mc_program_reuse") or {}
+        if reuse.get("end_to_end_speedup"):
+            lines.append(
+                f"  - pipeline `mc_expected_counts` program reuse: "
+                f"{fmt(reuse['end_to_end_speedup'])}x end-to-end "
+                f"(n={reuse.get('n')}, {reuse.get('mc_repeats')} reps x "
+                f"{reuse.get('mc_batch')} lanes)"
+            )
+    if not found:
+        lines.append("- (no benchmark artifacts found — run the `bench_*.py` suites)")
+    return lines
+
+
+def table_lines(artifacts: dict) -> list:
+    lines = [
+        "## All recorded metrics",
+        "",
+        "| artifact | case | metric | value |",
+        "|---|---|---|---|",
+    ]
+    for fname, _bench, case, metric, value in flatten(artifacts):
+        lines.append(f"| {fname} | {case} | {metric} | {fmt(value)} |")
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the markdown report here instead of stdout")
+    args = parser.parse_args(argv)
+
+    artifacts = load_artifacts()
+    lines = ["# Benchmark trajectory report", ""]
+    lines += trajectory_lines(artifacts)
+    lines.append("")
+    lines += table_lines(artifacts)
+    report = "\n".join(lines) + "\n"
+    if args.out:
+        args.out.write_text(report)
+        print(f"wrote {args.out} ({len(artifacts)} artifacts)")
+    else:
+        print(report, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
