@@ -21,10 +21,13 @@ The package provides:
 * ``repro.extensions`` — modular multiplication / exponentiation built on
   top of the (MBU) modular adders (the paper's future-work direction);
 * ``repro.pipeline`` — cached, parallel reproduction sweeps with
-  Monte-Carlo expected-cost checks and versioned JSON/markdown artifacts.
+  Monte-Carlo expected-cost checks and versioned JSON/markdown artifacts;
+* ``repro.verify`` — differential verification: seeded random circuit
+  generation, an equivalence oracle over every execution strategy and
+  transform pass, and a shrinking fuzzer (``python -m repro.verify``).
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from . import (
     arithmetic,
@@ -37,6 +40,7 @@ from . import (
     resources,
     sim,
     transform,
+    verify,
 )
 
 __all__ = [
@@ -50,5 +54,6 @@ __all__ = [
     "resources",
     "sim",
     "transform",
+    "verify",
     "__version__",
 ]

@@ -83,8 +83,15 @@ def _parse(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                         help="diff the JSON artifact against a golden file; "
                              "exit 1 on mismatch")
     args = parser.parse_args(argv)
+    from ..resources.tables import TABLE_SPECS
     from ..transform import parse_transform_chain
 
+    unknown_tables = [t for t in args.tables if t not in TABLE_SPECS]
+    if unknown_tables:
+        parser.error(
+            f"unknown table(s): {', '.join(unknown_tables)}; "
+            f"available: {', '.join(sorted(TABLE_SPECS))}"
+        )
     try:
         args.transform_chain = parse_transform_chain(args.transform)
     except ValueError as exc:

@@ -1,0 +1,5 @@
+"""``python -m repro.verify`` — the budgeted differential fuzzer."""
+
+from .cli import main
+
+raise SystemExit(main())

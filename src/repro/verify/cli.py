@@ -1,0 +1,109 @@
+"""Command-line front end: ``python -m repro.verify`` / ``tools/fuzz.py``.
+
+Runs the budgeted differential fuzzer (generator -> equivalence oracle ->
+shrinker) and prints the (strategy × transform) coverage matrix.  Exit
+status is 0 when every case agreed, 1 when a mismatch was found (the
+shrunk reproducer is printed and, with ``--out``, written to disk — the CI
+``fuzz-smoke`` job uploads that directory as an artifact).
+
+Examples::
+
+    python -m repro.verify --budget 10            # tier-1 smoke
+    python -m repro.verify --iterations 8 --seed 3
+    FUZZ_BUDGET=120 python -m repro.verify --budget "$FUZZ_BUDGET" --out fuzz-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .fuzz import MATRIX_CELLS, run_fuzz
+from .generate import FLAVORS
+
+__all__ = ["main"]
+
+
+def _parse(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro.verify",
+        description=(
+            "Differential fuzzing of the execution-strategy ladder and the "
+            "transform passes (see docs/verification.md)."
+        ),
+    )
+    parser.add_argument("--budget", type=float, default=10.0,
+                        help="wall-clock seconds to fuzz for (default 10)")
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="exact number of cases instead of a time budget")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="session seed; per-case seeds are derived from it")
+    parser.add_argument("--flavors", nargs="+", default=list(FLAVORS),
+                        choices=list(FLAVORS), metavar="FLAVOR",
+                        help=f"circuit flavors to rotate over (default: all of "
+                             f"{', '.join(FLAVORS)})")
+    parser.add_argument("--ops", type=int, default=30,
+                        help="top-level operations per generated circuit")
+    parser.add_argument("--width", type=int, default=6,
+                        help="data-register width in qubits")
+    parser.add_argument("--batch", type=int, default=32,
+                        help="simulation lanes per case")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="write shrunk reproducer tests into DIR")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="keep fuzzing after the first failure")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging of failing circuits")
+    parser.add_argument("--require-full-matrix", action="store_true",
+                        help="exit 1 unless every (strategy x transform) cell "
+                             "was covered")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-iteration progress output")
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse(argv)
+    stats = run_fuzz(
+        budget=args.budget,
+        iterations=args.iterations,
+        seed=args.seed,
+        flavors=tuple(args.flavors),
+        ops=args.ops,
+        width=args.width,
+        batch=args.batch,
+        out_dir=args.out,
+        shrink=not args.no_shrink,
+        stop_on_failure=not args.keep_going,
+        log=None if args.quiet else print,
+    )
+
+    print(f"fuzz: {stats.iterations} cases in {stats.elapsed:.2f}s "
+          f"({stats.checks} comparisons) — flavors {dict(stats.per_flavor)}")
+    for line in stats.matrix_lines():
+        print(line)
+
+    if stats.failures:
+        print(f"\n{len(stats.failures)} FAILURE(S):")
+        for failure in stats.failures:
+            print(f"  seed={failure.seed} flavor={failure.flavor} "
+                  f"ops {failure.initial_ops} -> {failure.shrunk_ops}")
+            print("  " + failure.summary.replace("\n", "\n  "))
+            if failure.reproducer_path:
+                print(f"  reproducer: {failure.reproducer_path}")
+            else:
+                print("  --- paste-ready regression test ---")
+                print(failure.test_source)
+        return 1
+
+    if args.require_full_matrix:
+        covered = set(stats.covered_cells())
+        missing = [cell for cell in MATRIX_CELLS if cell not in covered]
+        if missing:
+            print(f"\nmatrix incomplete; uncovered cells: {missing}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,254 @@
+"""The budgeted differential fuzz loop.
+
+:func:`run_fuzz` generates random cases (round-robin over the requested
+flavors, one SHA-256-derived seed per iteration), runs the equivalence
+oracle on each, and accumulates the (strategy × transform) coverage
+matrix.  On a failure it shrinks the circuit to a minimal reproducer with
+the *same failure signature* (the set of failed (kind, transform) cells)
+and renders it as a paste-ready regression test — optionally written into
+an artifact directory, which is what the CI ``fuzz-smoke`` job uploads.
+
+Two budgets are supported: wall-clock seconds (``budget=``, the CI mode)
+or an exact iteration count (``iterations=``, the deterministic test
+mode).  The loop is reproducible end to end: ``seed`` fixes every case.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..pipeline.montecarlo import derive_seed
+from .generate import FLAVORS, GeneratedCase, GeneratorConfig, random_case
+from .oracle import STRATEGIES, TRANSFORMS, check_case, check_circuit
+from .shrink import render_regression_test, shrink_circuit
+
+__all__ = ["FuzzFailure", "FuzzStats", "run_fuzz", "MATRIX_CELLS"]
+
+#: Every (strategy, transform) cell the session-level matrix must cover.
+MATRIX_CELLS: Tuple[Tuple[str, str], ...] = tuple(
+    (s, t) for s in STRATEGIES for t in TRANSFORMS
+)
+
+#: Cell statuses that count as *covered* (a real differential check ran).
+COVERING_STATUSES = frozenset({"agree", "reject"})
+
+
+@dataclass
+class FuzzFailure:
+    """One oracle failure, shrunk and rendered."""
+
+    seed: int
+    flavor: str
+    iteration: int
+    summary: str
+    signature: frozenset
+    initial_ops: int
+    shrunk_ops: int
+    test_source: str
+    reproducer_path: Optional[str] = None
+
+
+@dataclass
+class FuzzStats:
+    """Everything one :func:`run_fuzz` session established."""
+
+    iterations: int = 0
+    elapsed: float = 0.0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    #: (strategy, transform) -> statuses observed across the session.
+    matrix: Dict[Tuple[str, str], Set[str]] = field(default_factory=dict)
+    checks: int = 0
+    per_flavor: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def covered_cells(self) -> List[Tuple[str, str]]:
+        return [
+            cell for cell in MATRIX_CELLS
+            if self.matrix.get(cell, set()) & COVERING_STATUSES
+        ]
+
+    def matrix_lines(self) -> List[str]:
+        """The coverage matrix as a fixed-width text grid."""
+        symbol = {"mismatch": "X", "agree": "A", "reject": "R", "lazy": "l",
+                  "inapplicable": "-"}
+        order = ("mismatch", "agree", "reject", "lazy", "inapplicable")
+        width = max(len(t) for t in TRANSFORMS)
+        lines = [" " * 13 + "  ".join(t.rjust(width) for t in TRANSFORMS)]
+        for strategy in STRATEGIES:
+            cells = []
+            for transform in TRANSFORMS:
+                statuses = self.matrix.get((strategy, transform), set())
+                mark = "."
+                for status in order:
+                    if status in statuses:
+                        mark = symbol[status]
+                        break
+                cells.append(mark.rjust(width))
+            lines.append(f"{strategy:>12} " + "  ".join(cells))
+        covered = len(self.covered_cells())
+        lines.append(
+            f"coverage: {covered}/{len(MATRIX_CELLS)} cells "
+            "(A=agree R=consistent-reject X=MISMATCH l=lazy-only "
+            "-=inapplicable .=unseen)"
+        )
+        return lines
+
+
+def _shrink_failure(
+    case: GeneratedCase,
+    signature: frozenset,
+    *,
+    max_evaluations: int,
+) -> Tuple[object, int, int]:
+    """Shrink the case's circuit against its oracle failure signature."""
+
+    def predicate(circuit) -> bool:
+        report = check_circuit(
+            circuit,
+            case.inputs,
+            seed=case.seed,
+            batch=case.batch,
+            data_registers=case.data_registers or None,
+            unitary=case.unitary,
+        )
+        return bool(report.failure_signature() & signature)
+
+    result = shrink_circuit(
+        case.circuit, predicate, max_evaluations=max_evaluations
+    )
+    return result.circuit, result.initial_ops, result.final_ops
+
+
+def run_fuzz(
+    *,
+    budget: float = 10.0,
+    iterations: Optional[int] = None,
+    seed: int = 0,
+    flavors: Sequence[str] = FLAVORS,
+    ops: int = 30,
+    width: int = 6,
+    batch: int = 32,
+    out_dir: Optional[str] = None,
+    shrink: bool = True,
+    shrink_evaluations: int = 2000,
+    stop_on_failure: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzStats:
+    """Fuzz the backend ladder until the budget (or iteration count) runs out.
+
+    ``iterations`` (when given) takes precedence over the wall-clock
+    ``budget`` — the deterministic mode the tests use.  Returns the
+    accumulated :class:`FuzzStats`; reproducers are written into
+    ``out_dir`` when provided.
+    """
+    flavors = tuple(flavors)
+    for flavor in flavors:
+        if flavor not in FLAVORS:
+            raise ValueError(f"unknown flavor {flavor!r}; options: {FLAVORS}")
+    stats = FuzzStats()
+    start = time.monotonic()
+    say = log or (lambda _msg: None)
+    i = 0
+    while True:
+        if iterations is not None:
+            if i >= iterations:
+                break
+        elif time.monotonic() - start >= budget:
+            break
+        flavor = flavors[i % len(flavors)]
+        case_seed = derive_seed("fuzz", seed, flavor, i)
+        config = GeneratorConfig(flavor=flavor, ops=ops, width=width, batch=batch)
+        case = random_case(case_seed, config)
+        report = check_case(case)
+        stats.iterations = i + 1
+        stats.checks += report.checks
+        stats.per_flavor[flavor] = stats.per_flavor.get(flavor, 0) + 1
+        for cell, status in report.matrix.items():
+            stats.matrix.setdefault(cell, set()).add(status)
+        if not report.ok:
+            say(f"[{i}] {flavor} seed={case_seed}: FAILURE — {report.summary()}")
+            failure = _record_failure(
+                case, report, i, out_dir,
+                shrink=shrink, shrink_evaluations=shrink_evaluations, say=say,
+            )
+            stats.failures.append(failure)
+            if stop_on_failure:
+                break
+        i += 1
+    stats.elapsed = time.monotonic() - start
+    return stats
+
+
+def _record_failure(
+    case: GeneratedCase,
+    report,
+    iteration: int,
+    out_dir: Optional[str],
+    *,
+    shrink: bool,
+    shrink_evaluations: int,
+    say: Callable[[str], None],
+) -> FuzzFailure:
+    signature = report.failure_signature()
+    circuit = case.circuit
+    initial_ops = final_ops = sum(1 for _ in _flat(circuit))
+    if shrink:
+        try:
+            circuit, initial_ops, final_ops = _shrink_failure(
+                case, signature, max_evaluations=shrink_evaluations
+            )
+            say(f"    shrunk {initial_ops} -> {final_ops} ops")
+        except ValueError:
+            say("    failure did not reproduce under the shrinker; "
+                "keeping the original circuit")
+    kinds = ", ".join(sorted(f"{k}@{t}" for k, t in signature))
+    # The rendered test must re-run the *same* oracle configuration the
+    # failing case used — batch, compared data registers and the unitary
+    # contract are part of the failure, not defaults to re-infer.
+    oracle_kwargs: Dict[str, object] = {
+        "batch": case.batch,
+        "unitary": case.unitary,
+    }
+    if case.data_registers:
+        oracle_kwargs["data_registers"] = tuple(case.data_registers)
+    source = render_regression_test(
+        circuit,
+        name=f"fuzz_{case.flavor}_{case.seed}",
+        inputs=case.inputs,
+        seed=case.seed,
+        header=(
+            f"flavor={case.flavor} iteration={iteration} "
+            f"failure signature: {kinds}"
+        ),
+        oracle_kwargs=oracle_kwargs,
+    )
+    path = None
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"reproducer_{case.flavor}_{case.seed}.py")
+        with open(path, "w") as handle:
+            handle.write(source)
+        say(f"    reproducer written to {path}")
+    return FuzzFailure(
+        seed=case.seed,
+        flavor=case.flavor,
+        iteration=iteration,
+        summary=report.summary(),
+        signature=signature,
+        initial_ops=initial_ops,
+        shrunk_ops=final_ops,
+        test_source=source,
+        reproducer_path=path,
+    )
+
+
+def _flat(circuit):
+    from ..circuits.ops import iter_flat
+
+    return iter_flat(circuit.ops)

@@ -1,0 +1,382 @@
+"""Seeded random circuit generation for differential testing.
+
+Four circuit *flavors* cover the vocabulary of the paper's constructions:
+
+``unitary``
+    Pure reversible circuits over {x, cx, ccx, swap, cswap, cz, s, t, z},
+    optionally salted with adjacent temporary-AND compute/uncompute pairs.
+    The only flavor the ``invert`` transform accepts (remark 2.23).
+``mixed``
+    Gates, phase gates, Z/X measurements, (nested) conditionals and MBU
+    blocks whose correction bodies flip a garbage qubit — the full
+    Lemma 4.1 vocabulary, exercised by the fused-VM equivalence tests.
+``oracle``
+    Compute a garbage bit through a random XOR oracle, then uncompute it
+    coherently inside a marked ``uncompute-oracle`` region — the input
+    shape the ``insert_mbu`` rewrite consumes.
+``arithmetic``
+    A circuit sampled from the :mod:`repro.arithmetic` /
+    :mod:`repro.modular` builders (adders, comparators, modular adders,
+    modular multiplication, with and without hand-built MBU), optionally
+    extended with extra random mixed operations on its registers.
+
+Every generator is a pure function of a :class:`random.Random` stream (or
+an integer seed through :func:`random_case`), so any failure is replayable
+from its seed alone.  :func:`seed_sequence` is the shared seed-plumbing
+helper for parametrized randomized tests: it honours the ``REPRO_SEED``
+environment variable so one failing seed can be re-run in isolation (see
+``tests/conftest.py`` and ``docs/verification.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits import Circuit, uncompute_label
+from ..circuits.ops import Conditional, Gate, Measurement
+
+__all__ = [
+    "FLAVORS",
+    "GeneratorConfig",
+    "GeneratedCase",
+    "random_case",
+    "random_mixed_circuit",
+    "random_reversible_circuit",
+    "random_oracle_circuit",
+    "random_arithmetic_case",
+    "random_lane_inputs",
+    "seed_sequence",
+    "ARITHMETIC_SPECS",
+]
+
+FLAVORS = ("mixed", "unitary", "oracle", "arithmetic")
+
+#: The arithmetic-builder sample space: (kind, n, params) triples resolved
+#: through :data:`repro.pipeline.cache.BUILDERS`.  Only basis-state-
+#: simulable rows (no Draper/QFT); kept tiny so a fuzz iteration stays
+#: fast.  ``p``-carrying specs bound their data-register inputs to [0, p).
+ARITHMETIC_SPECS: Tuple[Tuple[str, int, Tuple[Tuple[str, object], ...]], ...] = (
+    ("adder", 3, (("family", "cdkpm"),)),
+    ("adder", 3, (("family", "gidney"),)),
+    ("subtractor", 3, (("family", "cdkpm"),)),
+    ("comparator", 3, (("family", "gidney"),)),
+    ("add_const", 3, (("a", 3), ("family", "cdkpm"),)),
+    ("modadd", 3, (("p", 7), ("family", "vbe"), ("mbu", True))),
+    ("modadd", 3, (("p", 5), ("family", "gidney"), ("mbu", True))),
+    ("modadd", 4, (("p", 13), ("family", "cdkpm"), ("mbu", True))),
+    ("modadd", 3, (("p", 7), ("family", "cdkpm"), ("mbu", False))),
+    ("mul_const_mod", 3, (("p", 7), ("a", 3), ("mbu", True))),
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable knobs of :func:`random_case` (see ``docs/verification.md``)."""
+
+    flavor: str = "mixed"
+    #: Data-register width in qubits (``unitary``/``oracle``: the ``a``
+    #: register; ``mixed``: the ``d`` register).
+    width: int = 6
+    #: Garbage qubits available to MBU patterns (``mixed`` only).
+    garbage: int = 2
+    #: Top-level operation budget.
+    ops: int = 30
+    #: Simulation lanes the case's per-lane inputs are drawn for.
+    batch: int = 32
+    #: Extra random mixed operations appended to ``arithmetic`` circuits.
+    arithmetic_extra_ops: int = 6
+
+    def __post_init__(self) -> None:
+        if self.flavor not in FLAVORS:
+            raise ValueError(f"unknown flavor {self.flavor!r}; options: {FLAVORS}")
+        if self.width < 3:
+            raise ValueError("width must be at least 3 (ccx needs 3 qubits)")
+        if self.batch < 1 or self.ops < 1:
+            raise ValueError("batch and ops must be positive")
+
+
+@dataclass
+class GeneratedCase:
+    """One generated differential-test case: circuit + per-lane inputs."""
+
+    seed: int
+    flavor: str
+    circuit: Circuit
+    #: Register name -> per-lane input values (all lists share one length,
+    #: the case's batch).
+    inputs: Dict[str, List[int]]
+    #: Registers whose final values transform checks compare against the
+    #: untransformed reference (ancillas excluded for arithmetic cases).
+    data_registers: Tuple[str, ...] = ()
+    #: No measurements/MBU anywhere — the ``invert`` transform applies.
+    unitary: bool = False
+    #: Carries ``uncompute-*`` reference markers — ``insert_mbu`` rewrites.
+    marked: bool = False
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def batch(self) -> int:
+        return len(next(iter(self.inputs.values()))) if self.inputs else 1
+
+
+# --------------------------------------------------------------------------- #
+# flavor generators (pure functions of an rng)
+
+
+def random_mixed_circuit(
+    rng: random.Random, n_ops: int = 40, *, width: int = 6, garbage: int = 2
+) -> Circuit:
+    """A random circuit mixing plain/phase gates, measurements, (nested)
+    conditionals and MBU blocks whose bodies flip the garbage qubit.
+
+    This is the canonical mixed-construct generator shared by
+    ``tests/test_fused_vm.py`` and the fuzzer — registers ``d`` (``width``
+    data qubits) and ``g`` (``garbage`` garbage qubits).
+    """
+    circ = Circuit(f"mixed[{n_ops}]")
+    d = circ.add_register("d", width)
+    g = circ.add_register("g", max(1, garbage))
+    bits: list = []
+
+    def random_gate(target_pool):
+        kind = rng.choice(["x", "cx", "ccx", "swap", "cswap", "cz", "s", "t", "z"])
+        arity = {"x": 1, "s": 1, "t": 1, "z": 1, "cx": 2, "cz": 2, "swap": 2,
+                 "ccx": 3, "cswap": 3}[kind]
+        qubits = rng.sample(target_pool, k=arity)
+        return Gate(kind, tuple(qubits))
+
+    def random_body(depth: int):
+        body = []
+        for _ in range(rng.randint(1, 4)):
+            roll = rng.random()
+            if roll < 0.7 or depth >= 2 or not bits:
+                body.append(random_gate(list(d)))
+            elif roll < 0.85:
+                bit = circ.new_bit()
+                body.append(Measurement(rng.choice(list(d)), bit,
+                                        rng.choice(["z", "x"])))
+                bits.append(bit)
+            else:
+                body.append(Conditional(rng.choice(bits), tuple(random_body(depth + 1)),
+                                        value=rng.randint(0, 1)))
+        return body
+
+    for _ in range(n_ops):
+        roll = rng.random()
+        if roll < 0.55:
+            circ.append(random_gate(list(d)))
+        elif roll < 0.7:
+            bit = circ.measure(rng.choice(list(d)), basis=rng.choice(["z", "x"]))
+            bits.append(bit)
+        elif roll < 0.85 and bits:
+            circ.cond(rng.choice(bits), random_body(1), value=rng.randint(0, 1))
+        else:
+            # Dirty a garbage qubit, then measurement-based-uncompute it.
+            q = rng.choice(list(g))
+            a, b = rng.sample(list(d), k=2)
+            circ.ccx(a, b, q)
+            body = [Gate("h", (q,))]
+            for _ in range(rng.randint(1, 3)):
+                if rng.random() < 0.5:
+                    body.append(Gate("cx", (rng.choice(list(d)), q)))
+                else:
+                    u, v = rng.sample(list(d), k=2)
+                    body.append(Gate("ccx", (u, v, q)))
+            body.extend([Gate("h", (q,)), Gate("x", (q,))])
+            bits.append(circ.mbu(q, body))
+    return circ
+
+
+_REVERSIBLE_KINDS = {"x": 1, "cx": 2, "ccx": 3, "swap": 2, "cz": 2, "cswap": 3}
+
+
+def random_reversible_circuit(
+    rng: random.Random,
+    n_ops: int,
+    *,
+    width: int = 5,
+    unitary_only: bool = False,
+) -> Circuit:
+    """A random reversible circuit on register ``a``; unless
+    ``unitary_only``, it also mixes in temporary-AND compute/uncompute
+    patterns on a scratch ancilla (register ``anc``).
+
+    The canonical generator behind the transform-semantics property tests
+    (``tests/test_transform_semantics.py``).
+    """
+    circ = Circuit(f"reversible[{n_ops}]")
+    a = circ.add_register("a", width)
+    anc = None if unitary_only else circ.add_register("anc", 1)
+    for i in range(n_ops):
+        kind = rng.choice(list(_REVERSIBLE_KINDS))
+        qubits = [a[q] for q in rng.sample(range(width), k=_REVERSIBLE_KINDS[kind])]
+        getattr(circ, kind)(*qubits)
+        if anc is not None and i % 7 == 6:
+            u, v = rng.sample(range(width), k=2)
+            circ.ccx(a[u], a[v], anc[0])  # temp AND compute
+            circ.ccx(a[u], a[v], anc[0])  # coherent uncompute (adjacent pair)
+    return circ
+
+
+def random_oracle_circuit(
+    rng: random.Random,
+    *,
+    width: int = 5,
+    terms: int = 3,
+) -> Circuit:
+    """Compute a garbage bit from random data through an XOR oracle, then
+    uncompute it coherently inside a marked ``uncompute-oracle`` region —
+    exactly the shape the ``insert_mbu`` pass rewrites into an MBU block.
+    """
+    circ = Circuit("oracle")
+    a = circ.add_register("a", width)
+    g = circ.add_register("g", 1)
+
+    pairs = [rng.sample(range(width), k=2) for _ in range(terms)]
+    singles = [rng.randrange(width) for _ in range(rng.randint(1, 2))]
+
+    def oracle():
+        for u, v in pairs:
+            circ.ccx(a[u], a[v], g[0])
+        for s in singles:
+            circ.cx(a[s], g[0])
+
+    oracle()  # compute garbage
+    label = uncompute_label("uncompute-oracle", g[0])
+    circ.begin(label)
+    oracle()  # coherent reference uncompute
+    circ.end(label)
+    return circ
+
+
+def random_arithmetic_case(
+    rng: random.Random, config: GeneratorConfig, seed: int
+) -> GeneratedCase:
+    """A sampled arithmetic-builder circuit with domain-valid random
+    inputs, optionally extended with random mixed operations.
+
+    Inputs respect the builder's domain (values mod ``p`` for modular
+    rows) so the hand-built MBU uncomputations stay algebraically valid —
+    the statevector cross-check runs the correction bodies literally.
+    """
+    from ..pipeline.cache import CircuitSpec, build_spec  # deferred: heavy layer
+
+    kind, n, params = rng.choice(ARITHMETIC_SPECS)
+    spec = CircuitSpec.make(kind, n, **dict(params))
+    built = build_spec(spec)
+    base = built.circuit
+    circuit = base.copy_empty(f"arith[{spec.key},seed={seed}]")
+    circuit.extend(base.ops)
+
+    p = dict(params).get("p")
+    data = tuple(
+        name for name, reg in circuit.registers.items()
+        if name not in built.ancilla_names and len(reg)
+    )
+    inputs: Dict[str, List[int]] = {}
+    for name in data:
+        reg = circuit.registers[name]
+        limit = min(1 << len(reg), 1 << built.n)
+        if p is not None and len(reg) >= built.n:
+            limit = min(limit, p)
+        inputs[name] = [rng.randrange(limit) for _ in range(config.batch)]
+
+    # Salt the tail with random reversible gates on the data registers.
+    pool = [q for name in data for q in circuit.registers[name]]
+    for _ in range(rng.randint(0, config.arithmetic_extra_ops)):
+        kinds = [k for k, arity in _REVERSIBLE_KINDS.items() if arity <= len(pool)]
+        gate = rng.choice(kinds)
+        qubits = rng.sample(pool, k=_REVERSIBLE_KINDS[gate])
+        getattr(circuit, gate)(*qubits)
+
+    return GeneratedCase(
+        seed=seed, flavor="arithmetic", circuit=circuit, inputs=inputs,
+        data_registers=data, unitary=False, marked=False,
+        meta={"spec": spec.key},
+    )
+
+
+def random_lane_inputs(
+    rng: random.Random,
+    circuit: Circuit,
+    batch: int,
+    *,
+    exclude: Sequence[str] = (),
+    limits: Optional[Dict[str, int]] = None,
+) -> Dict[str, List[int]]:
+    """Random per-lane input values for every (non-excluded) register.
+
+    ``limits`` caps the value range per register name (e.g. ``p`` for a
+    modular row); otherwise the full ``2**len(register)`` range is used.
+    """
+    inputs: Dict[str, List[int]] = {}
+    for name, reg in circuit.registers.items():
+        if name in exclude or not len(reg):
+            continue
+        limit = 1 << len(reg)
+        if limits and name in limits:
+            limit = min(limit, limits[name])
+        inputs[name] = [rng.randrange(limit) for _ in range(batch)]
+    return inputs
+
+
+# --------------------------------------------------------------------------- #
+# the seeded entry point
+
+
+def random_case(seed: int, config: GeneratorConfig | None = None) -> GeneratedCase:
+    """Generate one differential-test case from an integer seed."""
+    config = config or GeneratorConfig()
+    rng = random.Random(seed)
+    if config.flavor == "mixed":
+        circuit = random_mixed_circuit(
+            rng, config.ops, width=config.width, garbage=config.garbage
+        )
+        inputs = random_lane_inputs(rng, circuit, config.batch, exclude=("g",))
+        inputs["g"] = [0] * config.batch  # garbage starts clean
+        return GeneratedCase(
+            seed=seed, flavor="mixed", circuit=circuit, inputs=inputs,
+            data_registers=("d",), unitary=False, marked=False,
+        )
+    if config.flavor == "unitary":
+        circuit = random_reversible_circuit(
+            rng, config.ops, width=config.width, unitary_only=True
+        )
+        inputs = random_lane_inputs(rng, circuit, config.batch)
+        return GeneratedCase(
+            seed=seed, flavor="unitary", circuit=circuit, inputs=inputs,
+            data_registers=tuple(circuit.registers), unitary=True, marked=False,
+        )
+    if config.flavor == "oracle":
+        circuit = random_oracle_circuit(rng, width=config.width)
+        inputs = random_lane_inputs(rng, circuit, config.batch, exclude=("g",))
+        inputs["g"] = [0] * config.batch
+        return GeneratedCase(
+            seed=seed, flavor="oracle", circuit=circuit, inputs=inputs,
+            data_registers=("a", "g"), unitary=True, marked=True,
+        )
+    return random_arithmetic_case(rng, config, seed)
+
+
+# --------------------------------------------------------------------------- #
+# seed plumbing for parametrized randomized tests
+
+REPRO_SEED_ENV = "REPRO_SEED"
+
+
+def seed_sequence(count: int, base: int = 0) -> List[int]:
+    """Seeds for a parametrized randomized test, honouring ``REPRO_SEED``.
+
+    Returns ``[base, base+1, ..., base+count-1]`` normally.  When the
+    ``REPRO_SEED`` environment variable is set, returns just ``[int(env)]``
+    so the one failing seed a test printed can be replayed in isolation::
+
+        REPRO_SEED=7 python -m pytest tests/test_fused_vm.py -k mixed
+    """
+    env = os.environ.get(REPRO_SEED_ENV)
+    if env is not None:
+        return [int(env, 0)]
+    return list(range(base, base + count))

@@ -1,0 +1,282 @@
+"""Delta-debugging shrinker: reduce a failing circuit to a minimal reproducer.
+
+:func:`shrink_circuit` takes a circuit and a *predicate* (``True`` when the
+circuit still exhibits the failure — typically "the oracle reports the same
+(kind, transform) signature") and greedily minimizes the operation stream:
+
+1. **Chunk removal** (ddmin-style): remove contiguous spans of top-level
+   operations, halving the span size from ``len/2`` down to 1.
+2. **Structural reduction**: hoist a :class:`~repro.circuits.ops.Conditional`
+   body into its parent, and delete single operations *inside*
+   Conditional/MBU bodies at any nesting depth (one atomic change per
+   candidate, so every step is predicate-verified).
+3. Repeat to a fixpoint (or the evaluation budget).
+
+Every candidate is rebuilt on the original circuit's register/bit shell via
+``Circuit.copy_empty()`` — removing operations can never produce an invalid
+circuit (conditionals on never-written bits simply read 0), so the search
+space needs no repair step.  A predicate that *raises* is treated as "does
+not reproduce": the shrinker never trades the original failure for a
+different crash.
+
+:func:`render_regression_test` turns the minimal circuit into a paste-ready
+pytest module that rebuilds the circuit literally and re-runs the oracle —
+the artifact a CI fuzz failure uploads (see ``docs/verification.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuits.circuit import Circuit
+from ..circuits.ops import (
+    Annotation,
+    Conditional,
+    Gate,
+    MBUBlock,
+    Measurement,
+    Operation,
+    iter_flat,
+)
+
+__all__ = ["ShrinkResult", "shrink_circuit", "render_regression_test"]
+
+Predicate = Callable[[Circuit], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    circuit: Circuit
+    rounds: int
+    evaluations: int
+    initial_ops: int
+    final_ops: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of (flattened) operations removed."""
+        if self.initial_ops == 0:
+            return 0.0
+        return 1.0 - self.final_ops / self.initial_ops
+
+
+def _op_count(ops: Sequence[Operation]) -> int:
+    return sum(1 for _ in iter_flat(list(ops)))
+
+
+def _rebuild(shell: Circuit, ops: Sequence[Operation]) -> Circuit:
+    out = shell.copy_empty(f"shrunk({shell.name})" if shell.name else "shrunk")
+    out.extend(ops)
+    return out
+
+
+def _structural_variants(ops: Tuple[Operation, ...]) -> Iterator[Tuple[Operation, ...]]:
+    """Single-change reductions: hoist a conditional body, or delete one
+    operation anywhere inside a Conditional/MBU body (recursively)."""
+    for i, op in enumerate(ops):
+        rest = ops[:i], ops[i + 1 :]
+        if isinstance(op, Conditional):
+            yield rest[0] + op.body + rest[1]  # hoist the body
+            for j in range(len(op.body)):
+                smaller = op.body[:j] + op.body[j + 1 :]
+                yield rest[0] + (
+                    Conditional(op.bit, smaller, op.value, op.probability),
+                ) + rest[1]
+            for inner in _structural_variants(op.body):
+                yield rest[0] + (
+                    Conditional(op.bit, inner, op.value, op.probability),
+                ) + rest[1]
+        elif isinstance(op, MBUBlock):
+            for j in range(len(op.body)):
+                smaller = op.body[:j] + op.body[j + 1 :]
+                yield rest[0] + (MBUBlock(op.qubit, op.bit, smaller),) + rest[1]
+            for inner in _structural_variants(op.body):
+                yield rest[0] + (MBUBlock(op.qubit, op.bit, inner),) + rest[1]
+
+
+def shrink_circuit(
+    circuit: Circuit,
+    predicate: Predicate,
+    *,
+    max_evaluations: int = 4000,
+) -> ShrinkResult:
+    """Minimize ``circuit`` while ``predicate`` keeps returning ``True``.
+
+    Raises :class:`ValueError` if the predicate does not hold on the input
+    (nothing to shrink — the caller's failure is not reproducible).
+    """
+    evaluations = 0
+
+    def holds(ops: Sequence[Operation]) -> bool:
+        nonlocal evaluations
+        if evaluations >= max_evaluations:
+            return False
+        evaluations += 1
+        try:
+            return bool(predicate(_rebuild(circuit, ops)))
+        except Exception:
+            return False  # a different crash is not the same failure
+
+    ops: Tuple[Operation, ...] = tuple(circuit.ops)
+    initial = _op_count(ops)
+    if not holds(ops):
+        raise ValueError("predicate does not hold on the input circuit")
+
+    rounds = 0
+    changed = True
+    while changed and evaluations < max_evaluations:
+        changed = False
+        rounds += 1
+        # 1. chunked top-level removal, coarse to fine
+        chunk = max(1, len(ops) // 2)
+        while chunk >= 1:
+            i = 0
+            while i < len(ops):
+                candidate = ops[:i] + ops[i + chunk :]
+                if len(candidate) < len(ops) and holds(candidate):
+                    ops = candidate
+                    changed = True
+                else:
+                    i += chunk
+            chunk //= 2
+        # 2. one structural reduction at a time, restarting on success
+        progress = True
+        while progress and evaluations < max_evaluations:
+            progress = False
+            for candidate in _structural_variants(ops):
+                if holds(candidate):
+                    ops = candidate
+                    changed = progress = True
+                    break
+
+    final = _rebuild(circuit, ops)
+    return ShrinkResult(
+        circuit=final,
+        rounds=rounds,
+        evaluations=evaluations,
+        initial_ops=initial,
+        final_ops=_op_count(ops),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# paste-ready regression test rendering
+
+
+def _fmt_fraction(f: Fraction) -> str:
+    return f"Fraction({f.numerator}, {f.denominator})"
+
+
+def _render_op(op: Operation, indent: str, used: set) -> str:
+    if isinstance(op, Gate):
+        used.add("Gate")
+        param = f", {op.param!r}" if op.param else ""
+        return f"{indent}Gate({op.name!r}, {op.qubits!r}{param}),"
+    if isinstance(op, Measurement):
+        used.add("Measurement")
+        return f"{indent}Measurement({op.qubit}, {op.bit}, {op.basis!r}),"
+    if isinstance(op, Annotation):
+        used.add("Annotation")
+        return f"{indent}Annotation({op.kind!r}, {op.label!r}),"
+    if isinstance(op, Conditional):
+        used.add("Conditional")
+        body = "\n".join(_render_op(inner, indent + "    ", used) for inner in op.body)
+        prob = ""
+        if op.probability != Fraction(1, 2):
+            used.add("Fraction")
+            prob = f", probability={_fmt_fraction(op.probability)}"
+        return (
+            f"{indent}Conditional({op.bit}, (\n{body}\n{indent}), "
+            f"value={op.value}{prob}),"
+        )
+    if isinstance(op, MBUBlock):
+        used.add("MBUBlock")
+        body = "\n".join(_render_op(inner, indent + "    ", used) for inner in op.body)
+        return f"{indent}MBUBlock({op.qubit}, {op.bit}, (\n{body}\n{indent})),"
+    raise TypeError(f"cannot render operation {op!r}")  # pragma: no cover
+
+
+def _compact_inputs(inputs: Mapping[str, Sequence[int]] | None) -> str:
+    if not inputs:
+        return "None"
+    parts = []
+    for name, values in inputs.items():
+        values = list(values)
+        if values and all(v == values[0] for v in values):
+            parts.append(f"{name!r}: {values[0]}")
+        else:
+            parts.append(f"{name!r}: {values!r}")
+    return "{" + ", ".join(parts) + "}"
+
+
+def render_regression_test(
+    circuit: Circuit,
+    *,
+    name: str = "reproducer",
+    inputs: Mapping[str, Sequence[int]] | None = None,
+    seed: int = 0,
+    header: str = "",
+    oracle_kwargs: Optional[Dict[str, object]] = None,
+) -> str:
+    """A self-contained pytest module re-running the oracle on ``circuit``.
+
+    The output is deliberately paste-ready: drop it into ``tests/`` (or run
+    it directly with pytest) and the failure replays with no other state.
+    """
+    used: set = set()
+    op_lines: List[str] = [_render_op(op, "        ", used) for op in circuit.ops]
+
+    reg_lines = [
+        f"    circ.add_register({rname!r}, {len(reg)})"
+        for rname, reg in circuit.registers.items()
+    ]
+    covered = sum(len(reg) for reg in circuit.registers.values())
+    if covered < circuit.num_qubits:  # loose qubits outside any register
+        reg_lines.append(
+            f"    circ.add_register('_pad', {circuit.num_qubits - covered})"
+        )
+    bit_lines = (
+        [f"    for _ in range({circuit.num_bits}):", "        circ.new_bit()"]
+        if circuit.num_bits
+        else []
+    )
+
+    extra = ""
+    for key, value in (oracle_kwargs or {}).items():
+        extra += f", {key}={value!r}"
+
+    imports = []
+    if "Fraction" in used:
+        imports.append("from fractions import Fraction\n")
+    op_names = sorted(used - {"Fraction"})
+    imports.append("from repro.circuits import Circuit\n")
+    if op_names:
+        imports.append(f"from repro.circuits.ops import {', '.join(op_names)}\n")
+    imports.append("from repro.verify import check_circuit\n")
+
+    doc = "Auto-generated by repro.verify — shrunk failing circuit."
+    if header:
+        doc += "\n\n" + header
+    doc += f"\n\nReplay:  REPRO_SEED={seed} python -m pytest this_file.py"
+
+    body = "\n".join(
+        ["    circ = Circuit('%s')" % name] + reg_lines + bit_lines
+    )
+    ops_block = "\n".join(op_lines)
+    return (
+        f'"""{doc}\n"""\n\n'
+        + "".join(imports)
+        + "\n\n"
+        + f"def test_{name}():\n"
+        + body
+        + "\n    circ.extend([\n"
+        + (ops_block + "\n" if ops_block else "")
+        + "    ])\n"
+        + f"    report = check_circuit(circ, inputs={_compact_inputs(inputs)}, "
+        + f"seed={seed}{extra})\n"
+        + "    assert report.ok, report.summary()\n"
+    )

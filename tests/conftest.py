@@ -1,0 +1,66 @@
+"""Shared fixtures: reproducible seeds for every randomized test.
+
+The seeding contract (see ``docs/verification.md``):
+
+* Tests that need one ad-hoc random stream take the ``repro_seed`` /
+  ``repro_rng`` fixtures.  The seed is derived deterministically from the
+  test's node id, so runs are stable — and overridable with the
+  ``REPRO_SEED`` environment variable.
+* Tests parametrized over many seeds build their parameter list with
+  :func:`repro.verify.generate.seed_sequence`, which collapses to the one
+  seed in ``REPRO_SEED`` when it is set.
+* On failure, the seed in play is printed in a ``repro seed`` report
+  section with a ready-to-paste replay command.
+
+(Hypothesis-based tests manage their own example database and replay
+mechanism; they are intentionally outside this contract.)
+"""
+
+import os
+import random
+import zlib
+
+import pytest
+
+from repro.verify.generate import REPRO_SEED_ENV
+
+
+def _seed_for(nodeid: str) -> int:
+    env = os.environ.get(REPRO_SEED_ENV)
+    if env is not None:
+        return int(env, 0)
+    return zlib.crc32(nodeid.encode())
+
+
+@pytest.fixture
+def repro_seed(request) -> int:
+    """A deterministic per-test seed, overridable via ``REPRO_SEED``."""
+    seed = _seed_for(request.node.nodeid)
+    request.node._repro_seed = seed
+    return seed
+
+
+@pytest.fixture
+def repro_rng(repro_seed) -> random.Random:
+    """A :class:`random.Random` seeded by :func:`repro_seed`."""
+    return random.Random(repro_seed)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    seed = getattr(item, "_repro_seed", None)
+    if seed is None and getattr(item, "callspec", None) is not None:
+        for name, value in item.callspec.params.items():
+            if "seed" in name and isinstance(value, int):
+                seed = value
+                break
+    if seed is not None:
+        report.sections.append((
+            "repro seed",
+            f"re-run this failure with:\n"
+            f"  {REPRO_SEED_ENV}={seed} python -m pytest '{item.nodeid}'",
+        ))

@@ -83,6 +83,58 @@ class TestCircuitCache:
         cache.clear()
         assert len(cache) == 0 and cache.stats.misses == 0
 
+    def test_program_memo_dropped_on_eviction(self):
+        """Evicting a circuit must drop its memoized program too — a later
+        request recompiles instead of returning a program pinned forever."""
+        cache = CircuitCache(maxsize=1)
+        s1 = CircuitSpec.make("modadd", 3, p=5, family="cdkpm", mbu=True)
+        s2 = CircuitSpec.make("adder", 4, family="cdkpm")
+        first = cache.program(s1)
+        cache.build(s2)  # evicts s1 (and its program)
+        assert s1 not in cache and cache.stats.evictions == 1
+        second = cache.program(s1)
+        assert second is not first
+        assert cache.stats.program_misses == 2
+        assert cache.stats.program_hits == 0
+
+    def test_failure_memo_dropped_on_eviction(self):
+        """Memoized compile *failures* follow the same eviction rule."""
+        from repro.sim import UnsupportedGateError
+
+        cache = CircuitCache(maxsize=1)
+        qft = CircuitSpec.make("modadd_draper", 4, p=13, mbu=False)
+        with pytest.raises(UnsupportedGateError):
+            cache.program(qft)
+        cache.build(CircuitSpec.make("adder", 4, family="cdkpm"))  # evict
+        with pytest.raises(UnsupportedGateError):
+            cache.program(qft)
+        assert cache.stats.program_misses == 2  # failure re-memoized, not replayed
+
+    def test_program_failure_replays_fresh_exceptions(self):
+        """Memoized failures raise a *fresh* exception instance per hit."""
+        from repro.sim import UnsupportedGateError
+
+        cache = CircuitCache()
+        qft = CircuitSpec.make("modadd_draper", 4, p=13, mbu=False)
+        caught = []
+        for _ in range(2):
+            with pytest.raises(UnsupportedGateError) as exc:
+                cache.program(qft)
+            caught.append(exc.value)
+        assert caught[0] is not caught[1]
+        assert caught[0].args == caught[1].args
+        assert cache.stats.program_misses == 1 and cache.stats.program_hits == 1
+
+    def test_program_tally_variants_cached_independently(self):
+        cache = CircuitCache()
+        spec = CircuitSpec.make("modadd", 3, p=5, family="cdkpm", mbu=True)
+        with_tally = cache.program(spec, tally=True)
+        without = cache.program(spec, tally=False)
+        assert with_tally is not without
+        assert cache.program(spec, tally=True) is with_tally
+        assert cache.program(spec, tally=False) is without
+        assert cache.stats.program_misses == 2 and cache.stats.program_hits == 2
+
 
 class TestDeclarativeTables:
     """The spec-driven builder reproduces the classic table functions."""
@@ -262,5 +314,30 @@ class TestTransformFlag:
     def test_unknown_transform_flag_rejected(self, capsys):
         with pytest.raises(SystemExit) as exc:
             cli_main(["--smoke", "--transform", "bogus"])
+        assert exc.value.code == 2
+        assert "unknown transform pass" in capsys.readouterr().err
+
+
+class TestCLIErrors:
+    """Bad configuration must fail at parse time with a usage error (exit
+    code 2), never as a mid-sweep traceback."""
+
+    def test_unknown_table_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["--tables", "table9", "--sizes", "2"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown table(s): table9" in err
+        assert "table1" in err  # the error lists what *is* available
+
+    def test_mixed_known_and_unknown_tables_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["--tables", "table1", "bogus", "nope", "--sizes", "2"])
+        assert exc.value.code == 2
+        assert "bogus, nope" in capsys.readouterr().err
+
+    def test_unknown_transform_without_smoke_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["--transform", "lower_toffoli,bogus"])
         assert exc.value.code == 2
         assert "unknown transform pass" in capsys.readouterr().err

@@ -1,6 +1,12 @@
 """Cross-backend property tests: bitplane lanes vs looped classical runs vs
 statevector, on MBU modular-adder circuits under a shared ForcedOutcomes
-script — plus identical executed-gate tallies across all three backends."""
+script — plus identical executed-gate tallies across all three backends.
+
+Per-lane inputs come from the shared
+:func:`repro.verify.generate.random_lane_inputs` helper (domain-bounded to
+[0, p) so the hand-built MBU uncomputations stay algebraically valid)."""
+
+import random
 
 import pytest
 from hypothesis import given, settings
@@ -13,6 +19,7 @@ from repro.sim import (
     ForcedOutcomes,
     run_statevector,
 )
+from repro.verify.generate import random_lane_inputs
 
 # (n, p) small enough for the statevector limit across all three families.
 _CASES = [(2, 3), (3, 5), (3, 7)]
@@ -22,25 +29,24 @@ _FAMILIES = ["vbe", "cdkpm", "gidney"]
 _SCRIPT = st.lists(st.integers(min_value=0, max_value=1), min_size=96, max_size=96)
 
 
-def _lane_inputs(draw_x, draw_y, p, lanes):
-    return [v % p for v in draw_x[:lanes]], [v % p for v in draw_y[:lanes]]
-
-
 @given(
     case=st.sampled_from(_CASES),
     family=st.sampled_from(_FAMILIES),
     script=_SCRIPT,
-    draw_x=st.lists(st.integers(min_value=0, max_value=63), min_size=8, max_size=8),
-    draw_y=st.lists(st.integers(min_value=0, max_value=63), min_size=8, max_size=8),
+    input_seed=st.integers(min_value=0, max_value=2**32 - 1),
 )
 @settings(max_examples=30, deadline=None)
-def test_bitplane_lanes_match_looped_classical(case, family, script, draw_x, draw_y):
+def test_bitplane_lanes_match_looped_classical(case, family, script, input_seed):
     """Every bit-plane lane must equal an independent classical run on that
     lane's input with the same forced script (lanes share the script: the
     provider broadcasts one entry per measurement event)."""
     n, p = case
     built = build_modadd(n, p, family, mbu=True)
-    xs, ys = _lane_inputs(draw_x, draw_y, p, 8)
+    inputs = random_lane_inputs(
+        random.Random(input_seed), built.circuit, 8,
+        exclude=built.ancilla_names, limits={"x": p, "y": p},
+    )
+    xs, ys = inputs["x"], inputs["y"]
 
     bp = BitplaneSimulator(built.circuit, batch=8, outcomes=ForcedOutcomes(script))
     bp.set_register("x", xs)

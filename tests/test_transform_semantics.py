@@ -21,27 +21,14 @@ from repro.pipeline.cache import build_spec
 from repro.resources.tables import TABLE_SPECS
 from repro.sim import StatevectorSimulator, simulate
 from repro.transform import apply_transforms
+from repro.verify.generate import random_reversible_circuit
 
 N_QUBITS = 5
 
-_KINDS = {"x": 1, "cx": 2, "ccx": 3, "swap": 2, "cz": 2, "cswap": 3}
-
 
 def _random_circuit(rng: random.Random, n_ops: int, *, unitary_only: bool = False) -> Circuit:
-    """A random reversible circuit; unless ``unitary_only``, it also mixes
-    in temporary-AND compute/uncompute patterns on a scratch ancilla."""
-    circ = Circuit()
-    a = circ.add_register("a", N_QUBITS)
-    anc = None if unitary_only else circ.add_register("anc", 1)
-    for i in range(n_ops):
-        kind = rng.choice(list(_KINDS))
-        qubits = [a[q] for q in rng.sample(range(N_QUBITS), k=_KINDS[kind])]
-        getattr(circ, kind)(*qubits)
-        if anc is not None and i % 7 == 6:
-            u, v = rng.sample(range(N_QUBITS), k=2)
-            circ.ccx(a[u], a[v], anc[0])  # temp AND compute
-            circ.ccx(a[u], a[v], anc[0])  # coherent uncompute (adjacent pair)
-    return circ
+    """The shared random reversible circuit generator at this module's width."""
+    return random_reversible_circuit(rng, n_ops, width=N_QUBITS, unitary_only=unitary_only)
 
 
 def _values(circuit: Circuit, inputs, seed: int, backend: str):

@@ -1,0 +1,150 @@
+"""The random circuit generator: determinism, knobs, flavor contracts."""
+
+import random
+
+import pytest
+
+from repro.circuits.ops import Conditional, Gate, MBUBlock, Measurement, iter_flat
+from repro.verify.generate import (
+    ARITHMETIC_SPECS,
+    FLAVORS,
+    GeneratorConfig,
+    random_case,
+    random_lane_inputs,
+    random_mixed_circuit,
+    random_oracle_circuit,
+    random_reversible_circuit,
+    seed_sequence,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("flavor", FLAVORS)
+    def test_same_seed_same_case(self, flavor):
+        config = GeneratorConfig(flavor=flavor, ops=15, batch=8)
+        a = random_case(123, config)
+        b = random_case(123, config)
+        assert a.circuit.structurally_equal(b.circuit, include_annotations=True)
+        assert a.inputs == b.inputs
+        assert a.data_registers == b.data_registers
+
+    def test_different_seeds_differ(self):
+        config = GeneratorConfig(flavor="mixed", ops=25, batch=8)
+        a = random_case(1, config)
+        b = random_case(2, config)
+        assert not a.circuit.structurally_equal(b.circuit)
+
+
+class TestConfig:
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError, match="flavor"):
+            GeneratorConfig(flavor="quantum")
+
+    def test_width_floor(self):
+        with pytest.raises(ValueError, match="width"):
+            GeneratorConfig(width=2)
+
+    def test_ops_knob_scales_circuit(self):
+        small = random_case(5, GeneratorConfig(flavor="unitary", ops=5, batch=4))
+        large = random_case(5, GeneratorConfig(flavor="unitary", ops=50, batch=4))
+        assert len(large.circuit.ops) > len(small.circuit.ops)
+
+    def test_width_knob_sets_register_size(self):
+        case = random_case(5, GeneratorConfig(flavor="unitary", width=9, batch=4))
+        assert len(case.circuit.registers["a"]) == 9
+
+    def test_batch_knob_sets_lane_count(self):
+        case = random_case(5, GeneratorConfig(flavor="mixed", batch=17))
+        assert case.batch == 17
+        assert all(len(v) == 17 for v in case.inputs.values())
+
+
+class TestFlavorContracts:
+    def test_unitary_flavor_has_no_measurements(self):
+        for seed in range(5):
+            case = random_case(seed, GeneratorConfig(flavor="unitary"))
+            assert case.unitary
+            assert not any(
+                isinstance(op, (Measurement, MBUBlock))
+                for op in iter_flat(case.circuit.ops)
+            )
+
+    def test_mixed_flavor_exercises_full_vocabulary(self):
+        """Across a handful of seeds the mixed generator must produce every
+        construct class the backends dispatch on."""
+        seen = set()
+        for seed in range(10):
+            circ = random_mixed_circuit(random.Random(seed))
+            for op in iter_flat(circ.ops):
+                seen.add(type(op).__name__)
+        assert {"Gate", "Measurement", "Conditional", "MBUBlock"} <= seen
+
+    def test_oracle_flavor_is_marked_and_uncomputes(self):
+        from repro.sim import simulate
+
+        for seed in range(5):
+            case = random_case(seed, GeneratorConfig(flavor="oracle"))
+            assert case.marked
+            result = simulate(case.circuit, {"a": 3}, backend="classical")
+            assert result.registers == {"a": 3, "g": 0}  # coherent uncompute
+
+    def test_oracle_circuit_rewrites_under_insert_mbu(self):
+        from repro.circuits import count_gates
+        from repro.transform import apply_transforms
+
+        circ = random_oracle_circuit(random.Random(3))
+        out = apply_transforms(circ, ["insert_mbu"])
+        assert count_gates(out)["measure"] == 1
+
+    def test_reversible_circuit_matches_legacy_shape(self):
+        circ = random_reversible_circuit(random.Random(0), 20, width=5)
+        assert set(circ.registers) == {"a", "anc"}
+        assert len(circ.registers["a"]) == 5
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_arithmetic_inputs_are_domain_valid(self, seed):
+        case = random_case(seed, GeneratorConfig(flavor="arithmetic", batch=16))
+        spec_key = case.meta["spec"]
+        assert any(kind in spec_key for kind, _, _ in ARITHMETIC_SPECS)
+        for name in case.data_registers:
+            width = len(case.circuit.registers[name])
+            assert all(0 <= v < (1 << width) for v in case.inputs[name])
+
+
+class TestLaneInputs:
+    def test_limits_and_exclusions(self):
+        circ = random_mixed_circuit(random.Random(1))
+        inputs = random_lane_inputs(
+            random.Random(2), circ, 12, exclude=("g",), limits={"d": 5}
+        )
+        assert "g" not in inputs
+        assert len(inputs["d"]) == 12
+        assert all(0 <= v < 5 for v in inputs["d"])
+
+
+class TestSeedSequence:
+    def test_default_is_a_range(self):
+        assert seed_sequence(4) == [0, 1, 2, 3]
+        assert seed_sequence(3, base=10) == [10, 11, 12]
+
+    def test_env_override_collapses_to_one_seed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "77")
+        assert seed_sequence(12) == [77]
+        monkeypatch.setenv("REPRO_SEED", "0x10")
+        assert seed_sequence(3) == [16]
+
+
+class TestConftestFixtures:
+    def test_repro_seed_is_deterministic(self, repro_seed, repro_rng):
+        assert isinstance(repro_seed, int)
+        # Re-deriving the stream from the reported seed replays it — the
+        # exact property the failure-report section relies on.
+        assert random.Random(repro_seed).random() == pytest.approx(
+            repro_rng.random()
+        )
+
+    def test_repro_seed_honours_env(self, monkeypatch):
+        import conftest
+
+        monkeypatch.setenv("REPRO_SEED", "99")
+        assert conftest._seed_for("any::nodeid") == 99

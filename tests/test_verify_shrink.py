@@ -1,0 +1,207 @@
+"""The shrinker — and the planted-bug mutation test of the whole harness."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.ops import Conditional, Gate, Measurement, iter_flat
+from repro.transform.base import PASSES
+from repro.transform.passes import LowerToffoliPass
+from repro.verify.generate import GeneratorConfig, random_case
+from repro.verify.oracle import check_circuit
+from repro.verify.shrink import render_regression_test, shrink_circuit
+
+
+def _count(circuit):
+    return sum(1 for _ in iter_flat(circuit.ops))
+
+
+class TestShrinker:
+    def test_shrinks_to_single_interesting_op(self):
+        circ = Circuit("t")
+        q = circ.add_register("q", 4)
+        for i in range(12):
+            circ.cx(q[i % 3], q[3])
+        circ.ccx(q[0], q[1], q[2])  # the needle
+        for i in range(12):
+            circ.x(q[i % 4])
+
+        def has_ccx(candidate):
+            return any(
+                isinstance(op, Gate) and op.name == "ccx"
+                for op in iter_flat(candidate.ops)
+            )
+
+        result = shrink_circuit(circ, has_ccx)
+        assert result.final_ops == 1
+        assert result.circuit.ops[0].name == "ccx"
+        assert result.initial_ops == 25
+        assert result.reduction > 0.9
+
+    def test_predicate_must_hold_on_input(self):
+        circ = Circuit("t")
+        q = circ.add_register("q", 3)
+        circ.x(q[0])
+        with pytest.raises(ValueError, match="does not hold"):
+            shrink_circuit(circ, lambda c: False)
+
+    def test_shrinks_inside_conditional_bodies(self):
+        circ = Circuit("t")
+        q = circ.add_register("q", 4)
+        bit = circ.measure(q[0])
+        body = [Gate("x", (q[1],)), Gate("ccx", (q[0], q[1], q[2])),
+                Gate("x", (q[3],))]
+        circ.cond(bit, body)
+
+        def nested_ccx(candidate):
+            return any(
+                isinstance(op, Gate) and op.name == "ccx"
+                for op in iter_flat(candidate.ops)
+            )
+
+        result = shrink_circuit(circ, nested_ccx)
+        assert result.final_ops == 1  # hoisted out of the conditional
+
+    def test_raising_predicate_counts_as_not_reproducing(self):
+        circ = Circuit("t")
+        q = circ.add_register("q", 3)
+        circ.ccx(q[0], q[1], q[2])
+        circ.x(q[0])
+
+        def picky(candidate):
+            if len(candidate.ops) < 2:
+                raise RuntimeError("different crash")
+            return True
+
+        result = shrink_circuit(circ, picky)
+        assert result.final_ops == 2  # never shrank into the crashing region
+
+    def test_evaluation_budget_respected(self):
+        circ = Circuit("t")
+        q = circ.add_register("q", 3)
+        for _ in range(30):
+            circ.x(q[0])
+        result = shrink_circuit(circ, lambda c: True, max_evaluations=5)
+        assert result.evaluations <= 5
+
+
+class TestRenderRegressionTest:
+    def test_rendered_source_is_valid_and_replays(self, tmp_path):
+        """The paste-ready test must compile, rebuild the exact circuit and
+        re-run the oracle green on a healthy circuit."""
+        case = random_case(4, GeneratorConfig(flavor="mixed", ops=10, batch=8))
+        source = render_regression_test(
+            case.circuit, name="roundtrip", inputs=case.inputs, seed=case.seed
+        )
+        namespace: dict = {}
+        exec(compile(source, "<reproducer>", "exec"), namespace)
+        namespace["test_roundtrip"]()  # asserts report.ok internally
+
+    def test_renders_nested_constructs(self):
+        circ = Circuit("t")
+        q = circ.add_register("q", 3)
+        bit = circ.measure(q[0], basis="x")
+        circ.cond(bit, [Gate("x", (q[1],))], value=0)
+        circ.mbu(q[2], [Gate("h", (q[2],)), Gate("x", (q[2],))])
+        source = render_regression_test(circ, name="nested", inputs={"q": [1] * 4})
+        assert "Conditional(" in source and "MBUBlock(" in source
+        assert "Measurement(0, 0, 'x')" in source
+        namespace: dict = {}
+        exec(compile(source, "<reproducer>", "exec"), namespace)
+        rebuilt_fails = False
+        try:
+            namespace["test_nested"]()
+        except AssertionError:  # pragma: no cover - healthy circuit
+            rebuilt_fails = True
+        assert not rebuilt_fails
+
+    def test_compact_inputs_collapse_uniform_lanes(self):
+        circ = Circuit("t")
+        q = circ.add_register("q", 3)
+        circ.x(q[0])
+        source = render_regression_test(circ, inputs={"q": [5, 5, 5, 5]})
+        assert "inputs={'q': 5}" in source
+
+
+class _BrokenLowerToffoli(LowerToffoliPass):
+    """A known-wrong rewrite: drops the ``cx(anc, target)`` data write from
+    every lowered Toffoli, so the target is simply never updated."""
+
+    def _rewrite(self, ops, circ, anc):
+        out = []
+        for op in super()._rewrite(ops, circ, anc):
+            if isinstance(op, Gate) and op.name == "cx" and op.qubits[0] == anc:
+                continue
+            out.append(op)
+        return tuple(out)
+
+
+class TestMutationSanity:
+    """Plant a wrong rewrite in the pass registry; the oracle must catch it
+    and the shrinker must reduce the reproducer to <= 10 ops."""
+
+    @pytest.fixture
+    def broken_registry(self, monkeypatch):
+        monkeypatch.setitem(PASSES, "lower_toffoli", _BrokenLowerToffoli)
+
+    def test_oracle_catches_planted_bug_and_shrinker_minimizes(
+        self, broken_registry
+    ):
+        case = random_case(11, GeneratorConfig(flavor="unitary", ops=20, batch=16))
+
+        def run_oracle(circuit):
+            return check_circuit(
+                circuit, case.inputs, seed=case.seed, batch=case.batch,
+                transforms=("lower_toffoli",),
+            )
+
+        report = run_oracle(case.circuit)
+        assert not report.ok, "oracle failed to catch the planted bug"
+        signature = report.failure_signature()
+        assert any(t == "lower_toffoli" for _, t in signature)
+        # the coverage matrix must not claim agreement for a failing cell
+        assert "mismatch" in {
+            report.matrix.get(("interpretive", "lower_toffoli")),
+            report.matrix.get(("classical", "lower_toffoli")),
+        }
+
+        result = shrink_circuit(
+            case.circuit,
+            lambda c: bool(run_oracle(c).failure_signature() & signature),
+        )
+        assert result.final_ops <= 10, (
+            f"reproducer not minimal: {result.final_ops} ops"
+        )
+        # the minimal reproducer must still contain a Toffoli to lower
+        assert any(
+            isinstance(op, Gate) and op.name == "ccx"
+            for op in iter_flat(result.circuit.ops)
+        )
+
+    def test_planted_bug_reproducer_renders_and_fails(self, broken_registry):
+        """End to end: the rendered regression test fails while the registry
+        is broken (it re-runs the oracle) — the artifact a CI fuzz failure
+        hands to the developer."""
+        case = random_case(11, GeneratorConfig(flavor="unitary", ops=20, batch=16))
+        report = check_circuit(
+            case.circuit, case.inputs, seed=case.seed,
+            transforms=("lower_toffoli",),
+        )
+        signature = report.failure_signature()
+        result = shrink_circuit(
+            case.circuit,
+            lambda c: bool(
+                check_circuit(
+                    c, case.inputs, seed=case.seed,
+                    transforms=("lower_toffoli",),
+                ).failure_signature()
+                & signature
+            ),
+        )
+        source = render_regression_test(
+            result.circuit, name="planted", inputs=case.inputs, seed=case.seed,
+            oracle_kwargs={"transforms": ("lower_toffoli",)},
+        )
+        namespace: dict = {}
+        exec(compile(source, "<reproducer>", "exec"), namespace)
+        with pytest.raises(AssertionError):
+            namespace["test_planted"]()

@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Differential fuzzer entry point (thin wrapper over ``repro.verify``).
+
+Run:  python tools/fuzz.py --budget 30 --out fuzz-artifacts
+      python tools/fuzz.py --iterations 12 --seed 5
+
+Equivalent to ``python -m repro.verify``; see ``docs/verification.md`` for
+the generator knobs, the oracle matrix and the shrinker workflow.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.verify.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
