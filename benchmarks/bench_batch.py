@@ -11,14 +11,13 @@ The acceptance bar for the batch backend is a >= 10x per-input speedup at
 n = 64, batch = 4096; ``test_report_batch`` asserts it.
 """
 
-import json
 import time
-from pathlib import Path
 
 import pytest
 
+from _harness import power_inputs, prepared, spot_check_modadd, write_artifact
 from repro.modular import build_modadd
-from repro.sim import BitplaneSimulator, RandomOutcomes, run_classical
+from repro.sim import RandomOutcomes, run_classical
 
 CASES = [(64, 64), (64, 4096), (256, 64), (256, 4096)]
 
@@ -26,31 +25,19 @@ _LOOP_SAMPLE = 24  # inputs timed for the looped-classical baseline
 _RESULTS = {}
 
 
-def _inputs(p, batch):
-    xs = [pow(3, i + 1, p) for i in range(batch)]
-    ys = [pow(5, i + 1, p) for i in range(batch)]
-    return xs, ys
-
-
 @pytest.mark.parametrize("n,batch", CASES)
 def test_batch_throughput(benchmark, n, batch):
     p = (1 << n) - 59
     built = build_modadd(n, p, "cdkpm", mbu=True)
-    xs, ys = _inputs(p, batch)
+    xs, ys = power_inputs(p, batch)
 
     def run_batch():
-        sim = BitplaneSimulator(
-            built.circuit, batch=batch, outcomes=RandomOutcomes(7), tally=False
-        )
-        sim.set_register("x", xs)
-        sim.set_register("y", ys)
+        sim = prepared(built.circuit, batch, xs, ys)
         sim.run()
         return sim
 
     sim = benchmark(run_batch)
-    out = sim.get_register("y")
-    for lane in range(0, batch, max(1, batch // 16)):
-        assert out[lane] == (xs[lane] + ys[lane]) % p
+    spot_check_modadd(sim, xs, ys, p, batch)
 
     # wall-clock numbers for BENCH_batch.json (independent of pytest-benchmark
     # so they exist under --benchmark-disable too)
@@ -93,8 +80,7 @@ def test_report_batch(benchmark, capsys):
         "loop_sample": _LOOP_SAMPLE,
         "results": _RESULTS,
     }
-    out_path = Path(__file__).with_name("BENCH_batch.json")
-    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    out_path = write_artifact(__file__, "BENCH_batch.json", payload)
 
     lines = ["Per-input throughput, BitplaneSimulator vs looped run_classical:"]
     for key, row in _RESULTS.items():

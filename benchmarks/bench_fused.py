@@ -19,19 +19,23 @@ Set ``BENCH_FUSED_SMOKE=1`` to run the reduced CI configuration (small
 case only, relaxed floors) — the ``perf-smoke`` CI job does.
 """
 
-import json
-import os
 import time
-from pathlib import Path
 
 import pytest
 
+from _harness import (
+    best_of,
+    env_flag,
+    power_inputs,
+    prepared,
+    spot_check_modadd,
+    write_artifact,
+)
 from repro.modular import build_modadd
 from repro.pipeline.montecarlo import mc_expected_counts
-from repro.sim import BitplaneSimulator, RandomOutcomes
 from repro.transform import compile_program, fuse_program
 
-SMOKE = bool(os.environ.get("BENCH_FUSED_SMOKE"))
+SMOKE = env_flag("BENCH_FUSED_SMOKE")
 CASES = [(64, 1024)] if SMOKE else [(64, 1024), (64, 4096), (256, 4096)]
 #: Fused-vs-scalar floor asserted by the report test (per case key).
 FLOORS = {"n64_B1024": 1.3} if SMOKE else {"n256_B4096": 2.0}
@@ -41,24 +45,11 @@ _RESULTS = {}
 _PIPELINE = {}
 
 
-def _inputs(p, batch):
-    xs = [pow(3, i + 1, p) for i in range(batch)]
-    ys = [pow(5, i + 1, p) for i in range(batch)]
-    return xs, ys
-
-
-def _prepared(circuit, batch, xs, ys, tally=False):
-    sim = BitplaneSimulator(circuit, batch=batch, outcomes=RandomOutcomes(7), tally=tally)
-    sim.set_register("x", xs)
-    sim.set_register("y", ys)
-    return sim
-
-
 @pytest.mark.parametrize("n,batch", CASES)
 def test_fused_throughput(benchmark, n, batch):
     p = (1 << n) - 59
     built = build_modadd(n, p, "cdkpm", mbu=True)
-    xs, ys = _inputs(p, batch)
+    xs, ys = power_inputs(p, batch)
 
     t0 = time.perf_counter()
     program = compile_program(built.circuit, tally=False)
@@ -74,25 +65,18 @@ def test_fused_throughput(benchmark, n, batch):
     fused_tally.kernel(events=True)
 
     def run_fused():
-        sim = _prepared(built.circuit, batch, xs, ys)
+        sim = prepared(built.circuit, batch, xs, ys)
         sim.run_compiled(fused)
         return sim
 
     sim = benchmark(run_fused)
-    out = sim.get_register("y")
-    for lane in range(0, batch, max(1, batch // 16)):
-        assert out[lane] == (xs[lane] + ys[lane]) % p
+    spot_check_modadd(sim, xs, ys, p, batch)
 
     def best(execute, tally=False, rounds=5):
-        """Best-of wall clock of the execution step alone (state preparation
-        is identical for every path and excluded)."""
-        times = []
-        for _ in range(rounds):
-            sim = _prepared(built.circuit, batch, xs, ys, tally=tally)
-            t0 = time.perf_counter()
-            execute(sim)
-            times.append(time.perf_counter() - t0)
-        return min(times)
+        return best_of(
+            lambda: prepared(built.circuit, batch, xs, ys, tally=tally),
+            execute, rounds=rounds,
+        )
 
     interp = best(lambda sim: sim.run())
     scalar = best(lambda sim: sim.run_compiled(program, fused=False))
@@ -168,8 +152,7 @@ def test_report_fused(benchmark, capsys):
         "results": _RESULTS,
         "mc_program_reuse": _PIPELINE,
     }
-    out_path = Path(__file__).with_name("BENCH_fused.json")
-    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    out_path = write_artifact(__file__, "BENCH_fused.json", payload)
 
     lines = ["Fused kernels vs scalar compiled VM (BitplaneSimulator):"]
     for key, row in _RESULTS.items():

@@ -12,14 +12,18 @@ interpretive walk at n = 64, batch = 4096 (tally off);
 ``test_report_transform`` asserts it.
 """
 
-import json
 import time
-from pathlib import Path
 
 import pytest
 
+from _harness import (
+    best_of,
+    power_inputs,
+    prepared,
+    spot_check_modadd,
+    write_artifact,
+)
 from repro.modular import build_modadd
-from repro.sim import BitplaneSimulator, RandomOutcomes
 from repro.transform import compile_program
 
 CASES = [(64, 1024), (64, 4096), (256, 4096)]
@@ -27,24 +31,11 @@ CASES = [(64, 1024), (64, 4096), (256, 4096)]
 _RESULTS = {}
 
 
-def _inputs(p, batch):
-    xs = [pow(3, i + 1, p) for i in range(batch)]
-    ys = [pow(5, i + 1, p) for i in range(batch)]
-    return xs, ys
-
-
-def _prepared(circuit, batch, xs, ys, tally=False):
-    sim = BitplaneSimulator(circuit, batch=batch, outcomes=RandomOutcomes(7), tally=tally)
-    sim.set_register("x", xs)
-    sim.set_register("y", ys)
-    return sim
-
-
 @pytest.mark.parametrize("n,batch", CASES)
 def test_transform_throughput(benchmark, n, batch):
     p = (1 << n) - 59
     built = build_modadd(n, p, "cdkpm", mbu=True)
-    xs, ys = _inputs(p, batch)
+    xs, ys = power_inputs(p, batch)
 
     t0 = time.perf_counter()
     program = compile_program(built.circuit, tally=False)
@@ -55,25 +46,18 @@ def test_transform_throughput(benchmark, n, batch):
     # against the interpretive walk (PR 3's metric); the fused kernels have
     # their own benchmark (bench_fused.py -> BENCH_fused.json).
     def run_compiled():
-        sim = _prepared(built.circuit, batch, xs, ys)
+        sim = prepared(built.circuit, batch, xs, ys)
         sim.run_compiled(program, fused=False)
         return sim
 
     sim = benchmark(run_compiled)
-    out = sim.get_register("y")
-    for lane in range(0, batch, max(1, batch // 16)):
-        assert out[lane] == (xs[lane] + ys[lane]) % p
+    spot_check_modadd(sim, xs, ys, p, batch)
 
     def best(execute, tally=False, rounds=3):
-        """Best-of wall clock of the execution step alone (state preparation
-        is identical for both paths and excluded)."""
-        times = []
-        for _ in range(rounds):
-            sim = _prepared(built.circuit, batch, xs, ys, tally=tally)
-            t0 = time.perf_counter()
-            execute(sim)
-            times.append(time.perf_counter() - t0)
-        return min(times)
+        return best_of(
+            lambda: prepared(built.circuit, batch, xs, ys, tally=tally),
+            execute, rounds=rounds,
+        )
 
     interp = best(lambda sim: sim.run())
     compiled = best(lambda sim: sim.run_compiled(program, fused=False))
@@ -107,8 +91,7 @@ def test_report_transform(benchmark, capsys):
         "circuit": "modadd[cdkpm, mbu=True]",
         "results": _RESULTS,
     }
-    out_path = Path(__file__).with_name("BENCH_transform.json")
-    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    out_path = write_artifact(__file__, "BENCH_transform.json", payload)
 
     lines = ["Compiled program vs interpretive walk (BitplaneSimulator):"]
     for key, row in _RESULTS.items():

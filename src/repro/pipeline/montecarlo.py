@@ -88,6 +88,9 @@ def mc_expected_counts(
     inputs: Optional[Mapping[str, Any]] = None,
     compiled: bool = True,
     program: Any = None,
+    execution: str = "auto",
+    shards: Optional[int] = None,
+    executor: Any = None,
 ) -> MCEstimate:
     """Estimate the expected executed count of ``gates`` over random outcomes.
 
@@ -109,9 +112,25 @@ def mc_expected_counts(
     place, instead of rebuilding execution state per repetition.  Results
     are bit-identical to the interpretive path (``compiled=False``): the
     estimate still depends only on ``(seed, batch, repeats)``.
+
+    ``execution`` selects how the compiled repetitions run: ``"single"``
+    (one in-process simulator), ``"sharded"`` (lane-sharded across a
+    persistent worker pool — :mod:`repro.sim.dispatch`), or ``"auto"``
+    (the default: sharded exactly when the calibrated cost model says it
+    is cheaper for this (ops, batch) on the available cores, single
+    otherwise).  Sharded per-repetition lane tallies are bit-identical to
+    the single-process ones — each shard draws full-width outcome masks
+    and keeps its lane window — so this choice never changes an estimate,
+    only its wall time.  ``shards``/``executor`` pass through to
+    :class:`~repro.sim.dispatch.ShardPool` when sharding is in play.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
+    if execution not in ("auto", "single", "sharded"):
+        raise ValueError(
+            f"unknown execution mode {execution!r}; "
+            "options: 'auto', 'single', 'sharded'"
+        )
     circuit = _circuit_of(target)
     compile_seconds = 0.0
     if compiled:
@@ -132,25 +151,59 @@ def mc_expected_counts(
             start = time.perf_counter()
             program = fuse_program(program)
             compile_seconds = time.perf_counter() - start
-    sim = BitplaneSimulator(
-        circuit,
-        batch=batch,
-        outcomes=RandomOutcomes(derive_seed(seed, "rep", 0)),
-        tally=False,
-        lane_counts=tuple(gates),
-    )
+    use_sharded = False
+    if compiled and execution != "single":
+        from ..sim.dispatch import program_is_flat
+        from ..sim.dispatch.cost import default_model
+
+        model = default_model()
+        if execution == "sharded":
+            use_sharded = True
+        else:  # auto: only shard when the model predicts a win
+            choice = model.choose(
+                ops=len(program.scalar.instructions),
+                batch=batch,
+                tally=False,
+                lane_counts=True,
+                candidates=("codegen", "sharded"),
+            )
+            use_sharded = choice == "sharded"
+        # Stateful providers need flat programs (every builder circuit is);
+        # fall back to single-process execution rather than fail.
+        if use_sharded and not program_is_flat(program):
+            use_sharded = False
     chunks = []
     start = time.perf_counter()
-    for r in range(repeats):
-        if r:
-            sim.reset(RandomOutcomes(derive_seed(seed, "rep", r)))
-        for name, value in (inputs or {}).items():
-            sim.set_register(name, value)
-        if compiled:
-            sim.run_compiled(program)
-        else:
-            sim.run()
-        chunks.append(sim.lane_tally())
+    if use_sharded:
+        from ..sim.dispatch import ShardPool
+
+        with ShardPool(
+            program, batch=batch, shards=shards, executor=executor,
+            tally=False, lane_counts=tuple(gates),
+        ) as pool:
+            for r in range(repeats):
+                result = pool.run(
+                    inputs, outcomes=RandomOutcomes(derive_seed(seed, "rep", r))
+                )
+                chunks.append(result.lane_tally())
+    else:
+        sim = BitplaneSimulator(
+            circuit,
+            batch=batch,
+            outcomes=RandomOutcomes(derive_seed(seed, "rep", 0)),
+            tally=False,
+            lane_counts=tuple(gates),
+        )
+        for r in range(repeats):
+            if r:
+                sim.reset(RandomOutcomes(derive_seed(seed, "rep", r)))
+            for name, value in (inputs or {}).items():
+                sim.set_register(name, value)
+            if compiled:
+                sim.run_compiled(program)
+            else:
+                sim.run()
+            chunks.append(sim.lane_tally())
     run_seconds = time.perf_counter() - start
     totals = np.concatenate(chunks)
     return MCEstimate.from_counts(

@@ -25,6 +25,12 @@ Backends
     ``batch`` basis-input lanes at once, one packed ``uint64`` bit-plane
     per qubit — exhaustive small-``n`` verification and large-scale
     Monte-Carlo estimation of expected MBU costs in a single pass.
+``auto``
+    The calibrated cost model (:mod:`repro.sim.dispatch.cost`) picks the
+    cheapest capable strategy — classical, interpretive bitplane, compiled
+    scalar, fused codegen/arrays, or lane-sharded parallel execution
+    (:func:`repro.sim.dispatch.run_sharded`) — for the given
+    (ops, batch, tally, cores).
 
 All three are :class:`~repro.sim.engine.ExecutionBackend` implementations
 driven by :class:`~repro.sim.engine.ExecutionEngine`, which owns the
@@ -35,6 +41,13 @@ the same walker.
 
 from .api import SimulationResult, available_backends, register_backend, simulate
 from .bitplane import BitplaneSimulator, LaneTallyStats, run_bitplane
+from .dispatch import (
+    ShardPool,
+    ShardedResult,
+    program_is_flat,
+    run_sharded,
+    shard_ranges,
+)
 from .classical import ClassicalSimulator, UnsupportedGateError, run_classical
 from .engine import (
     EXECUTE,
@@ -70,6 +83,11 @@ __all__ = [
     "run_classical",
     "run_statevector",
     "run_bitplane",
+    "run_sharded",
+    "ShardPool",
+    "ShardedResult",
+    "shard_ranges",
+    "program_is_flat",
     "OutcomeProvider",
     "RandomOutcomes",
     "ForcedOutcomes",

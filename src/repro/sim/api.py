@@ -20,11 +20,19 @@ Built-in backends
 ``bitplane``
     ``batch`` basis-state lanes at once (``batch=`` keyword, default 64);
     ``registers`` maps names to per-lane lists and ``bits`` is a list of
-    per-lane lists, one per classical bit.
+    per-lane lists, one per classical bit.  ``shards=`` splits the batch
+    into contiguous lane shards executed in parallel via
+    :mod:`repro.sim.dispatch` (``executor=`` picks process vs thread);
+    the merged result is bit-identical for every shard count.
+``auto``
+    Resolves to the cheapest feasible backend for the workload via the
+    calibrated cost model in :mod:`repro.sim.dispatch.cost`;
+    ``result.backend`` records the concrete pick as ``"auto:<name>"``.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -189,8 +197,35 @@ def _run_bitplane(
     program: Any = None,
     fused: bool = True,
     kernels: str | None = None,
+    shards: int | None = None,
+    executor: Any = None,
 ) -> SimulationResult:
     _check_registers(circuit, inputs)
+    if shards is not None or executor is not None:
+        # Lane-sharded parallel execution (always compiled + fused); the
+        # merged result carries the same registers/bits/tally shapes as the
+        # single-process compiled path — see repro.sim.dispatch.
+        if fused is not True:
+            raise ValueError(
+                "sharded execution runs fused kernels; drop fused=False or "
+                "drop shards=/executor="
+            )
+        from .dispatch import run_sharded
+
+        result = run_sharded(
+            program if program is not None else circuit,
+            inputs,
+            batch=batch,
+            shards=shards,
+            executor=executor,
+            outcomes=outcomes,
+            tally=tally,
+            lane_counts=lane_counts,
+            kernels=kernels,
+        )
+        return SimulationResult(
+            "bitplane", result.registers, result.bits, result.tally, result
+        )
     if compiled or program is not None:
         sim = BitplaneSimulator(
             circuit, batch=batch, outcomes=outcomes, tally=tally,
@@ -214,6 +249,87 @@ def _run_bitplane(
     return SimulationResult("bitplane", registers, bits, sim.tally, sim)
 
 
+def _run_auto(
+    circuit: Circuit,
+    inputs: Mapping[str, Any] | None,
+    outcomes: OutcomeProvider | None,
+    batch: int = 64,
+    tally: bool = True,
+    lane_counts: Any = None,
+    program: Any = None,
+    shards: int | None = None,
+    executor: Any = None,
+    cores: int | None = None,
+) -> SimulationResult:
+    """Pick the cheapest capable execution strategy via the calibrated cost
+    model (:mod:`repro.sim.dispatch.cost`) and run it.
+
+    The returned result's ``backend`` records what actually ran, as
+    ``"auto:<strategy>"``.  ``classical`` is only a candidate for
+    ``batch=1`` scalar-input calls (its result shape differs); circuits the
+    compiler rejects fall back to the interpretive ladder.
+    """
+    from .classical import UnsupportedGateError
+    from .dispatch.cost import default_model
+    from ..transform.compile import compile_program
+
+    _check_registers(circuit, inputs)
+    compiled_ok = True
+    if program is None:
+        try:
+            program = compile_program(
+                circuit, tally=tally or bool(lane_counts)
+            )
+        except UnsupportedGateError:
+            compiled_ok = False
+    if compiled_ok:
+        ops = len(program.scalar if hasattr(program, "scalar") else program)
+        candidates = ["interpretive", "scalar", "codegen", "arrays", "sharded"]
+    else:
+        from ..circuits.ops import iter_flat
+
+        ops = sum(1 for _ in iter_flat(circuit.ops))
+        candidates = ["interpretive"]
+    scalar_inputs = all(
+        isinstance(v, (int,)) for v in (inputs or {}).values()
+    )
+    if batch == 1 and scalar_inputs and not lane_counts:
+        candidates.insert(0, "classical")
+    choice = default_model().choose(
+        ops=ops, batch=batch, tally=tally, lane_counts=bool(lane_counts),
+        cores=cores, candidates=candidates,
+    )
+    if choice == "classical":
+        result = _run_classical(circuit, inputs, outcomes, tally=tally)
+    elif choice == "interpretive":
+        result = _run_bitplane(
+            circuit, inputs, outcomes, batch=batch, tally=tally,
+            lane_counts=lane_counts,
+        )
+    elif choice == "scalar":
+        result = _run_bitplane(
+            circuit, inputs, outcomes, batch=batch, tally=tally,
+            lane_counts=lane_counts, program=program, fused=False,
+        )
+    elif choice == "sharded":
+        result = _run_bitplane(
+            circuit, inputs, outcomes, batch=batch, tally=tally,
+            lane_counts=lane_counts, program=program,
+            shards=shards or default_model().effective_shards(
+                batch, cores or os.cpu_count() or 1
+            ),
+            executor=executor,
+        )
+    else:  # codegen / arrays
+        result = _run_bitplane(
+            circuit, inputs, outcomes, batch=batch, tally=tally,
+            lane_counts=lane_counts, program=program, kernels=choice,
+        )
+    result.backend = f"auto:{choice}"
+    return result
+
+
 register_backend("classical", _run_classical)
 register_backend("statevector", _run_statevector)
 register_backend("bitplane", _run_bitplane)
+register_backend("auto", _run_auto)

@@ -377,7 +377,9 @@ class BitplaneSimulator(ExecutionBackend):
         ``fused=True`` (default) executes through the fused kernels of
         :mod:`repro.sim.kernels`: ``kernels="codegen"`` (default) runs the
         generated straight-line bigint kernel, ``kernels="arrays"`` the
-        stacked-plane numpy gather/scatter strategy.  Executed-gate tallies
+        stacked-plane numpy gather/scatter strategy, and ``kernels="auto"``
+        asks the calibrated cost model (:mod:`repro.sim.dispatch.cost`) to
+        pick between them for this (program, batch).  Executed-gate tallies
         come from per-scope entry events, and — unlike the scalar path —
         exact per-lane ``lane_counts`` tracking is supported.
 
@@ -408,10 +410,10 @@ class BitplaneSimulator(ExecutionBackend):
             fuse_program,
         )
 
-        if kernels not in (None, "codegen", "arrays"):
+        if kernels not in (None, "auto", "codegen", "arrays"):
             raise ValueError(
                 f"unknown fused kernel strategy {kernels!r}; "
-                "options: 'codegen', 'arrays'"
+                "options: 'auto', 'codegen', 'arrays'"
             )
         if kernels is not None and not fused:
             raise ValueError("kernels= selects a fused strategy; pass fused=True")
@@ -450,6 +452,16 @@ class BitplaneSimulator(ExecutionBackend):
                 # the fly above dies with this call, so pinning it in the
                 # fusion memo would only waste memory.
                 program = fuse_program(program, memoize=not fresh_compile)
+            if kernels == "auto":
+                from .dispatch.cost import default_model
+
+                kernels = default_model().choose(
+                    ops=len(program.scalar.instructions),
+                    batch=self.batch,
+                    tally=tallying,
+                    lane_counts=tracking,
+                    candidates=("codegen", "arrays"),
+                )
             return self._run_fused(program, kernels or "codegen", tallying, tracking)
         if isinstance(program, FusedProgram):
             program = program.scalar

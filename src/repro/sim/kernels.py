@@ -30,13 +30,16 @@ of superinstructions over the simulator's ``(qubits, words)`` plane
 matrix: a run of k same-opcode gates is a handful of fancy-indexed
 bitwise numpy ops (safe because fusion guarantees conflict-free, unique
 write targets).  Measured honestly, this path *loses* to the bigint
-kernels at the benchmark batch of 4096 lanes (64 words): numpy ufunc
-dispatch and gather copies cost more than CPython bigint ops, and
-ripple-carry circuits keep ~60% of instructions in runs of length ≤ 2
-where fancy indexing has nothing to amortize.  It is kept as a working,
-property-tested alternative — the crossover candidate for much wider
-batches — and ``benchmarks/bench_fused.py`` records both strategies so
-the trade-off stays visible.  See ``docs/performance.md``.
+kernels across the benchmark grid — numpy ufunc dispatch and gather
+copies cost more than CPython bigint ops, and ripple-carry circuits keep
+~60% of instructions in runs of length ≤ 2 where fancy indexing has
+nothing to amortize — but the gap narrows monotonically with batch
+width (``benchmarks/BENCH_dispatch.json`` records arrays at ~0.1x of
+codegen at 1024 lanes rising to ~0.7x at 65536; the fitted crossover
+sits near a million lanes).  It is kept as a working, property-tested
+alternative, and ``kernels="auto"`` consults the calibrated cost model
+in :mod:`repro.sim.dispatch.cost` so the moment a workload crosses over
+it gets picked automatically.  See ``docs/performance.md``.
 
 Layering note: this module lives in :mod:`repro.sim` but executes
 :mod:`repro.transform` programs, so transform types are imported lazily
@@ -315,80 +318,251 @@ def fused_cswap(planes: np.ndarray, ops: np.ndarray, mask: np.ndarray) -> None:
     planes[b] ^= delta
 
 
+# Plan step codes.  A plan is a flat tuple of (code, p1, p2) steps compiled
+# once per program (cached on ``FusedProgram._arrays_plan``): branch scopes
+# become skip offsets, superinstruction operand columns become contiguous
+# index arrays, and the executor below runs the whole thing with integer
+# dispatch, preallocated scratch, and no ``& mask`` at branch depth 0 (the
+# same full-mask elision the generated bigint kernels perform).
+_A_RUN_X, _A_RUN_CX, _A_RUN_CCX, _A_RUN_SWAP, _A_RUN_CSWAP = range(5)
+_A_X, _A_CX, _A_CCX, _A_SWAP, _A_CSWAP, _A_MZ, _A_MX = range(5, 12)
+_A_COND, _A_MBU, _A_EXIT, _A_MBU_CLEAR = range(12, 16)
+
+_RUN_CODE = {}  # opcode -> plan code, filled lazily (transform import)
+
+
+def _build_arrays_plan(fused) -> Tuple[Tuple, int]:
+    """Flatten ``fused``'s scope tree into executor steps (see above)."""
+    tc = _opcodes()
+    if not _RUN_CODE:
+        _RUN_CODE.update({
+            tc.OP_X: _A_RUN_X, tc.OP_CX: _A_RUN_CX, tc.OP_CCX: _A_RUN_CCX,
+            tc.OP_SWAP: _A_RUN_SWAP, tc.OP_CSWAP: _A_RUN_CSWAP,
+        })
+    steps: List[Any] = []
+    max_run = 0
+
+    def emit(scope) -> None:
+        nonlocal max_run
+        for kind, item in scope.items:
+            if kind == "run":
+                ops = item.operands
+                max_run = max(max_run, item.count)
+                cols = tuple(
+                    np.ascontiguousarray(ops[:, i]) for i in range(ops.shape[1])
+                )
+                steps.append((_RUN_CODE[item.opcode], cols, item.count))
+            elif kind == "instr":
+                op = item[0]
+                if op == tc.OP_X:
+                    steps.append((_A_X, item[1], None))
+                elif op == tc.OP_CX:
+                    steps.append((_A_CX, item[1], item[2]))
+                elif op == tc.OP_CCX:
+                    steps.append((_A_CCX, (item[1], item[2]), item[3]))
+                elif op == tc.OP_SWAP:
+                    steps.append((_A_SWAP, item[1], item[2]))
+                elif op == tc.OP_CSWAP:
+                    steps.append((_A_CSWAP, item[1], (item[2], item[3])))
+                elif op == tc.OP_MZ:
+                    steps.append((_A_MZ, item[1], item[2]))
+                else:  # OP_MX
+                    steps.append((_A_MX, item[1], item[2]))
+            else:  # nested scope: entry placeholder, body, exit (+ MBU clear)
+                entry = len(steps)
+                steps.append(None)
+                emit(item)
+                steps.append((_A_EXIT, None, None))
+                if item.kind == "cond":
+                    # Empty masks skip to just past the EXIT.
+                    steps[entry] = (_A_COND, item.header, (len(steps), item.sid))
+                else:
+                    # Empty masks still clear the garbage qubit, so skip
+                    # lands *on* the clear step (which runs under the outer
+                    # mask either way).
+                    clear_at = len(steps)
+                    steps.append((_A_MBU_CLEAR, item.header[0], None))
+                    steps[entry] = (_A_MBU, item.header, (clear_at, item.sid))
+
+    emit(fused.root)
+    return tuple(steps), max_run
+
+
 def run_fused_arrays(sim, fused, collect_events: bool) -> List[Tuple[int, int]]:
     """Execute ``fused`` directly on ``sim``'s numpy plane matrices.
 
-    Superinstructions run through the ``fused_*`` gather/scatter kernels;
-    leftover scalar instructions and measurements use plain whole-plane
-    numpy ops.  Returns the ``(scope_id, mask_int)`` tally events (empty
-    when ``collect_events`` is false).
+    Runs the flat step plan compiled by :func:`_build_arrays_plan` (built
+    once per program, cached like the generated kernels): superinstructions
+    gather via ``np.take`` into preallocated scratch, combine with in-place
+    bitwise ufuncs, and scatter once; single gates operate on plane *row
+    views* with ``out=`` so the steady state allocates nothing; and depth-0
+    steps elide the ``& mask`` entirely (plane integers never carry bits at
+    or above ``batch``).  Returns the ``(scope_id, mask_int)`` tally events
+    (empty when ``collect_events`` is false).
     """
-    tc = _opcodes()
-    kernels = {
-        tc.OP_X: fused_x,
-        tc.OP_CX: fused_cx,
-        tc.OP_CCX: fused_ccx,
-        tc.OP_SWAP: fused_swap,
-        tc.OP_CSWAP: fused_cswap,
-    }
+    plan = getattr(fused, "_arrays_plan", None)
+    if plan is None:
+        plan = _build_arrays_plan(fused)
+        fused._arrays_plan = plan
+    steps, max_run = plan
     planes = sim.planes
     bit_planes = sim.bit_planes
     batch = sim.batch
     words = sim.words
+    dtype = planes.dtype
     sample = sim.engine.sample_lanes
+    rows = list(planes)  # per-qubit row views: in-place ops, no gathers
+    brows = list(bit_planes)
+    valid = sim._valid
+    tmp = np.empty(words, dtype=dtype)
+    scr = np.empty((max_run or 1, words), dtype=dtype)
+    gather = np.empty_like(scr)
+    take = np.take
     events: List[Tuple[int, int]] = []
 
     def pack(value: int) -> np.ndarray:
-        return np.frombuffer(value.to_bytes(words * 8, "little"), dtype=planes.dtype).copy()
+        return np.frombuffer(value.to_bytes(words * 8, "little"), dtype=dtype).copy()
 
     def mask_int(mask: np.ndarray) -> int:
         return int.from_bytes(np.ascontiguousarray(mask).tobytes(), "little")
 
-    def walk(scope, mask: np.ndarray) -> None:
-        if collect_events:
-            events.append((scope.sid, mask_int(mask)))
-        for kind, item in scope.items:
-            if kind == "run":
-                kernels[item.opcode](planes, item.operands, mask)
-            elif kind == "instr":
-                op = item[0]
-                if op == tc.OP_CX:
-                    planes[item[2]] ^= planes[item[1]] & mask
-                elif op == tc.OP_CCX:
-                    planes[item[3]] ^= planes[item[1]] & planes[item[2]] & mask
-                elif op == tc.OP_X:
-                    planes[item[1]] ^= mask
-                elif op == tc.OP_SWAP:
-                    a, b = item[1], item[2]
-                    delta = (planes[a] ^ planes[b]) & mask
-                    planes[a] ^= delta
-                    planes[b] ^= delta
-                elif op == tc.OP_CSWAP:
-                    c, a, b = item[1], item[2], item[3]
-                    delta = (planes[a] ^ planes[b]) & mask & planes[c]
-                    planes[a] ^= delta
-                    planes[b] ^= delta
-                elif op == tc.OP_MZ:
-                    q, b = item[1], item[2]
-                    bit_planes[b] = (bit_planes[b] & ~mask) | (planes[q] & mask)
-                else:  # OP_MX
-                    q, b = item[1], item[2]
-                    outcome = pack(sample(0.5, batch))
-                    planes[q] = (planes[q] & ~mask) | (outcome & mask)
-                    bit_planes[b] = (bit_planes[b] & ~mask) | (outcome & mask)
-            else:  # nested scope
-                if item.kind == "cond":
-                    bit, value = item.header
-                    sub = (mask & bit_planes[bit]) if value else (mask & ~bit_planes[bit])
-                else:  # mbu
-                    q, bit = item.header
-                    outcome = pack(sample(0.5, batch))
-                    bit_planes[bit] = (bit_planes[bit] & ~mask) | (outcome & mask)
-                    sub = mask & outcome
-                if sub.any():
-                    walk(item, sub)
-                if item.kind == "mbu":
-                    planes[item.header[0]] &= ~mask
+    if collect_events:
+        events.append((0, mask_int(valid)))
 
-    walk(fused.root, sim._valid)
+    mask = valid
+    stack: List[np.ndarray] = []
+    full = True
+    i = 0
+    n = len(steps)
+    while i < n:
+        code, p1, p2 = steps[i]
+        i += 1
+        if code == _A_CX:
+            if full:
+                np.bitwise_xor(rows[p2], rows[p1], out=rows[p2])
+            else:
+                np.bitwise_and(rows[p1], mask, out=tmp)
+                rows[p2] ^= tmp
+        elif code == _A_CCX:
+            np.bitwise_and(rows[p1[0]], rows[p1[1]], out=tmp)
+            if not full:
+                tmp &= mask
+            rows[p2] ^= tmp
+        elif code == _A_RUN_CX:
+            s = take(planes, p1[0], axis=0, out=scr[:p2], mode="clip")
+            if not full:
+                s &= mask
+            t = take(planes, p1[1], axis=0, out=gather[:p2], mode="clip")
+            t ^= s
+            planes[p1[1]] = t
+        elif code == _A_RUN_CCX:
+            s = take(planes, p1[0], axis=0, out=scr[:p2], mode="clip")
+            s &= take(planes, p1[1], axis=0, out=gather[:p2], mode="clip")
+            if not full:
+                s &= mask
+            t = take(planes, p1[2], axis=0, out=gather[:p2], mode="clip")
+            t ^= s
+            planes[p1[2]] = t
+        elif code == _A_X:
+            rows[p1] ^= mask
+        elif code == _A_RUN_X:
+            planes[p1[0]] ^= mask
+        elif code == _A_SWAP:
+            np.bitwise_xor(rows[p1], rows[p2], out=tmp)
+            if not full:
+                tmp &= mask
+            rows[p1] ^= tmp
+            rows[p2] ^= tmp
+        elif code == _A_RUN_SWAP:
+            s = take(planes, p1[0], axis=0, out=scr[:p2], mode="clip")
+            s ^= take(planes, p1[1], axis=0, out=gather[:p2], mode="clip")
+            if not full:
+                s &= mask
+            t = take(planes, p1[0], axis=0, out=gather[:p2], mode="clip")
+            t ^= s
+            planes[p1[0]] = t
+            t = take(planes, p1[1], axis=0, out=gather[:p2], mode="clip")
+            t ^= s
+            planes[p1[1]] = t
+        elif code == _A_CSWAP:
+            a, b = p2
+            np.bitwise_xor(rows[a], rows[b], out=tmp)
+            tmp &= rows[p1]
+            if not full:
+                tmp &= mask
+            rows[a] ^= tmp
+            rows[b] ^= tmp
+        elif code == _A_RUN_CSWAP:
+            s = take(planes, p1[1], axis=0, out=scr[:p2], mode="clip")
+            s ^= take(planes, p1[2], axis=0, out=gather[:p2], mode="clip")
+            s &= take(planes, p1[0], axis=0, out=gather[:p2], mode="clip")
+            if not full:
+                s &= mask
+            t = take(planes, p1[1], axis=0, out=gather[:p2], mode="clip")
+            t ^= s
+            planes[p1[1]] = t
+            t = take(planes, p1[2], axis=0, out=gather[:p2], mode="clip")
+            t ^= s
+            planes[p1[2]] = t
+        elif code == _A_MZ:
+            if full:
+                np.copyto(brows[p2], rows[p1])
+            else:
+                # b = b ^ ((b ^ q) & mask): masked merge without ~mask
+                np.bitwise_xor(brows[p2], rows[p1], out=tmp)
+                tmp &= mask
+                brows[p2] ^= tmp
+        elif code == _A_MX:
+            outcome = pack(sample(0.5, batch))
+            if full:
+                np.copyto(rows[p1], outcome)
+                np.copyto(brows[p2], outcome)
+            else:
+                np.bitwise_xor(rows[p1], outcome, out=tmp)
+                tmp &= mask
+                rows[p1] ^= tmp
+                np.bitwise_xor(brows[p2], outcome, out=tmp)
+                tmp &= mask
+                brows[p2] ^= tmp
+        elif code == _A_COND:
+            bit, value = p1
+            sub = mask & brows[bit]
+            if not value:
+                sub ^= mask  # mask & ~b, since (mask & b) ⊆ mask
+            if sub.any():
+                stack.append(mask)
+                mask = sub
+                full = False
+                if collect_events:
+                    events.append((p2[1], mask_int(sub)))
+            else:
+                i = p2[0]
+        elif code == _A_MBU:
+            q, bit = p1
+            outcome = pack(sample(0.5, batch))
+            if full:
+                np.copyto(brows[bit], outcome)
+                sub = outcome  # freshly packed: safe to own as the mask
+            else:
+                np.bitwise_xor(brows[bit], outcome, out=tmp)
+                tmp &= mask
+                brows[bit] ^= tmp
+                sub = mask & outcome
+            if sub.any():
+                stack.append(mask)
+                mask = sub
+                full = False
+                if collect_events:
+                    events.append((p2[1], mask_int(sub)))
+            else:
+                i = p2[0]
+        elif code == _A_EXIT:
+            mask = stack.pop()
+            full = not stack
+        else:  # _A_MBU_CLEAR: both branches leave the garbage qubit in |0>
+            if full:
+                rows[p1].fill(0)
+            else:
+                np.bitwise_and(rows[p1], mask, out=tmp)
+                rows[p1] ^= tmp
     return events

@@ -144,6 +144,10 @@ class CompiledProgram:
     tallies: Tuple[Tuple[str, ...], ...]
     has_tally: bool = True
     source: str = ""
+    #: ``(name, qubit_tuple)`` pairs mirroring the source circuit's register
+    #: layout — enough for a worker process to load/read register values
+    #: without holding the Circuit object (see ``repro.sim.dispatch``).
+    registers: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -232,6 +236,9 @@ def compile_program(
         tallies=tuple(emitter.tallies),
         has_tally=tally,
         source=circuit.name,
+        registers=tuple(
+            (name, tuple(reg.qubits)) for name, reg in circuit.registers.items()
+        ),
     )
 
 
@@ -381,7 +388,7 @@ class FusedProgram:
     """
 
     __slots__ = ("num_qubits", "num_bits", "root", "scopes", "scalar",
-                 "has_tally", "source", "_kernels")
+                 "has_tally", "source", "_kernels", "_arrays_plan")
 
     def __init__(
         self,
@@ -401,9 +408,18 @@ class FusedProgram:
         self.has_tally = has_tally
         self.source = source
         self._kernels: Dict[bool, Any] = {}
+        # Lazily-built execution plan for the stacked-plane array strategy
+        # (see repro.sim.kernels); like the generated kernels, it is cached
+        # per program and not pickled.
+        self._arrays_plan: Any = None
 
     def __len__(self) -> int:
         return len(self.scalar)
+
+    @property
+    def registers(self) -> Tuple[Tuple[str, Tuple[int, ...]], ...]:
+        """Register layout metadata inherited from the compiled source."""
+        return self.scalar.registers
 
     def __repr__(self) -> str:  # pragma: no cover - display only
         stats = self.fusion_stats()

@@ -6,7 +6,7 @@ this tool (stdlib only, like ``tools/check_docs.py``) flattens them into
 a single markdown table plus the headline *performance trajectory* — the
 chain of backend-ladder speedups the repo has accumulated PR over PR:
 
-    classical -> bitplane -> compiled -> fused
+    classical -> bitplane -> compiled -> fused -> auto-dispatched/sharded
 
 Usage::
 
@@ -44,6 +44,17 @@ def load_artifacts() -> dict:
     return artifacts
 
 
+def _numeric_leaves(row: dict, prefix: str = ""):
+    """Every numeric leaf of a nested result row, dotted-path keyed."""
+    for metric, value in row.items():
+        if isinstance(value, dict):
+            yield from _numeric_leaves(value, f"{prefix}{metric}.")
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        else:
+            yield prefix + metric, value
+
+
 def flatten(artifacts: dict):
     """Yield (file, benchmark, case, metric, value) for every numeric leaf."""
     for fname, payload in artifacts.items():
@@ -55,9 +66,7 @@ def flatten(artifacts: dict):
         for case, row in sections.items():
             if not isinstance(row, dict):
                 continue
-            for metric, value in row.items():
-                if isinstance(value, bool) or not isinstance(value, (int, float)):
-                    continue
+            for metric, value in _numeric_leaves(row):
                 yield fname, bench, case, metric, value
 
 
@@ -105,6 +114,48 @@ def trajectory_lines(artifacts: dict) -> list:
     return lines
 
 
+def dispatch_lines(artifacts: dict) -> list:
+    """Per-rung ladder trajectory + auto-dispatch and parallel efficiency
+    from ``BENCH_dispatch.json`` (absent until its bench has run)."""
+    payload = next(
+        (p for p in artifacts.values()
+         if p.get("benchmark") == "dispatch_ladder_and_auto_selection"),
+        None,
+    )
+    if payload is None:
+        return []
+    lines = ["## Dispatch ladder (per-rung trajectory)", ""]
+    smoke = " **[smoke run — reduced sizes]**" if payload.get("smoke") else ""
+    lines.append(
+        f"Cores: {payload.get('cores', '?')} — auto-pick bar: "
+        f"{payload.get('auto_factor_bar', '?')}x of measured best.{smoke}"
+    )
+    lines += [
+        "",
+        "| case | interp -> scalar | scalar -> codegen | codegen -> arrays "
+        "| auto picked (factor) | sharded speedup | parallel efficiency |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for case, point in payload.get("results", {}).items():
+        on = point.get("tally_on") or {}
+        secs = on.get("seconds") or {}
+        mc = point.get("mc_workload") or {}
+
+        def rung(a, b):
+            if not (secs.get(a) and secs.get(b)):
+                return "-"
+            return f"{secs[a] / secs[b]:.2f}x"
+
+        lines.append(
+            f"| {case} | {rung('interpretive', 'scalar')} "
+            f"| {rung('scalar', 'codegen')} | {rung('codegen', 'arrays')} "
+            f"| {on.get('auto_choice', '-')} ({fmt(on.get('auto_factor', 0))}x) "
+            f"| {fmt(mc.get('sharded_speedup', 0))}x "
+            f"| {fmt(mc.get('parallel_efficiency', 0))} |"
+        )
+    return lines
+
+
 def table_lines(artifacts: dict) -> list:
     lines = [
         "## All recorded metrics",
@@ -126,6 +177,10 @@ def main(argv=None) -> int:
     artifacts = load_artifacts()
     lines = ["# Benchmark trajectory report", ""]
     lines += trajectory_lines(artifacts)
+    dispatch = dispatch_lines(artifacts)
+    if dispatch:
+        lines.append("")
+        lines += dispatch
     lines.append("")
     lines += table_lines(artifacts)
     report = "\n".join(lines) + "\n"
