@@ -24,10 +24,13 @@ The package provides:
   Monte-Carlo expected-cost checks and versioned JSON/markdown artifacts;
 * ``repro.verify`` — differential verification: seeded random circuit
   generation, an equivalence oracle over every execution strategy and
-  transform pass, and a shrinking fuzzer (``python -m repro.verify``).
+  transform pass, and a shrinking fuzzer (``python -m repro.verify``);
+* ``repro.noise`` — seeded noise injection: faulty measurement outcomes
+  (``NoisyOutcomes``) and per-lane bit-flip channels at annotated noise
+  points, deterministic across every backend and shard count.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from . import (
     arithmetic,
@@ -36,6 +39,7 @@ from . import (
     extensions,
     mbu,
     modular,
+    noise,
     pipeline,
     resources,
     sim,
@@ -50,6 +54,7 @@ __all__ = [
     "extensions",
     "mbu",
     "modular",
+    "noise",
     "pipeline",
     "resources",
     "sim",

@@ -10,6 +10,10 @@ factory.  Layer by layer:
 * :mod:`~repro.pipeline.montecarlo` — empirical expected-cost estimates
   with confidence intervals, from the bit-plane backend's per-lane
   tallies over seeded random measurement outcomes;
+* :mod:`~repro.pipeline.noise` — protocol success and postselection
+  rates under the bit-flip channel of :mod:`repro.noise`, with 95%
+  confidence intervals and a separate versioned ``noise`` artifact
+  (``--noise-rates`` on the CLI);
 * :mod:`~repro.pipeline.runner` — :func:`run_sweep`: paper tables ×
   sizes (+ the section 1.1 savings and the modexp large workload) over a
   ``concurrent.futures`` worker pool, with per-task seeds derived so the
@@ -43,6 +47,15 @@ from .cache import (
     default_cache,
 )
 from .montecarlo import MCEstimate, derive_seed, mc_expected_counts, mc_or_none
+from .noise import (
+    NOISE_SCHEMA_VERSION,
+    NoiseEstimate,
+    NoiseSweepResult,
+    estimate_success,
+    noise_artifact,
+    noise_sweep,
+    write_noise_artifact,
+)
 from .runner import (
     SweepConfig,
     SweepResult,
@@ -67,6 +80,13 @@ __all__ = [
     "run_sweep",
     "table_rows_with_mc",
     "modexp_row",
+    "NOISE_SCHEMA_VERSION",
+    "NoiseEstimate",
+    "NoiseSweepResult",
+    "estimate_success",
+    "noise_sweep",
+    "noise_artifact",
+    "write_noise_artifact",
     "SCHEMA_VERSION",
     "sweep_artifact",
     "render_markdown",

@@ -15,6 +15,7 @@ from dataclasses import replace
 from typing import Optional, Sequence
 
 from .artifacts import diff_artifacts, load_artifact, sweep_artifact, write_artifact
+from .noise import noise_artifact, noise_sweep, write_noise_artifact
 from .runner import SweepConfig, run_sweep
 
 __all__ = ["main", "smoke_config"]
@@ -77,6 +78,14 @@ def _parse(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                         help="apply a repro.transform pass chain to every table-row "
                              "circuit, e.g. --transform lower_toffoli,cancel_adjacent "
                              "(composes with --smoke; becomes part of each cache key)")
+    parser.add_argument("--noise-rates", type=float, nargs="+", default=None,
+                        metavar="RATE",
+                        help="also sweep bit-flip rates through the noise-injection "
+                             "analysis (repro.pipeline.noise) and write a separate "
+                             "noise.json / noise.md artifact (composes with --smoke)")
+    parser.add_argument("--noise-batch", type=int, default=None,
+                        help="Monte-Carlo lanes per noise point "
+                             "(default: the sweep's mc_batch)")
     parser.add_argument("--smoke", action="store_true",
                         help="run the tiny pinned smoke configuration instead")
     parser.add_argument("--check", metavar="GOLDEN",
@@ -136,6 +145,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"sweep: {len(config.tables)} tables x {len(config.sizes)} sizes, "
           f"seed {config.seed}, {result.elapsed:.2f}s")
     print(f"cache: {json.dumps(result.cache_stats)}")
+
+    if args.noise_rates:
+        rates = args.noise_rates
+        for rate in rates:
+            if not 0.0 <= rate <= 1.0:
+                print(f"--noise-rates values must lie in [0, 1], got {rate}",
+                      file=sys.stderr)
+                return 2
+        noise_result = noise_sweep(
+            rates,
+            sizes=config.sizes,
+            seed=config.seed,
+            batch=args.noise_batch or config.mc_batch,
+        )
+        noise_json, noise_md = write_noise_artifact(
+            noise_artifact(noise_result), args.out
+        )
+        print(f"wrote {noise_json} and {noise_md}")
+        print(f"noise: {len(rates)} rates x {len(config.sizes)} sizes, "
+              f"{noise_result.elapsed:.2f}s")
 
     if args.check:
         golden = load_artifact(args.check)

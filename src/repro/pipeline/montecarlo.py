@@ -91,6 +91,7 @@ def mc_expected_counts(
     execution: str = "auto",
     shards: Optional[int] = None,
     executor: Any = None,
+    noise: Any = None,
 ) -> MCEstimate:
     """Estimate the expected executed count of ``gates`` over random outcomes.
 
@@ -123,6 +124,13 @@ def mc_expected_counts(
     and keeps its lane window — so this choice never changes an estimate,
     only its wall time.  ``shards``/``executor`` pass through to
     :class:`~repro.sim.dispatch.ShardPool` when sharding is in play.
+
+    ``noise`` (a :class:`repro.noise.NoiseConfig`) enables the bit-flip
+    channel at the circuit's annotated noise points.  The channel stream
+    rewinds to ``noise.seed`` at every repetition — repetitions share one
+    flip pattern, only the measurement outcomes vary — which is what keeps
+    single-process and sharded estimates bit-identical; use distinct
+    ``noise.seed`` values across estimates when independent flips matter.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -169,9 +177,15 @@ def mc_expected_counts(
             )
             use_sharded = choice == "sharded"
         # Stateful providers need flat programs (every builder circuit is);
-        # fall back to single-process execution rather than fail.
+        # fall back to single-process execution rather than fail.  Same
+        # for noise points nested inside branch bodies.
         if use_sharded and not program_is_flat(program):
             use_sharded = False
+        if use_sharded and noise is not None and float(noise.rate) > 0.0:
+            from ..sim.dispatch import noise_is_flat
+
+            if not noise_is_flat(program):
+                use_sharded = False
     chunks = []
     start = time.perf_counter()
     if use_sharded:
@@ -179,7 +193,7 @@ def mc_expected_counts(
 
         with ShardPool(
             program, batch=batch, shards=shards, executor=executor,
-            tally=False, lane_counts=tuple(gates),
+            tally=False, lane_counts=tuple(gates), noise=noise,
         ) as pool:
             for r in range(repeats):
                 result = pool.run(
@@ -193,6 +207,7 @@ def mc_expected_counts(
             outcomes=RandomOutcomes(derive_seed(seed, "rep", 0)),
             tally=False,
             lane_counts=tuple(gates),
+            noise=noise,
         )
         for r in range(repeats):
             if r:

@@ -1,0 +1,304 @@
+"""Noise-injection analysis: protocol success and postselection rates.
+
+The paper's measurement-based uncomputation (MBU) trades Toffoli count for
+*measurement sensitivity*: every X-basis measurement it introduces is a new
+fault location.  This module quantifies that trade at Monte-Carlo scale.
+For a circuit salted with bit-flip channel points
+(:func:`repro.noise.insert_noise_points` places one after every top-level
+measurement and MBU block), it estimates over thousands of independent
+lanes:
+
+* **success rate** — the probability that every qubit ends in the state the
+  noiseless protocol produces (data registers correct *and* ancillas
+  clean), to compare against the analytic ``(1 - rate) ** g`` for ``g``
+  independent fault points;
+* **postselection rate** — the probability that all noise-targeted qubits
+  *read* their noiseless values, i.e. the fraction of runs a
+  flag-and-discard scheme keeps;
+* **conditional success** — success among the postselected lanes, which
+  shows how much of the damage postselection actually catches.
+
+Each estimate carries a 95% confidence half-width from
+:meth:`~repro.sim.bitplane.LaneTallyStats.from_counts` over the per-lane
+0/1 indicators — the same machinery the expected-cost estimates use.
+
+Determinism matches the rest of the pipeline: rates, seeds and batch fully
+determine every number; the artifact (``noise.json`` / ``noise.md``, schema
+:data:`NOISE_SCHEMA_VERSION`) is byte-stable across runs and platforms.  It
+is written *separately* from the sweep artifact so the golden sweep files
+stay untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..circuits.circuit import Circuit
+from ..noise import NoiseConfig, insert_noise_points, noise_points
+from ..sim.bitplane import BitplaneSimulator, LaneTallyStats
+from ..sim.classical import ClassicalSimulator
+from .montecarlo import derive_seed
+
+__all__ = [
+    "NOISE_SCHEMA_VERSION",
+    "NoiseEstimate",
+    "NoiseSweepResult",
+    "estimate_success",
+    "noise_sweep",
+    "noise_artifact",
+    "render_noise_markdown",
+    "write_noise_artifact",
+]
+
+NOISE_SCHEMA_VERSION = 1
+
+
+def _circuit_of(target) -> Circuit:
+    return target.circuit if hasattr(target, "circuit") else target
+
+
+@dataclass(frozen=True)
+class NoiseEstimate:
+    """Success/postselection estimate for one (circuit, rate) point.
+
+    ``success``/``postselect`` are :class:`LaneTallyStats` over per-lane 0/1
+    indicators (so ``.mean`` is the rate and ``.ci95`` the 95% half-width);
+    ``conditional_success`` is the success stats restricted to postselected
+    lanes, or ``None`` when postselection kept no lane.  ``analytic`` is
+    ``(1 - rate) ** points``: exact when fault points are independent and
+    every flip is fatal, which holds for the modadd constructions here.
+    """
+
+    rate: float
+    points: int
+    lanes: int
+    success: LaneTallyStats
+    postselect: LaneTallyStats
+    conditional_success: Optional[LaneTallyStats]
+    analytic: float
+
+
+def _expected_qubits(circuit: Circuit, inputs: Optional[Mapping[str, int]]) -> List[int]:
+    """Noiseless per-qubit reference state from one classical run."""
+    sim = ClassicalSimulator(circuit, tally=False)
+    for name, value in (inputs or {}).items():
+        sim.set_register(circuit.registers[name], value)
+    sim.run()
+    return list(sim.qubits)
+
+
+def estimate_success(
+    target,
+    rate: float,
+    *,
+    batch: int = 1024,
+    seed: int = 0,
+    inputs: Optional[Mapping[str, int]] = None,
+) -> NoiseEstimate:
+    """Estimate protocol success and postselection rates at one flip rate.
+
+    ``target`` is a ``Built`` or a circuit; circuits without noise points
+    are salted with :func:`~repro.noise.insert_noise_points` first.
+    ``inputs`` maps register names to one scalar value broadcast across all
+    ``batch`` lanes (default: all-zero).  Lanes are compared against a
+    noiseless classical reference run on the same inputs, so the circuit
+    must have basis-state semantics.  The ``batch`` lanes of one compiled
+    bit-plane run are the Monte-Carlo sample: independent measurement
+    outcomes *and* independent channel flips per lane.
+    """
+    circuit = _circuit_of(target)
+    flagged = noise_points(circuit)
+    if not flagged:
+        circuit = insert_noise_points(circuit)
+        flagged = noise_points(circuit)
+    expected = _expected_qubits(circuit, inputs)
+
+    from ..sim.outcomes import RandomOutcomes
+
+    noise = NoiseConfig(rate=rate, seed=derive_seed(seed, "channel"))
+    sim = BitplaneSimulator(
+        circuit, batch=batch,
+        outcomes=RandomOutcomes(derive_seed(seed, "outcomes")),
+        tally=False, noise=noise,
+    )
+    for name, value in (inputs or {}).items():
+        sim.set_register(name, value)
+    sim.run_compiled()
+    plane_ints = _plane_ints(sim)
+
+    full = (1 << batch) - 1
+    mismatch = 0
+    for q, plane in enumerate(plane_ints):
+        mismatch |= plane ^ (full if expected[q] else 0)
+    mismatch &= full
+    flagged_mismatch = 0
+    for q in flagged:
+        flagged_mismatch |= plane_ints[q] ^ (full if expected[q] else 0)
+    flagged_mismatch &= full
+
+    ok = np.array(
+        [(mismatch >> lane) & 1 ^ 1 for lane in range(batch)], dtype=np.int64
+    )
+    kept = np.array(
+        [(flagged_mismatch >> lane) & 1 ^ 1 for lane in range(batch)],
+        dtype=np.int64,
+    )
+    conditional = (
+        LaneTallyStats.from_counts(ok[kept == 1]) if int(kept.sum()) else None
+    )
+    return NoiseEstimate(
+        rate=float(rate),
+        points=len(flagged),
+        lanes=batch,
+        success=LaneTallyStats.from_counts(ok),
+        postselect=LaneTallyStats.from_counts(kept),
+        conditional_success=conditional,
+        analytic=(1.0 - float(rate)) ** len(flagged),
+    )
+
+
+def _plane_ints(sim: BitplaneSimulator) -> List[int]:
+    """Every qubit plane as one bigint (bit ``b`` = lane ``b``)."""
+    return sim._rows_to_ints(sim.planes)
+
+
+# --------------------------------------------------------------------------- #
+# the sweep and its artifact
+
+
+@dataclass(frozen=True)
+class NoiseSweepResult:
+    """All rows of one noise sweep plus the configuration that produced it."""
+
+    config: Dict[str, Any]
+    rows: List[Dict[str, Any]]
+    elapsed: float
+
+
+def noise_sweep(
+    rates: Sequence[float],
+    *,
+    sizes: Sequence[int] = (8,),
+    seed: int = 0,
+    batch: int = 1024,
+    family: str = "cdkpm",
+) -> NoiseSweepResult:
+    """Success/postselection rates for MBU vs coherent modadd, per rate.
+
+    For each width ``n`` the modulus is the table-1 default ``2**n - 1``.
+    The MBU row gains one fault point per garbage-qubit measurement
+    (analytic success ``(1 - rate) ** g``); the coherent row has none, so
+    its success pins at 1.0 — the measured cost of the paper's trade.
+    """
+    from ..modular import build_modadd
+
+    start = time.perf_counter()
+    rows: List[Dict[str, Any]] = []
+    for n in sizes:
+        p = (1 << n) - 1
+        inputs = {"x": 3 % p, "y": 5 % p}
+        for variant, mbu in (("mbu", True), ("coherent", False)):
+            built = build_modadd(n, p, family=family, mbu=mbu)
+            circuit = insert_noise_points(built.circuit)
+            for rate in rates:
+                est = estimate_success(
+                    circuit,
+                    rate,
+                    batch=batch,
+                    seed=derive_seed(seed, "noise", n, variant, rate),
+                    inputs=inputs,
+                )
+                row: Dict[str, Any] = {
+                    "row": variant,
+                    "n": n,
+                    "p": p,
+                    "rate": est.rate,
+                    "noise_points": est.points,
+                    "lanes": est.lanes,
+                    "success_rate": float(est.success.mean),
+                    "success_ci95": est.success.ci95,
+                    "analytic_success": est.analytic,
+                    "postselect_rate": float(est.postselect.mean),
+                    "postselect_ci95": est.postselect.ci95,
+                }
+                if est.conditional_success is not None:
+                    row["conditional_success_rate"] = float(
+                        est.conditional_success.mean
+                    )
+                rows.append(row)
+    config = {
+        "rates": [float(r) for r in rates],
+        "sizes": [int(n) for n in sizes],
+        "seed": int(seed),
+        "batch": int(batch),
+        "family": family,
+    }
+    return NoiseSweepResult(
+        config=config, rows=rows, elapsed=time.perf_counter() - start
+    )
+
+
+def noise_artifact(result: NoiseSweepResult) -> Dict[str, Any]:
+    """Canonical JSON-able snapshot (schema :data:`NOISE_SCHEMA_VERSION`)."""
+    from .artifacts import _jsonify, _package_version
+
+    return {
+        "schema": NOISE_SCHEMA_VERSION,
+        "package_version": _package_version(),
+        "config": _jsonify(result.config),
+        "rows": _jsonify(result.rows),
+    }
+
+
+def render_noise_markdown(artifact: Dict[str, Any]) -> str:
+    """Human-readable companion table for the noise artifact."""
+    config = artifact["config"]
+    lines = [
+        "# Noise injection — protocol success under faulty measurements",
+        "",
+        f"Noise artifact schema v{artifact['schema']}, package "
+        f"v{artifact['package_version']}, seed {config['seed']}, "
+        f"{config['batch']} lanes per point.",
+        "",
+        "Each fault point flips its qubit with the given rate after a",
+        "measurement (MBU rows measure; coherent rows do not).  *success* is",
+        "the fraction of lanes ending bit-identical to the noiseless run;",
+        "*postselect* keeps lanes whose flagged qubits read clean;",
+        "*cond. success* is success among kept lanes.  ± is a 95% CI.",
+        "",
+        "| row | n | rate | points | success | analytic | postselect | cond. success |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for row in artifact["rows"]:
+        cond = row.get("conditional_success_rate")
+        lines.append(
+            "| {row} | {n} | {rate:g} | {points} | {s:.4f} ± {sc:.4f} "
+            "| {a:.4f} | {p:.4f} ± {pc:.4f} | {c} |".format(
+                row=row["row"], n=row["n"], rate=row["rate"],
+                points=row["noise_points"], s=row["success_rate"],
+                sc=row["success_ci95"], a=row["analytic_success"],
+                p=row["postselect_rate"], pc=row["postselect_ci95"],
+                c="—" if cond is None else f"{cond:.4f}",
+            )
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_noise_artifact(
+    artifact: Dict[str, Any], outdir: Union[str, Path], stem: str = "noise"
+) -> Tuple[Path, Path]:
+    """Write ``<stem>.json`` and ``<stem>.md`` under ``outdir``."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    json_path = outdir / f"{stem}.json"
+    md_path = outdir / f"{stem}.md"
+    json_path.write_text(json.dumps(artifact, indent=2) + "\n")
+    md_path.write_text(render_noise_markdown(artifact) + "\n")
+    return json_path, md_path

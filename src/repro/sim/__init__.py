@@ -44,6 +44,7 @@ from .bitplane import BitplaneSimulator, LaneTallyStats, run_bitplane
 from .dispatch import (
     ShardPool,
     ShardedResult,
+    noise_is_flat,
     program_is_flat,
     run_sharded,
     shard_ranges,
@@ -88,6 +89,7 @@ __all__ = [
     "ShardedResult",
     "shard_ranges",
     "program_is_flat",
+    "noise_is_flat",
     "OutcomeProvider",
     "RandomOutcomes",
     "ForcedOutcomes",

@@ -105,6 +105,12 @@ def simulate(
     comma-separated string), pass instances, or a ``PassManager``-
     compatible mix, e.g. ``transforms=["lower_toffoli"]``.
 
+    ``noise=`` accepts a :class:`repro.noise.NoiseConfig` (or any object
+    with ``.rate`` and ``.seed``): every backend then applies a seeded
+    Bernoulli bit-flip channel at the circuit's annotated noise points
+    (see :func:`repro.noise.insert_noise_points`).  ``rate=0`` draws no
+    entropy and is bit-identical to passing no noise at all.
+
     Seeding contract: ``seed=<int>`` is shorthand for
     ``outcomes=RandomOutcomes(seed)`` — same seed, same measurement
     outcomes, on every platform.  Passing both ``seed`` and ``outcomes``
@@ -153,9 +159,10 @@ def _run_classical(
     inputs: Mapping[str, int] | None,
     outcomes: OutcomeProvider | None,
     tally: bool = True,
+    noise: Any = None,
 ) -> SimulationResult:
     _check_registers(circuit, inputs)
-    sim = ClassicalSimulator(circuit, outcomes=outcomes, tally=tally)
+    sim = ClassicalSimulator(circuit, outcomes=outcomes, tally=tally, noise=noise)
     for name, value in (inputs or {}).items():
         sim.set_register(circuit.registers[name], value)
     sim.run()
@@ -168,9 +175,10 @@ def _run_statevector(
     inputs: Mapping[str, int] | None,
     outcomes: OutcomeProvider | None,
     tally: bool = True,
+    noise: Any = None,
 ) -> SimulationResult:
     _check_registers(circuit, inputs)
-    sim = StatevectorSimulator(circuit, outcomes=outcomes, tally=tally)
+    sim = StatevectorSimulator(circuit, outcomes=outcomes, tally=tally, noise=noise)
     if inputs:
         sim.set_basis_state(inputs)
     sim.run()
@@ -199,6 +207,7 @@ def _run_bitplane(
     kernels: str | None = None,
     shards: int | None = None,
     executor: Any = None,
+    noise: Any = None,
 ) -> SimulationResult:
     _check_registers(circuit, inputs)
     if shards is not None or executor is not None:
@@ -222,6 +231,7 @@ def _run_bitplane(
             tally=tally,
             lane_counts=lane_counts,
             kernels=kernels,
+            noise=noise,
         )
         return SimulationResult(
             "bitplane", result.registers, result.bits, result.tally, result
@@ -229,7 +239,7 @@ def _run_bitplane(
     if compiled or program is not None:
         sim = BitplaneSimulator(
             circuit, batch=batch, outcomes=outcomes, tally=tally,
-            lane_counts=lane_counts,
+            lane_counts=lane_counts, noise=noise,
         )
         for name, values in (inputs or {}).items():
             sim.set_register(name, values)
@@ -242,7 +252,7 @@ def _run_bitplane(
     else:
         sim = run_bitplane(
             circuit, inputs, batch=batch, outcomes=outcomes, tally=tally,
-            lane_counts=lane_counts,
+            lane_counts=lane_counts, noise=noise,
         )
     registers = {name: sim.get_register(name) for name in circuit.registers}
     bits: List[List[int]] = [sim.get_bit(b) for b in range(circuit.num_bits)]
@@ -260,6 +270,7 @@ def _run_auto(
     shards: int | None = None,
     executor: Any = None,
     cores: int | None = None,
+    noise: Any = None,
 ) -> SimulationResult:
     """Pick the cheapest capable execution strategy via the calibrated cost
     model (:mod:`repro.sim.dispatch.cost`) and run it.
@@ -285,6 +296,13 @@ def _run_auto(
     if compiled_ok:
         ops = len(program.scalar if hasattr(program, "scalar") else program)
         candidates = ["interpretive", "scalar", "codegen", "arrays", "sharded"]
+        if noise is not None and float(noise.rate) > 0.0:
+            from .dispatch import noise_is_flat
+
+            if not noise_is_flat(program):
+                # Sharded execution cannot keep per-shard channel streams in
+                # sync when noise points sit inside branch bodies.
+                candidates.remove("sharded")
     else:
         from ..circuits.ops import iter_flat
 
@@ -300,16 +318,16 @@ def _run_auto(
         cores=cores, candidates=candidates,
     )
     if choice == "classical":
-        result = _run_classical(circuit, inputs, outcomes, tally=tally)
+        result = _run_classical(circuit, inputs, outcomes, tally=tally, noise=noise)
     elif choice == "interpretive":
         result = _run_bitplane(
             circuit, inputs, outcomes, batch=batch, tally=tally,
-            lane_counts=lane_counts,
+            lane_counts=lane_counts, noise=noise,
         )
     elif choice == "scalar":
         result = _run_bitplane(
             circuit, inputs, outcomes, batch=batch, tally=tally,
-            lane_counts=lane_counts, program=program, fused=False,
+            lane_counts=lane_counts, program=program, fused=False, noise=noise,
         )
     elif choice == "sharded":
         result = _run_bitplane(
@@ -318,12 +336,12 @@ def _run_auto(
             shards=shards or default_model().effective_shards(
                 batch, cores or os.cpu_count() or 1
             ),
-            executor=executor,
+            executor=executor, noise=noise,
         )
     else:  # codegen / arrays
         result = _run_bitplane(
             circuit, inputs, outcomes, batch=batch, tally=tally,
-            lane_counts=lane_counts, program=program, kernels=choice,
+            lane_counts=lane_counts, program=program, kernels=choice, noise=noise,
         )
     result.backend = f"auto:{choice}"
     return result

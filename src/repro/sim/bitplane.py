@@ -51,7 +51,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Mapping, Sequence, Union
+from typing import Any, Dict, List, Mapping, Sequence, Union
 
 import numpy as np
 
@@ -60,7 +60,7 @@ from ..circuits.counts import GateCounts
 from ..circuits.ops import PHASE_ONLY_GATES, Conditional, Gate, MBUBlock, Measurement
 from .classical import UnsupportedGateError, garbage_gate_skips
 from .engine import BranchDecision, ExecutionBackend, ExecutionEngine
-from .outcomes import OutcomeProvider
+from .outcomes import OutcomeProvider, RandomOutcomes
 
 __all__ = ["BitplaneSimulator", "run_bitplane", "LaneValues", "LaneTallyStats"]
 
@@ -136,9 +136,29 @@ class BitplaneSimulator(ExecutionBackend):
         outcomes: OutcomeProvider | None = None,
         tally: bool = True,
         lane_counts: Sequence[str] | None = None,
+        noise: Any = None,
+        noise_provider: OutcomeProvider | None = None,
     ) -> None:
         if batch < 1:
             raise ValueError("batch must be at least 1")
+        # Bit-flip channel at annotated noise points (see repro.noise).
+        # ``noise`` is duck-typed — anything with .rate/.seed works — so the
+        # sim layer never imports the noise package.  ``rate=0.0`` builds no
+        # channel stream at all: bit-identical to no noise.
+        # ``noise_provider`` overrides the channel stream (shard workers
+        # pass a SlicedOutcomes window so channel draws stay full-width).
+        self._noise_rate = 0.0
+        self._noise_stream: OutcomeProvider | None = None
+        if noise is not None:
+            rate = float(noise.rate)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"noise rate must lie in [0, 1], got {rate}")
+            if rate > 0.0:
+                self._noise_rate = rate
+                self._noise_stream = (
+                    noise_provider if noise_provider is not None
+                    else RandomOutcomes(int(noise.seed))
+                )
         self.circuit = circuit
         self.batch = batch
         self.words = (batch + 63) // 64
@@ -335,15 +355,20 @@ class BitplaneSimulator(ExecutionBackend):
         self.engine.execute(self.circuit.ops)
         return self
 
-    def reset(self, outcomes: OutcomeProvider | None = None) -> "BitplaneSimulator":
+    def reset(
+        self,
+        outcomes: OutcomeProvider | None = None,
+        noise_provider: OutcomeProvider | None = None,
+    ) -> "BitplaneSimulator":
         """Return the simulator to its pristine state without reallocating.
 
         Zeroes the plane buffers and per-lane counters in place, empties
         the mask/garbage stacks, starts a fresh tally, and swaps in a new
         outcome provider (or rewinds the existing one via its ``reset``).
-        This is how :func:`repro.pipeline.montecarlo.mc_expected_counts`
-        reuses one simulator (and one compiled program) across
-        repetitions.
+        The bit-flip channel stream is likewise swapped
+        (``noise_provider=``) or rewound.  This is how
+        :func:`repro.pipeline.montecarlo.mc_expected_counts` reuses one
+        simulator (and one compiled program) across repetitions.
         """
         self._planes_np[:] = 0
         self._bit_planes_np[:] = 0
@@ -360,6 +385,15 @@ class BitplaneSimulator(ExecutionBackend):
             self.engine.outcomes = outcomes
         else:
             self.engine.outcomes.reset()
+        if noise_provider is not None:
+            if self._noise_stream is None:
+                raise ValueError(
+                    "noise_provider= passed but the simulator was built "
+                    "without an enabled noise config"
+                )
+            self._noise_stream = noise_provider
+        elif self._noise_stream is not None:
+            self._noise_stream.reset()
         if self.engine.tally is not None:
             self.engine.tally = GateCounts()
         return self
@@ -404,6 +438,7 @@ class BitplaneSimulator(ExecutionBackend):
             OP_MBU,
             OP_MX,
             OP_MZ,
+            OP_NOISE,
             OP_SWAP,
             OP_X,
             compile_program,
@@ -478,6 +513,7 @@ class BitplaneSimulator(ExecutionBackend):
         ]
         batch = self.batch
         sample = self.engine.sample_lanes
+        noise = self._noise_lanes if self._noise_stream is not None else None
         executed: Dict[str, int] = {}
         mask_stack = [(1 << batch) - 1]
         mask = mask_stack[-1]
@@ -548,6 +584,9 @@ class BitplaneSimulator(ExecutionBackend):
                 delta = (planes[a] ^ planes[b]) & mask & planes[c]
                 planes[a] ^= delta
                 planes[b] ^= delta
+            elif op == OP_NOISE:
+                if noise is not None:
+                    planes[instr[1]] ^= noise(batch) & mask
             # else OP_NOP: tally flush only
             pc += 1
 
@@ -591,6 +630,7 @@ class BitplaneSimulator(ExecutionBackend):
             kernel(
                 planes, bits, (1 << self.batch) - 1, self.batch,
                 self.engine.sample_lanes, events,
+                self._noise_lanes if self._noise_stream is not None else None,
             )
             self._plane_ints = planes
             self._bit_ints = bits
@@ -628,7 +668,22 @@ class BitplaneSimulator(ExecutionBackend):
     def _sample_plane(self, p_one: float) -> np.ndarray:
         return _pack_int(self.engine.sample_lanes(p_one, self.batch), self.words)
 
+    def _noise_lanes(self, lanes: int) -> int:
+        """One Bernoulli(rate) flip mask from the channel stream (bit b =
+        lane b flips).  Only called when the channel is enabled."""
+        return self._noise_stream.sample_lanes(self._noise_rate, lanes)
+
     # -- ExecutionBackend handlers --------------------------------------------
+
+    def annotation(self, ann) -> None:
+        # Bit-flip channel: XOR a fresh Bernoulli(rate) mask into the
+        # annotated qubit's plane, restricted to the active lanes.  Matches
+        # the compiled paths' OP_NOISE exactly: one full-batch draw per
+        # dynamically-reached point, skipped when no lane is active (the
+        # engine never walks a zero-lane branch body).
+        if ann.kind == "noise" and self._noise_stream is not None:
+            flips = _pack_int(self._noise_lanes(self.batch), self.words)
+            self.planes[int(ann.label)] ^= flips & self._mask[-1]
 
     def apply_gate(self, gate: Gate) -> None:
         name, q = gate.name, gate.qubits
@@ -719,14 +774,18 @@ def run_bitplane(
     outcomes: OutcomeProvider | None = None,
     tally: bool = True,
     lane_counts: Sequence[str] | None = None,
+    noise: Any = None,
 ) -> BitplaneSimulator:
     """Run ``batch`` basis-input lanes at once; returns the simulator.
 
     ``inputs`` maps register names to either one ``int`` (broadcast to all
-    lanes) or a ``batch``-long sequence of per-lane values.
+    lanes) or a ``batch``-long sequence of per-lane values.  ``noise``
+    enables the bit-flip channel at annotated noise points (anything with
+    ``.rate``/``.seed``, e.g. :class:`repro.noise.NoiseConfig`).
     """
     sim = BitplaneSimulator(
-        circuit, batch=batch, outcomes=outcomes, tally=tally, lane_counts=lane_counts
+        circuit, batch=batch, outcomes=outcomes, tally=tally,
+        lane_counts=lane_counts, noise=noise,
     )
     for name, values in (inputs or {}).items():
         sim.set_register(name, values)

@@ -102,12 +102,26 @@ class ClassicalSimulator(ExecutionBackend):
         circuit: Circuit,
         outcomes: OutcomeProvider | None = None,
         tally: bool = True,
+        noise=None,
     ) -> None:
         self.circuit = circuit
         self.qubits: List[int] = [0] * circuit.num_qubits
         self.bits: List[int] = [0] * circuit.num_bits
         self.global_phase = 0.0  # radians, modulo 2*pi
         self._garbage: List[int] = []  # MBU garbage-qubit stack (innermost last)
+        # Bit-flip channel at annotated noise points (duck-typed config with
+        # .rate/.seed, e.g. repro.noise.NoiseConfig); rate 0 draws nothing.
+        self._noise_rate = 0.0
+        self._noise_stream: OutcomeProvider | None = None
+        if noise is not None:
+            rate = float(noise.rate)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"noise rate must lie in [0, 1], got {rate}")
+            if rate > 0.0:
+                from .outcomes import RandomOutcomes
+
+                self._noise_rate = rate
+                self._noise_stream = RandomOutcomes(int(noise.seed))
         self.engine = ExecutionEngine(self, outcomes=outcomes, tally=tally)
 
     # -- state preparation ------------------------------------------------
@@ -140,6 +154,13 @@ class ClassicalSimulator(ExecutionBackend):
         if self._garbage and garbage_gate_skips(gate, self._garbage):
             return
         self._apply_gate(gate)
+
+    def annotation(self, ann) -> None:
+        # Bit-flip channel point: one Bernoulli(rate) draw per reached point
+        # (the scalar analogue of the bit-plane backends' per-lane masks).
+        if ann.kind == "noise" and self._noise_stream is not None:
+            if self._noise_stream.sample(self._noise_rate):
+                self.qubits[int(ann.label)] ^= 1
 
     def apply_measurement(self, meas: Measurement) -> None:
         if meas.qubit in self._garbage:

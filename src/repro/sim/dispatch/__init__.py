@@ -54,6 +54,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
+from collections import namedtuple
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from fractions import Fraction
@@ -76,10 +77,17 @@ __all__ = [
     "ShardedResult",
     "SlicedOutcomes",
     "clone_provider",
+    "noise_is_flat",
     "program_is_flat",
     "run_sharded",
     "shard_ranges",
 ]
+
+#: Normalized bit-flip channel parameters shipped in shard tasks.  A plain
+#: named tuple (hashable, picklable, duck-type compatible with
+#: ``repro.noise.NoiseConfig``'s ``rate``/``seed``) so the dispatch layer
+#: never imports the noise package.
+_ChannelSpec = namedtuple("_ChannelSpec", ("rate", "seed"))
 
 #: Below this many lanes per shard, splitting costs more than it saves.
 MIN_SHARD_LANES = 512
@@ -206,6 +214,39 @@ def program_is_flat(program: Any) -> bool:
     return True
 
 
+def noise_is_flat(program: Any) -> bool:
+    """True when every bit-flip channel point sits at branch depth 0.
+
+    The channel stream (see :mod:`repro.noise`) is sliced per shard exactly
+    like the outcome stream, so the same flatness argument applies: a noise
+    point nested in a branch body would be skipped by shards whose local
+    mask is empty, desynchronizing the per-shard channel streams.  The
+    channel stream is always stateful (there is no constant-noise
+    analogue), so :class:`ShardPool` rejects nested noise outright.
+    Circuits salted by :func:`repro.noise.insert_noise_points` are always
+    noise-flat.
+    """
+    from ...transform.compile import (  # deferred: transform sits above sim
+        OP_COND,
+        OP_ENDCOND,
+        OP_ENDMBU,
+        OP_MBU,
+        OP_NOISE,
+    )
+
+    scalar = getattr(program, "scalar", program)
+    depth = 0
+    for instr in scalar.instructions:
+        op = instr[0]
+        if op == OP_COND or op == OP_MBU:
+            depth += 1
+        elif op == OP_ENDCOND or op == OP_ENDMBU:
+            depth -= 1
+        elif op == OP_NOISE and depth:
+            return False
+    return True
+
+
 # --------------------------------------------------------------------------- #
 # worker side
 
@@ -251,7 +292,7 @@ def _register_program(program: Any) -> str:
 def _shard_worker(task: Tuple) -> Tuple:
     """Execute one shard; module-level so process pools can pickle it."""
     (token, shipped, lo, width, total, provider, inputs, tally, lane_counts,
-     kernels) = task
+     kernels, noise) = task
     program = _PROGRAM_REGISTRY.get(token)
     if program is None:
         if shipped is None:  # pragma: no cover - defensive
@@ -261,7 +302,14 @@ def _shard_worker(task: Tuple) -> Tuple:
             )
         program = _PROGRAM_REGISTRY[token] = shipped
     outcomes = SlicedOutcomes(provider, lo, total)
-    key = (token, lo, width, bool(tally), tuple(lane_counts or ()))
+    # The channel stream is rebuilt from its seed and sliced exactly like
+    # the outcome stream: every shard draws full-total-lane flip masks and
+    # keeps its window, so noisy runs are shard-count independent too.
+    noise_stream = (
+        SlicedOutcomes(RandomOutcomes(noise.seed), lo, total)
+        if noise is not None else None
+    )
+    key = (token, lo, width, bool(tally), tuple(lane_counts or ()), noise)
     sim = _WORKER_SIMS.get(key)
     if sim is None:
         if len(_WORKER_SIMS) >= _WORKER_SIMS_MAX:
@@ -269,10 +317,11 @@ def _shard_worker(task: Tuple) -> Tuple:
         sim = BitplaneSimulator(
             _ProgramCircuit(program), batch=width, outcomes=outcomes,
             tally=tally, lane_counts=lane_counts,
+            noise=noise, noise_provider=noise_stream,
         )
         _WORKER_SIMS[key] = sim
     else:
-        sim.reset(outcomes)
+        sim.reset(outcomes, noise_provider=noise_stream)
     for name, values in (inputs or {}).items():
         sim.set_register(name, values)
     sim.run_compiled(program, kernels=kernels)
@@ -422,6 +471,7 @@ class ShardPool:
         tally: bool = True,
         lane_counts: Optional[Sequence[str]] = None,
         kernels: Optional[str] = None,
+        noise: Any = None,
     ) -> None:
         from ...transform.compile import (  # deferred: transform above sim
             CompiledProgram,
@@ -455,7 +505,17 @@ class ShardPool:
         self.tally = tally
         self.lane_counts = tuple(lane_counts or ())
         self.kernels = kernels
+        # Normalize the channel config (anything with .rate/.seed) into a
+        # picklable spec; rate 0 degenerates to exactly no noise.
+        self.noise: Optional[_ChannelSpec] = None
+        if noise is not None:
+            rate = float(noise.rate)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"noise rate must lie in [0, 1], got {rate}")
+            if rate > 0.0:
+                self.noise = _ChannelSpec(rate, int(noise.seed))
         self._flat = program_is_flat(program)
+        self._noise_flat = self.noise is None or noise_is_flat(program)
         self._register_names = {name for name, _ in program.registers}
         self._token = _register_program(program)
         self._owned = False
@@ -531,6 +591,13 @@ class ShardPool:
                 "desynchronize the per-shard streams — run with shards=1, "
                 "a ConstantOutcomes provider, or a flat program"
             )
+        if len(self.ranges) > 1 and not self._noise_flat:
+            raise ValueError(
+                "program has noise points nested inside branch bodies; "
+                "sharded execution would desynchronize the per-shard "
+                "channel streams — run with shards=1 or keep noise points "
+                "at the top level (insert_noise_points does)"
+            )
         tasks = []
         for lo, hi in self.ranges:
             tasks.append((
@@ -542,6 +609,7 @@ class ShardPool:
                 self.tally,
                 self.lane_counts,
                 self.kernels,
+                self.noise,
             ))
         if self._executor is None:
             results = [_shard_worker(task) for task in tasks]
@@ -576,6 +644,7 @@ def run_sharded(
     tally: bool = True,
     lane_counts: Optional[Sequence[str]] = None,
     kernels: Optional[str] = None,
+    noise: Any = None,
 ) -> ShardedResult:
     """One sharded execution of ``program`` over ``batch`` lanes.
 
@@ -590,6 +659,6 @@ def run_sharded(
     """
     with ShardPool(
         program, batch=batch, shards=shards, executor=executor, tally=tally,
-        lane_counts=lane_counts, kernels=kernels,
+        lane_counts=lane_counts, kernels=kernels, noise=noise,
     ) as pool:
         return pool.run(inputs, outcomes=outcomes)

@@ -84,13 +84,15 @@ def _generate(fused, *, events: bool, func_name: str = "_fused_kernel"):
     """Generate the kernel source plus its plane/bit usage metadata.
 
     The generated function has signature
-    ``(P, B, _m0, _batch, _sample, _ev)``: ``P`` is the list of per-qubit
-    plane bigints (mutated via write-back), ``B`` the list of classical-bit
-    plane bigints (mutated in place), ``_m0`` the all-lanes mask
-    ``(1 << batch) - 1`` (callers must pass exactly that — depth-0 code
-    relies on it), ``_sample`` the engine's ``sample_lanes`` and ``_ev`` a
-    list collecting ``(scope_id, mask)`` tally events (ignored when the
-    kernel was generated with ``events=False``).
+    ``(P, B, _m0, _batch, _sample, _ev, _noise=None)``: ``P`` is the list
+    of per-qubit plane bigints (mutated via write-back), ``B`` the list of
+    classical-bit plane bigints (mutated in place), ``_m0`` the all-lanes
+    mask ``(1 << batch) - 1`` (callers must pass exactly that — depth-0
+    code relies on it), ``_sample`` the engine's ``sample_lanes``, ``_ev``
+    a list collecting ``(scope_id, mask)`` tally events (ignored when the
+    kernel was generated with ``events=False``) and ``_noise`` the bit-flip
+    channel draw ``lanes -> flip mask`` (``None`` disables every noise
+    point — the same kernel source serves both).
     """
     tc = _opcodes()
 
@@ -125,6 +127,9 @@ def _generate(fused, *, events: bool, func_name: str = "_fused_kernel"):
                         written.add(item[1])
                     used_bits.add(item[2])
                     written_bits.add(item[2])
+                elif op == tc.OP_NOISE:
+                    used.add(item[1])
+                    written.add(item[1])
                 else:
                     used.update(item[1:])
                     written.update(item[i] for i in tc._RUN_WRITES[op])
@@ -132,7 +137,9 @@ def _generate(fused, *, events: bool, func_name: str = "_fused_kernel"):
                 stack.append(item)
 
     var = {q: f"p{q}" for q in sorted(used)}
-    lines: List[str] = [f"def {func_name}(P, B, _m0, _batch, _sample, _ev):"]
+    lines: List[str] = [
+        f"def {func_name}(P, B, _m0, _batch, _sample, _ev, _noise=None):"
+    ]
     for q in sorted(used):
         lines.append(f"    p{q} = P[{q}]")
     if events:
@@ -201,6 +208,14 @@ def _generate(fused, *, events: bool, func_name: str = "_fused_kernel"):
                         lines.append(
                             f"{pad}B[{b}] = (B[{b}] & ~{mask}) | (_o & {mask})"
                         )
+                elif op == tc.OP_NOISE:
+                    # Bit-flip channel point: one guarded draw, so the same
+                    # generated kernel serves noisy and noiseless runs
+                    # (callers pass _noise=None to disable).
+                    q = item[1]
+                    lines.append(f"{pad}if _noise is not None:")
+                    rhs = "_noise(_batch)" if full else f"_noise(_batch) & {mask}"
+                    lines.append(f"{pad}    {var[q]} ^= {rhs}")
                 else:
                     emit_gate(op, item[1:], pad, mask, full)
             else:  # nested scope
@@ -327,6 +342,7 @@ def fused_cswap(planes: np.ndarray, ops: np.ndarray, mask: np.ndarray) -> None:
 _A_RUN_X, _A_RUN_CX, _A_RUN_CCX, _A_RUN_SWAP, _A_RUN_CSWAP = range(5)
 _A_X, _A_CX, _A_CCX, _A_SWAP, _A_CSWAP, _A_MZ, _A_MX = range(5, 12)
 _A_COND, _A_MBU, _A_EXIT, _A_MBU_CLEAR = range(12, 16)
+_A_NOISE = 16
 
 _RUN_CODE = {}  # opcode -> plan code, filled lazily (transform import)
 
@@ -366,6 +382,8 @@ def _build_arrays_plan(fused) -> Tuple[Tuple, int]:
                     steps.append((_A_CSWAP, item[1], (item[2], item[3])))
                 elif op == tc.OP_MZ:
                     steps.append((_A_MZ, item[1], item[2]))
+                elif op == tc.OP_NOISE:
+                    steps.append((_A_NOISE, item[1], None))
                 else:  # OP_MX
                     steps.append((_A_MX, item[1], item[2]))
             else:  # nested scope: entry placeholder, body, exit (+ MBU clear)
@@ -411,6 +429,7 @@ def run_fused_arrays(sim, fused, collect_events: bool) -> List[Tuple[int, int]]:
     words = sim.words
     dtype = planes.dtype
     sample = sim.engine.sample_lanes
+    noise = sim._noise_lanes if sim._noise_stream is not None else None
     rows = list(planes)  # per-qubit row views: in-place ops, no gathers
     brows = list(bit_planes)
     valid = sim._valid
@@ -556,6 +575,14 @@ def run_fused_arrays(sim, fused, collect_events: bool) -> List[Tuple[int, int]]:
                     events.append((p2[1], mask_int(sub)))
             else:
                 i = p2[0]
+        elif code == _A_NOISE:
+            # Bit-flip channel point: plan steps always exist; the draw is
+            # skipped at run time when the channel is disabled.
+            if noise is not None:
+                flips = pack(noise(batch))
+                if not full:
+                    flips &= mask
+                rows[p1] ^= flips
         elif code == _A_EXIT:
             mask = stack.pop()
             full = not stack

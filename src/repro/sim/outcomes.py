@@ -21,6 +21,12 @@ Random-mode reproducibility is guaranteed end to end:
 * The pipeline layer derives independent per-task seeds with
   :func:`repro.pipeline.derive_seed` (SHA-256 of the task key), so a
   sweep's results do not depend on worker scheduling order.
+
+Composition: :class:`repro.noise.NoisyOutcomes` wraps any provider here and
+XORs seeded Bernoulli flips into its sampled outcomes (faulty measurements);
+:class:`~repro.sim.dispatch.SlicedOutcomes` wraps any provider to carve a
+contiguous lane window out of full-width draws (lane sharding).  Both are
+providers themselves, so they nest.
 """
 
 from __future__ import annotations

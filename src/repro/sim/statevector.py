@@ -97,6 +97,7 @@ class StatevectorSimulator(ExecutionBackend):
         circuit: Circuit,
         outcomes: OutcomeProvider | None = None,
         tally: bool = True,
+        noise=None,
     ) -> None:
         if circuit.num_qubits > self.MAX_QUBITS:
             raise ValueError(
@@ -108,6 +109,19 @@ class StatevectorSimulator(ExecutionBackend):
         self.state = np.zeros(1 << self.n, dtype=complex)
         self.state[0] = 1.0
         self.bits: List[int] = [0] * circuit.num_bits
+        # Bit-flip channel at annotated noise points (duck-typed config with
+        # .rate/.seed, e.g. repro.noise.NoiseConfig); rate 0 draws nothing.
+        self._noise_rate = 0.0
+        self._noise_stream: OutcomeProvider | None = None
+        if noise is not None:
+            rate = float(noise.rate)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"noise rate must lie in [0, 1], got {rate}")
+            if rate > 0.0:
+                from .outcomes import RandomOutcomes
+
+                self._noise_rate = rate
+                self._noise_stream = RandomOutcomes(int(noise.seed))
         self.engine = ExecutionEngine(self, outcomes=outcomes, tally=tally)
 
     # -- preparation ----------------------------------------------------------
@@ -151,6 +165,13 @@ class StatevectorSimulator(ExecutionBackend):
 
     def enter_conditional(self, cond: Conditional) -> BranchDecision:
         return EXECUTE if self.bits[cond.bit] == cond.value else SKIP
+
+    def annotation(self, ann) -> None:
+        # Bit-flip channel point: apply X with probability rate (one draw
+        # per reached point, matching the classical backend's stream).
+        if ann.kind == "noise" and self._noise_stream is not None:
+            if self._noise_stream.sample(self._noise_rate):
+                self._apply_gate(Gate("x", (int(ann.label),)))
 
     def enter_mbu(self, block: MBUBlock) -> BranchDecision:
         # The implicit X-basis measurement of Lemma 4.1 (H is applied here

@@ -95,6 +95,7 @@ __all__ = [
     "OP_ENDCOND",
     "OP_MBU",
     "OP_ENDMBU",
+    "OP_NOISE",
 ]
 
 # Opcodes (ints, compared by the VM's dispatch chain — ordered by typical
@@ -111,6 +112,7 @@ OP_COND = 8     # (OP_COND, bit, value, jump)    jump = pc of matching ENDCOND
 OP_ENDCOND = 9  # (OP_ENDCOND,)
 OP_MBU = 10     # (OP_MBU, q, bit, jump)         jump = pc of matching ENDMBU
 OP_ENDMBU = 11  # (OP_ENDMBU, q)
+OP_NOISE = 12   # (OP_NOISE, q)                  bit-flip channel point (repro.noise)
 
 # Gates that only kick phases on computational-basis states (value no-ops);
 # shared with the interpretive bit-plane backend so the two cannot diverge.
@@ -296,6 +298,14 @@ def _compile_ops(ops: Sequence[Operation], em: _Emitter, garbage: List[int]) -> 
             end = em.emit((OP_ENDMBU, op.qubit))
             em.patch_jump(header, end)
         elif isinstance(op, Annotation):
+            # Noise points survive compilation as explicit channel
+            # instructions (no tally: a channel is not a gate); structural
+            # begin/end/note markers drop out of the stream.  OP_NOISE is
+            # deliberately not _CANCELLABLE — it randomizes the plane, so
+            # the instructions around it must never peephole-cancel across
+            # it (adjacency is broken by the emitted instruction itself).
+            if op.kind == "noise":
+                em.emit((OP_NOISE, int(op.label)))
             continue
         else:  # pragma: no cover
             raise TypeError(f"unknown operation {op!r}")
@@ -577,7 +587,7 @@ def fuse_program(
         elif op == OP_ENDCOND or op == OP_ENDMBU:
             flush_run()
             stack.pop()
-        else:  # OP_MZ / OP_MX
+        else:  # OP_MZ / OP_MX / OP_NOISE
             flush_run()
             stack[-1].items.append(("instr", instr))
     flush_run()

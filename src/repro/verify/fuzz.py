@@ -2,8 +2,8 @@
 
 :func:`run_fuzz` generates random cases (round-robin over the requested
 flavors, one SHA-256-derived seed per iteration), runs the equivalence
-oracle on each, and accumulates the (strategy × transform) coverage
-matrix.  On a failure it shrinks the circuit to a minimal reproducer with
+oracle on each, and accumulates the (strategy × column) coverage
+matrix — every transform pass plus the ``noisy`` noise-injection column.  On a failure it shrinks the circuit to a minimal reproducer with
 the *same failure signature* (the set of failed (kind, transform) cells)
 and renders it as a paste-ready regression test — optionally written into
 an artifact directory, which is what the CI ``fuzz-smoke`` job uploads.
@@ -22,14 +22,18 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..pipeline.montecarlo import derive_seed
 from .generate import FLAVORS, GeneratedCase, GeneratorConfig, random_case
-from .oracle import STRATEGIES, TRANSFORMS, check_case, check_circuit
+from .oracle import NOISY, STRATEGIES, TRANSFORMS, check_case, check_circuit
 from .shrink import render_regression_test, shrink_circuit
 
-__all__ = ["FuzzFailure", "FuzzStats", "run_fuzz", "MATRIX_CELLS"]
+__all__ = ["FuzzFailure", "FuzzStats", "run_fuzz", "COLUMNS", "MATRIX_CELLS"]
 
-#: Every (strategy, transform) cell the session-level matrix must cover.
+#: Matrix columns: every transform pass plus the noise-injection column
+#: (covered by the ``noisy`` flavor's cases).
+COLUMNS: Tuple[str, ...] = TRANSFORMS + (NOISY,)
+
+#: Every (strategy, column) cell the session-level matrix must cover.
 MATRIX_CELLS: Tuple[Tuple[str, str], ...] = tuple(
-    (s, t) for s in STRATEGIES for t in TRANSFORMS
+    (s, t) for s in STRATEGIES for t in COLUMNS
 )
 
 #: Cell statuses that count as *covered* (a real differential check ran).
@@ -78,11 +82,11 @@ class FuzzStats:
         symbol = {"mismatch": "X", "agree": "A", "reject": "R", "lazy": "l",
                   "inapplicable": "-"}
         order = ("mismatch", "agree", "reject", "lazy", "inapplicable")
-        width = max(len(t) for t in TRANSFORMS)
-        lines = [" " * 13 + "  ".join(t.rjust(width) for t in TRANSFORMS)]
+        width = max(len(t) for t in COLUMNS)
+        lines = [" " * 13 + "  ".join(t.rjust(width) for t in COLUMNS)]
         for strategy in STRATEGIES:
             cells = []
-            for transform in TRANSFORMS:
+            for transform in COLUMNS:
                 statuses = self.matrix.get((strategy, transform), set())
                 mark = "."
                 for status in order:
@@ -116,6 +120,8 @@ def _shrink_failure(
             batch=case.batch,
             data_registers=case.data_registers or None,
             unitary=case.unitary,
+            noise_rate=case.meta.get("noise_rate", 0.0),
+            noise_seed=case.meta.get("noise_seed", 0),
         )
         return bool(report.failure_signature() & signature)
 
@@ -217,6 +223,9 @@ def _record_failure(
     }
     if case.data_registers:
         oracle_kwargs["data_registers"] = tuple(case.data_registers)
+    if "noise_rate" in case.meta:
+        oracle_kwargs["noise_rate"] = case.meta["noise_rate"]
+        oracle_kwargs["noise_seed"] = case.meta.get("noise_seed", 0)
     source = render_regression_test(
         circuit,
         name=f"fuzz_{case.flavor}_{case.seed}",

@@ -1,6 +1,6 @@
 """Seeded random circuit generation for differential testing.
 
-Four circuit *flavors* cover the vocabulary of the paper's constructions:
+Five circuit *flavors* cover the vocabulary of the paper's constructions:
 
 ``unitary``
     Pure reversible circuits over {x, cx, ccx, swap, cswap, cz, s, t, z},
@@ -19,6 +19,12 @@ Four circuit *flavors* cover the vocabulary of the paper's constructions:
     :mod:`repro.modular` builders (adders, comparators, modular adders,
     modular multiplication, with and without hand-built MBU), optionally
     extended with extra random mixed operations on its registers.
+``noisy``
+    A ``mixed`` circuit salted with bit-flip channel points
+    (:func:`repro.noise.insert_noise_points`) plus a sampled
+    ``noise_rate``/``noise_seed`` in ``meta`` — activates the oracle's
+    ``noisy`` matrix column, so cross-strategy agreement is fuzzed *under
+    injected faults* and shrunk reproducers carry the rate and seed.
 
 Every generator is a pure function of a :class:`random.Random` stream (or
 an integer seed through :func:`random_case`), so any failure is replayable
@@ -52,7 +58,7 @@ __all__ = [
     "ARITHMETIC_SPECS",
 ]
 
-FLAVORS = ("mixed", "unitary", "oracle", "arithmetic")
+FLAVORS = ("mixed", "unitary", "oracle", "arithmetic", "noisy")
 
 #: The arithmetic-builder sample space: (kind, n, params) triples resolved
 #: through :data:`repro.pipeline.cache.BUILDERS`.  Only basis-state-
@@ -340,6 +346,24 @@ def random_case(seed: int, config: GeneratorConfig | None = None) -> GeneratedCa
         return GeneratedCase(
             seed=seed, flavor="mixed", circuit=circuit, inputs=inputs,
             data_registers=("d",), unitary=False, marked=False,
+        )
+    if config.flavor == "noisy":
+        from ..noise import insert_noise_points  # deferred: keep layering thin
+
+        circuit = insert_noise_points(
+            random_mixed_circuit(
+                rng, config.ops, width=config.width, garbage=config.garbage
+            )
+        )
+        inputs = random_lane_inputs(rng, circuit, config.batch, exclude=("g",))
+        inputs["g"] = [0] * config.batch
+        return GeneratedCase(
+            seed=seed, flavor="noisy", circuit=circuit, inputs=inputs,
+            data_registers=("d",), unitary=False, marked=False,
+            meta={
+                "noise_rate": rng.choice([0.05, 0.1, 0.25]),
+                "noise_seed": rng.randrange(2**31),
+            },
         )
     if config.flavor == "unitary":
         circuit = random_reversible_circuit(

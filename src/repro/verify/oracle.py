@@ -68,6 +68,14 @@ Scripted-provider alignment rules (why each comparison is sound):
   (``lower_toffoli``, ``insert_mbu``) use
   :class:`~repro.sim.outcomes.ConstantOutcomes` — insertion-invariant by
   construction — because inserting events shifts a positional script.
+
+When ``check_circuit`` is called with ``noise_rate > 0`` (the ``noisy``
+fuzzer flavor sets this from the case metadata), the matrix grows a
+``noisy`` column: every strategy re-runs the circuit under the *identical*
+seeded bit-flip channel (:class:`~repro.noise.NoiseConfig`) and
+faulty-outcome stream (:class:`~repro.noise.NoisyOutcomes`) and must agree
+bit-exactly, and a rate-0 wrapped run must be bit-identical to the bare
+run — the determinism contract of :mod:`repro.noise`.
 """
 
 from __future__ import annotations
@@ -96,6 +104,7 @@ __all__ = [
     "STRATEGIES",
     "TRANSFORMS",
     "BITPLANE_STRATEGIES",
+    "NOISY",
     "Mismatch",
     "OracleReport",
     "check_circuit",
@@ -138,6 +147,15 @@ COMPILED_STRATEGIES = ("scalar", "codegen", "arrays", "sharded", "auto")
 
 #: Matrix column for the untransformed differential run.
 BASE = "none"
+
+#: Matrix column for the noise-injection differential run (active when
+#: ``check_circuit`` is called with ``noise_rate > 0``): the circuit is
+#: salted with bit-flip channel points, run under a seeded channel config
+#: *and* a seeded :class:`repro.noise.NoisyOutcomes` wrapper, and every
+#: bit-plane strategy must agree bit-exactly; rate 0 must be bit-identical
+#: to the noiseless run; the classical cell is a seeded determinism replay
+#: (its scalar channel stream intentionally differs from the per-lane one).
+NOISY = "noisy"
 
 #: Default exact per-lane counters (tracked where the strategy supports it).
 DEFAULT_LANE_COUNTS = ("x", "cx", "ccx")
@@ -213,23 +231,26 @@ def _make_script(circuit: Circuit, rng: random.Random) -> List[int]:
     return [rng.randint(0, 1) for _ in range(_event_bound(circuit) + 4)]
 
 
-def _resolve_auto(circuit: Circuit, batch: int, lane_counts, program):
+def _resolve_auto(circuit: Circuit, batch: int, lane_counts, program, noise=None):
     """The concrete strategy the cost model picks for this request.
 
     Mirrors what ``simulate(backend="auto")`` would do for a compiled
     bit-plane run, restricted to strategies whose oracle comparisons are
     sound here: ``sharded`` is a candidate only on flat programs (stateful
-    scripted providers cannot shard otherwise), and ``scalar`` only when no
+    scripted providers cannot shard otherwise — and with noise enabled the
+    channel points must be flat too), and ``scalar`` only when no
     per-lane counters are tracked (the flat VM has none).
     """
-    from ..sim.dispatch import program_is_flat
+    from ..sim.dispatch import noise_is_flat, program_is_flat
     from ..sim.dispatch.cost import default_model
 
     if program is None:
         program = compile_program(circuit, tally=True)  # may raise
     scalar = getattr(program, "scalar", program)
     candidates = ["scalar", "codegen", "arrays"]
-    if program_is_flat(program):
+    if program_is_flat(program) and (
+        noise is None or float(noise.rate) == 0.0 or noise_is_flat(program)
+    ):
         candidates.append("sharded")
     choice = default_model().choose(
         ops=len(scalar.instructions),
@@ -249,15 +270,19 @@ def _run_bitplane(
     batch: int,
     lane_counts: Sequence[str],
     program=None,
+    noise=None,
 ) -> _RunResult:
     if strategy == "auto":
         try:
-            choice, program = _resolve_auto(circuit, batch, lane_counts, program)
+            choice, program = _resolve_auto(
+                circuit, batch, lane_counts, program, noise=noise
+            )
         except UnsupportedGateError as exc:
             return _RunResult(strategy, error=str(exc))
         prog = getattr(program, "scalar", program) if choice == "scalar" else program
         result = _run_bitplane(
-            choice, circuit, inputs, provider, batch, lane_counts, program=prog
+            choice, circuit, inputs, provider, batch, lane_counts, program=prog,
+            noise=noise,
         )
         result.strategy = strategy
         return result
@@ -275,6 +300,7 @@ def _run_bitplane(
                 outcomes=provider,
                 tally=True,
                 lane_counts=track,
+                noise=noise,
             )
         except UnsupportedGateError as exc:
             return _RunResult(strategy, error=str(exc))
@@ -293,7 +319,8 @@ def _run_bitplane(
         )
     track = lane_counts if strategy != "scalar" else None
     sim = BitplaneSimulator(
-        circuit, batch=batch, outcomes=provider, tally=True, lane_counts=track
+        circuit, batch=batch, outcomes=provider, tally=True, lane_counts=track,
+        noise=noise,
     )
     for name, values in inputs.items():
         sim.set_register(name, list(values))
@@ -324,8 +351,9 @@ def _run_classical(
     circuit: Circuit,
     inputs: Mapping[str, Sequence[int]],
     provider: OutcomeProvider,
+    noise=None,
 ) -> _RunResult:
-    sim = ClassicalSimulator(circuit, outcomes=provider, tally=True)
+    sim = ClassicalSimulator(circuit, outcomes=provider, tally=True, noise=noise)
     for name, values in inputs.items():
         sim.set_register(circuit.registers[name], values[0])
     try:
@@ -360,6 +388,8 @@ class _Checker:
         unitary: bool,
         statevector_limit: int,
         lane_counts: Sequence[str],
+        noise_rate: float = 0.0,
+        noise_seed: int = 0,
     ) -> None:
         self.circuit = circuit
         self.inputs = inputs
@@ -370,6 +400,8 @@ class _Checker:
         self.unitary = unitary
         self.statevector_limit = statevector_limit
         self.lane_counts = tuple(lane_counts)
+        self.noise_rate = float(noise_rate)
+        self.noise_seed = int(noise_seed)
         self.report = OracleReport()
         # Memo of the untransformed circuit's interpretive runs under
         # ConstantOutcomes(v) — transform-independent, shared by every
@@ -602,6 +634,151 @@ class _Checker:
                 self._check(got == want, "statevector", transform, "classical",
                             f"statevector collapsed to {got}, classical got {want}")
 
+    # -- the noise-injection column ----------------------------------------
+
+    def _check_noisy(self) -> None:
+        """The ``noisy`` matrix column (see :data:`NOISY`).
+
+        Gated to *seeded* providers by construction: every stream below is
+        a :class:`ForcedOutcomes` script, a seeded :class:`RandomOutcomes`,
+        or a :class:`~repro.noise.NoisyOutcomes` wrapper around one — the
+        comparisons are exact replays, never tolerance checks.
+        """
+        transform = NOISY
+        from ..noise import NoiseConfig, NoisyOutcomes, insert_noise_points, noise_points
+
+        circuit = self.circuit
+        if not noise_points(circuit):
+            circuit = insert_noise_points(circuit)
+        rate = self.noise_rate
+        noise = NoiseConfig(rate=rate, seed=self.noise_seed)
+        flip_seed = self.noise_seed + 1
+        try:
+            program = compile_program(circuit, tally=True)
+        except UnsupportedGateError:
+            for strategy in STRATEGIES:
+                self._cell(strategy, transform, "inapplicable")
+            return
+        fused = fuse_program(program, memoize=False)
+        from ..sim.dispatch import program_is_flat
+
+        flat = program_is_flat(program)
+        stateful = tuple(s for s in BITPLANE_STRATEGIES if flat or s != "sharded")
+        script = _make_script(circuit, self._rng("noisy-script"))
+
+        # (a) rate 0 is bit-identical to no noise at all — channel config
+        # and NoisyOutcomes wrapper both consume zero extra entropy.
+        clean = _run_bitplane(
+            "interpretive", circuit, self.inputs, ForcedOutcomes(script),
+            self.batch, self.lane_counts,
+        )
+        zero = _run_bitplane(
+            "interpretive", circuit, self.inputs,
+            NoisyOutcomes(ForcedOutcomes(script), 0.0, seed=flip_seed),
+            self.batch, self.lane_counts,
+            noise=NoiseConfig(rate=0.0, seed=self.noise_seed),
+        )
+        if clean.error is None and zero.error is None:
+            zero.strategy = "interpretive"
+            self._check(
+                (zero.registers, zero.bits, zero.consumed)
+                == (clean.registers, clean.bits, clean.consumed),
+                "registers", transform, "interpretive",
+                "rate-0 noise is not bit-identical to no noise",
+            )
+
+        # (b) seeded noisy script: every bit-plane strategy agrees exactly
+        def provider() -> NoisyOutcomes:
+            return NoisyOutcomes(ForcedOutcomes(script), rate, seed=flip_seed)
+
+        runs: Dict[str, _RunResult] = {}
+        for strategy in stateful:
+            prog = program if strategy == "scalar" else fused
+            runs[strategy] = _run_bitplane(
+                strategy, circuit, self.inputs, provider(), self.batch,
+                self.lane_counts, program=prog, noise=noise,
+            )
+        ref = runs["interpretive"]
+        supported = [s for s, r in runs.items() if r.error is None]
+        if len(supported) not in (0, len(runs)):
+            broken = {s: r.error for s, r in runs.items() if r.error is not None}
+            self._fail("support", transform, None,
+                       f"noisy strategies disagree on supportedness: {broken}")
+            return
+        if not supported:
+            for strategy in STRATEGIES:
+                self._cell(strategy, transform, "reject")
+            return
+        for strategy in stateful:
+            if strategy != "interpretive":
+                self._compare_runs(ref, runs[strategy], transform)
+            self._cell(strategy, transform, "agree")
+
+        # (c) seeded random outcomes under the same channel
+        rand_runs = {
+            strategy: _run_bitplane(
+                strategy, circuit, self.inputs,
+                NoisyOutcomes(RandomOutcomes(self.seed), rate, seed=flip_seed),
+                self.batch, self.lane_counts,
+                program=program if strategy == "scalar" else fused,
+                noise=noise,
+            )
+            for strategy in stateful
+        }
+        rand_ref = rand_runs["interpretive"]
+        for strategy in stateful:
+            if strategy != "interpretive":
+                self._compare_runs(rand_ref, rand_runs[strategy], transform)
+
+        # Non-flat program: the pool refuses the stateful NoisyOutcomes
+        # wrapper, so the sharded cell validates the channel alone under
+        # stateless outcome streams (the channel itself is always flat:
+        # insert_noise_points only salts top level).
+        if not flat:
+            status = "agree"
+            for value in (0, 1):
+                c_ref = _run_bitplane(
+                    "interpretive", circuit, self.inputs,
+                    ConstantOutcomes(value), self.batch, self.lane_counts,
+                    noise=noise,
+                )
+                got = _run_bitplane(
+                    "sharded", circuit, self.inputs, ConstantOutcomes(value),
+                    self.batch, self.lane_counts, program=fused, noise=noise,
+                )
+                if c_ref.error is not None or got.error is not None:
+                    self._check(
+                        (c_ref.error is None) == (got.error is None), "support",
+                        transform, "sharded",
+                        "sharded and interpretive disagree on noisy "
+                        "supportedness",
+                    )
+                    status = "reject"
+                    continue
+                self._compare_runs(c_ref, got, transform)
+            self._cell("sharded", transform, status)
+
+        # (d) classical: the scalar channel stream intentionally differs
+        # from the per-lane one, so the cell is a seeded determinism replay.
+        broadcast = self._broadcast_inputs()
+
+        def classical_run() -> _RunResult:
+            return _run_classical(
+                circuit, broadcast,
+                NoisyOutcomes(RandomOutcomes(self.seed), rate, seed=flip_seed),
+                noise=noise,
+            )
+
+        first, second = classical_run(), classical_run()
+        if (first.error is None) != (second.error is None):
+            self._fail("support", transform, "classical",
+                       "noisy classical replay disagrees on supportedness")
+        elif first.error is not None:
+            self._cell("classical", transform, "reject")
+        else:
+            self._compare_runs(first, second, transform)
+            self._cell("classical", transform, "agree")
+
     # -- transform checks --------------------------------------------------
 
     def _constant_reference(
@@ -753,6 +930,8 @@ class _Checker:
 
     def run(self) -> OracleReport:
         ref = self._differential(self.circuit, self.inputs, BASE)
+        if self.noise_rate > 0.0:
+            self._check_noisy()
         for transform in self.transforms:
             if transform == "invert":
                 self._check_invert()
@@ -809,6 +988,8 @@ def check_circuit(
     unitary: bool | None = None,
     statevector_limit: int = 10,
     lane_counts: Sequence[str] = DEFAULT_LANE_COUNTS,
+    noise_rate: float = 0.0,
+    noise_seed: int = 0,
 ) -> OracleReport:
     """Run the full oracle matrix on one circuit.
 
@@ -817,7 +998,12 @@ def check_circuit(
     ``data_registers`` are the registers compared against the
     untransformed reference under semantics-preserving rewrites (default:
     all registers).  ``unitary`` (auto-detected by default) gates the
-    ``invert`` recipe.  See the module docstring for the matrix semantics.
+    ``invert`` recipe.  ``noise_rate > 0`` adds the :data:`NOISY` matrix
+    column: the circuit (salted with noise points if it has none) reruns
+    under the seeded bit-flip channel plus a seeded
+    :class:`~repro.noise.NoisyOutcomes` stream, and every strategy must
+    agree bit-exactly; ``noise_seed`` pins both streams.  See the module
+    docstring for the matrix semantics.
     """
     inputs = dict(inputs or {})
     if batch is None:
@@ -848,17 +1034,26 @@ def check_circuit(
         unitary=_is_unitary(circuit) if unitary is None else unitary,
         statevector_limit=statevector_limit,
         lane_counts=lane_counts,
+        noise_rate=noise_rate,
+        noise_seed=noise_seed,
     )
     return checker.run()
 
 
 def check_case(case: GeneratedCase, **overrides: Any) -> OracleReport:
-    """Run the oracle on a :class:`~repro.verify.generate.GeneratedCase`."""
+    """Run the oracle on a :class:`~repro.verify.generate.GeneratedCase`.
+
+    Cases carrying ``noise_rate``/``noise_seed`` metadata (the ``noisy``
+    fuzzer flavor) activate the :data:`NOISY` matrix column automatically.
+    """
     kwargs: Dict[str, Any] = dict(
         seed=case.seed,
         batch=case.batch,
         data_registers=case.data_registers or None,
         unitary=case.unitary,
     )
+    if "noise_rate" in case.meta:
+        kwargs["noise_rate"] = case.meta["noise_rate"]
+        kwargs["noise_seed"] = case.meta.get("noise_seed", 0)
     kwargs.update(overrides)
     return check_circuit(case.circuit, case.inputs, **kwargs)

@@ -1,0 +1,106 @@
+"""Shared statistical assertions with an explicit false-positive budget.
+
+Every randomized acceptance test in the suite runs with a *fixed* seed, so
+a failure is always reproducible — but the assertion thresholds should
+still come from honest sampling theory, not hand-tuned sigmas.  These
+helpers make the trade explicit: each assertion names its false-positive
+``budget`` (the probability a perfectly-correct implementation would fail
+the check if the seed were drawn fresh), and the z-quantile is derived
+from it via ``statistics.NormalDist().inv_cdf`` rather than a magic
+``4 * stderr``.
+
+The default budget of 1e-6 keeps the whole suite's aggregate false-alarm
+probability negligible while still detecting rate errors of a few percent
+at the 4096-lane scale the noise tests use.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from fractions import Fraction
+
+DEFAULT_BUDGET = 1e-6
+
+
+def z_quantile(budget: float) -> float:
+    """Two-sided normal quantile spending ``budget`` false-positive mass."""
+    if not 0.0 < budget < 1.0:
+        raise ValueError(f"budget must lie in (0, 1), got {budget}")
+    return statistics.NormalDist().inv_cdf(1.0 - budget / 2.0)
+
+
+def binomial_interval(
+    successes: int, trials: int, *, budget: float = DEFAULT_BUDGET
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the naive Wald interval it stays inside [0, 1] and behaves at
+    the boundary (0 or ``trials`` successes), which the noise tests hit
+    for the coherent rows (success rate exactly 1).
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")
+    z = z_quantile(budget)
+    phat = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (phat + z2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1.0 - phat) / trials + z2 / (4.0 * trials * trials))
+        / denom
+    )
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def assert_binomial_rate(
+    successes: int,
+    trials: int,
+    expected_rate: float,
+    *,
+    budget: float = DEFAULT_BUDGET,
+    context: str = "",
+) -> None:
+    """Assert ``successes``/``trials`` is consistent with ``expected_rate``.
+
+    Fails only when the expected rate falls outside the Wilson interval
+    spending ``budget`` false-positive probability.
+    """
+    lo, hi = binomial_interval(successes, trials, budget=budget)
+    assert lo <= expected_rate <= hi, (
+        f"{context + ': ' if context else ''}observed {successes}/{trials} "
+        f"= {successes / trials:.6f}; expected rate {expected_rate:.6f} "
+        f"outside the {budget:g}-budget Wilson interval [{lo:.6f}, {hi:.6f}]"
+    )
+
+
+def assert_mean_close(
+    mean,
+    expected,
+    stderr: float,
+    *,
+    budget: float = DEFAULT_BUDGET,
+    context: str = "",
+) -> None:
+    """Assert a sample mean matches a hypothesized value within the budget.
+
+    ``mean`` may be exact (a :class:`fractions.Fraction`, as
+    :class:`repro.sim.bitplane.LaneTallyStats` produces); ``stderr == 0``
+    demands exact equality (deterministic circuits).
+    """
+    deviation = float(Fraction(mean) - Fraction(expected))
+    if stderr == 0.0:
+        assert deviation == 0.0, (
+            f"{context + ': ' if context else ''}zero-variance sample has "
+            f"mean {float(mean)} != expected {float(expected)}"
+        )
+        return
+    z = z_quantile(budget)
+    assert abs(deviation) <= z * stderr, (
+        f"{context + ': ' if context else ''}mean {float(mean):.6f} deviates "
+        f"from expected {float(expected):.6f} by {abs(deviation):.6f} "
+        f"> {z:.3f} * stderr ({stderr:.6f}) at budget {budget:g}"
+    )

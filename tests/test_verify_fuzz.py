@@ -5,6 +5,7 @@ import pytest
 from repro.transform.base import PASSES
 from repro.verify.cli import main as verify_main
 from repro.verify.fuzz import MATRIX_CELLS, run_fuzz
+from repro.verify.generate import FLAVORS
 from repro.verify.oracle import STRATEGIES
 
 
@@ -18,7 +19,7 @@ class TestRunFuzz:
         assert a.checks == b.checks
 
     def test_full_matrix_coverage_within_one_flavor_rotation(self):
-        stats = run_fuzz(iterations=4, seed=0)
+        stats = run_fuzz(iterations=len(FLAVORS), seed=0)
         assert stats.ok
         assert set(stats.covered_cells()) == set(MATRIX_CELLS)
         # header + one row per strategy + footer
@@ -35,7 +36,8 @@ class TestRunFuzz:
             run_fuzz(iterations=1, flavors=("quantum",))
 
     def test_per_flavor_rotation(self):
-        stats = run_fuzz(iterations=8, seed=3)
+        stats = run_fuzz(iterations=2 * len(FLAVORS), seed=3)
+        assert set(stats.per_flavor) == set(FLAVORS)
         assert all(count == 2 for count in stats.per_flavor.values())
 
 
@@ -75,10 +77,24 @@ class TestFailurePath:
         )
         assert len(stats.failures) >= 2
 
+    def test_noisy_failure_reproducer_carries_noise_kwargs(
+        self, broken_registry, tmp_path
+    ):
+        """A failure found on a noisy-flavor case must shrink under the
+        same (rate, seed) and render a reproducer that replays them."""
+        stats = run_fuzz(
+            iterations=12, seed=0, flavors=("noisy",), out_dir=str(tmp_path),
+        )
+        assert not stats.ok
+        source = stats.failures[0].test_source
+        assert "noise_rate=" in source
+        assert "noise_seed=" in source
+        compile(source, "<reproducer>", "exec")
+
 
 class TestCLI:
     def test_exit_zero_on_clean_tree(self, capsys):
-        assert verify_main(["--iterations", "4", "--quiet"]) == 0
+        assert verify_main(["--iterations", str(len(FLAVORS)), "--quiet"]) == 0
         out = capsys.readouterr().out
         assert f"coverage: {len(MATRIX_CELLS)}/{len(MATRIX_CELLS)}" in out
 
