@@ -3,12 +3,18 @@
 Two measurement layers, both written to ``benchmarks/BENCH_dispatch.json``:
 
 * **Ladder level** — the MBU modular adder through every single-process
-  strategy (interpretive walk, scalar compiled VM, fused codegen, fused
-  numpy arrays) over an (n × batch × tally) grid with full-entropy
-  register inputs, timing the execution step alone.  This is the grid the
-  cost model behind ``backend="auto"`` is calibrated on: run with
+  strategy (interpretive walk, scalar compiled VM, fused codegen, legacy
+  numpy arrays interpreter, generated numpy vector kernel) over an
+  (n × batch × tally) grid with full-entropy register inputs, timing the
+  execution step alone.  This is the grid the cost model behind
+  ``backend="auto"`` is calibrated on: run with
   ``REPRO_DISPATCH_RECALIBRATE=1`` to refit and rewrite the checked-in
-  ``src/repro/sim/dispatch/calibration.json``.
+  ``src/repro/sim/dispatch/calibration.json`` (the rewrite is followed by
+  a schema round-trip check: the file on disk must reparse to the exact
+  nested key structure that was fitted).  Each point also records a
+  ``schedule`` block — run-length histograms before/after the
+  run-lengthening scheduler and the scheduled vector time — plus the
+  per-state ``vector_speedup_vs_arrays`` headline metric.
 * **Dispatch level** — the Monte-Carlo repetition workload (zero inputs,
   per-lane counters, random outcomes) through a persistent
   :class:`~repro.sim.dispatch.ShardPool` against the single-process
@@ -20,6 +26,9 @@ Floors asserted by ``test_report_dispatch``:
 
 * the model's pick is within ``AUTO_FACTOR`` of the best *measured*
   strategy on every grid point (the whole point of auto-selection);
+* the vector kernel beats the legacy arrays interpreter on every grid
+  point (>= 2x at the large smoke point under ``BENCH_DISPATCH_SMOKE=1``
+  — the CI perf-smoke floor);
 * with >= 4 cores, sharded execution beats single-process codegen by
   >= 2x on the large tally-on case (skipped on smaller boxes — this
   repo's reference container has one core, where sharding is pure
@@ -65,6 +74,16 @@ _RESULTS = {}
 _SAMPLES = []
 
 
+def _schema(obj, prefix=""):
+    """The set of dotted key paths in a nested dict (leaf values ignored)."""
+    keys = set()
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            keys.add(prefix + str(k))
+            keys |= _schema(v, prefix + str(k) + ".")
+    return keys
+
+
 def _mc_sim(circuit, batch):
     from repro.sim import BitplaneSimulator
 
@@ -85,6 +104,7 @@ def test_dispatch_grid(benchmark, n, batch):
         prog = compile_program(built.circuit, tally=tally)
         fused = fuse_program(prog)
         fused.kernel(events=tally)
+        fused.kernel(events=tally, kind="vector")
         programs[tally] = (prog, fused)
 
     def run_codegen():
@@ -115,14 +135,41 @@ def test_dispatch_grid(benchmark, n, batch):
                 mk, lambda s: s.run_compiled(fused, kernels="arrays"),
                 rounds=ROUNDS,
             ),
+            "vector": best_of(
+                mk, lambda s: s.run_compiled(fused, kernels="vector"),
+                rounds=ROUNDS,
+            ),
         }
         state = "tally_on" if tally else "tally_off"
-        point[state] = {"ops": ops, "seconds": dict(seconds)}
+        point[state] = {
+            "ops": ops,
+            "seconds": dict(seconds),
+            "vector_speedup_vs_arrays": seconds["arrays"] / seconds["vector"],
+        }
         _SAMPLES.extend(
             {"backend": name, "ops": ops, "batch": batch, "tally": tally,
              "seconds": secs}
             for name, secs in seconds.items()
         )
+
+    # Scheduler level: how much the run-lengthening scheduler widens the
+    # vectorizable runs, and what that buys the vector kernel end to end.
+    prog0, fused0 = programs[False]
+    fused_sched = fuse_program(prog0, schedule=True)
+    fused_sched.kernel(events=False, kind="vector")
+    sched_seconds = best_of(
+        lambda: prepared(built.circuit, batch, xs, ys, tally=False),
+        lambda s: s.run_compiled(fused_sched, kernels="vector"),
+        rounds=ROUNDS,
+    )
+    vec_seconds = point["tally_off"]["seconds"]["vector"]
+    point["schedule"] = {
+        "run_length_histogram": fused0.run_length_histogram(),
+        "run_length_histogram_scheduled": fused_sched.run_length_histogram(),
+        "vector_seconds": vec_seconds,
+        "vector_scheduled_seconds": sched_seconds,
+        "scheduled_speedup": vec_seconds / sched_seconds,
+    }
 
     # Dispatch level: the MC repetition workload (what execution="auto"
     # decides) — persistent pool, per-lane counters, zero register inputs.
@@ -185,6 +232,21 @@ def test_report_dispatch(benchmark, capsys):
         import json
 
         cal_path.write_text(json.dumps(table, indent=2) + "\n")
+        # Schema round-trip: the file just written must reparse to the
+        # exact nested key structure that was fitted — a partial write or
+        # a fit that dropped a backend would ship a table default_model()
+        # cannot serve every strategy from.
+        reloaded = json.loads(cal_path.read_text())
+        assert _schema(reloaded) == _schema(table), (
+            "calibration.json round-trip changed the key structure: "
+            f"{sorted(_schema(reloaded) ^ _schema(table))}"
+        )
+        from repro.sim.strategies import LADDER
+
+        assert set(reloaded["backends"]) >= set(LADDER), (
+            "refit calibration is missing ladder backends: "
+            f"{sorted(set(LADDER) - set(reloaded['backends']))}"
+        )
 
     # Auto-dispatch quality: on every grid point the freshly fit model's
     # pick must be within AUTO_FACTOR of the best measured strategy.
@@ -232,6 +294,13 @@ def test_report_dispatch(benchmark, capsys):
             f"speedup={mc['sharded_speedup']:.2f}x  "
             f"efficiency={mc['parallel_efficiency']:.2f}"
         )
+        sched = point["schedule"]
+        lines.append(
+            f"  {'':11s} vector vs arrays="
+            f"{point['tally_on']['vector_speedup_vs_arrays']:.2f}x  "
+            f"scheduled vector={sched['vector_scheduled_seconds']*1e3:8.2f}ms"
+            f" ({sched['scheduled_speedup']:.2f}x of unscheduled)"
+        )
     lines.append(f"  -> {out_path.name}")
     print_once(benchmark, capsys, "\n".join(lines))
 
@@ -239,6 +308,23 @@ def test_report_dispatch(benchmark, capsys):
         assert row["factor"] <= AUTO_FACTOR, (
             f"{key}: auto picked {row['choice']} at {row['factor']:.2f}x of "
             f"best ({row['best']}), above the {AUTO_FACTOR}x bar"
+        )
+    # Vector floor: the generated kernel must beat the arrays interpreter
+    # it replaces on every grid point, and by >= 2x at the large smoke
+    # point (the CI perf-smoke floor — small batches are where the plan
+    # interpreter's per-run dispatch overhead hurts most).
+    for key, point in _RESULTS.items():
+        for state in ("tally_off", "tally_on"):
+            speedup = point[state]["vector_speedup_vs_arrays"]
+            assert speedup > 1.0, (
+                f"{key}/{state}: vector kernel at {speedup:.2f}x of arrays "
+                "— the generated kernel must beat the interpreter it replaces"
+            )
+    if SMOKE and "n64_B4096" in _RESULTS:
+        speedup = _RESULTS["n64_B4096"]["tally_on"]["vector_speedup_vs_arrays"]
+        assert speedup >= 2.0, (
+            f"smoke floor: vector {speedup:.2f}x of arrays at n64_B4096, "
+            "below the 2x perf-smoke bar"
         )
     # Parallel speedup floor: only meaningful with real cores to shard
     # across (the 1-core reference container times pure overhead here —

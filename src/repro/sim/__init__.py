@@ -28,7 +28,7 @@ Backends
 ``auto``
     The calibrated cost model (:mod:`repro.sim.dispatch.cost`) picks the
     cheapest capable strategy — classical, interpretive bitplane, compiled
-    scalar, fused codegen/arrays, or lane-sharded parallel execution
+    scalar, fused codegen/arrays/vector, or lane-sharded parallel execution
     (:func:`repro.sim.dispatch.run_sharded`) — for the given
     (ops, batch, tally, cores).
 
@@ -65,6 +65,7 @@ from .outcomes import (
     RandomOutcomes,
 )
 from .statevector import StatevectorSimulator, run_statevector
+from .strategies import FUSED_KERNELS, KERNEL_CHOICES, LADDER, validate_kernels
 
 __all__ = [
     "simulate",
@@ -95,4 +96,8 @@ __all__ = [
     "ForcedOutcomes",
     "ConstantOutcomes",
     "ImpossibleOutcomeError",
+    "FUSED_KERNELS",
+    "KERNEL_CHOICES",
+    "LADDER",
+    "validate_kernels",
 ]

@@ -208,9 +208,18 @@ def _run_bitplane(
     shards: int | None = None,
     executor: Any = None,
     noise: Any = None,
+    schedule: bool = False,
 ) -> SimulationResult:
+    from .strategies import validate_kernels
+
+    validate_kernels(kernels)
     _check_registers(circuit, inputs)
     if shards is not None or executor is not None:
+        if schedule:
+            raise ValueError(
+                "schedule= applies to the single-process compiled path; "
+                "drop shards=/executor="
+            )
         # Lane-sharded parallel execution (always compiled + fused); the
         # merged result carries the same registers/bits/tally shapes as the
         # single-process compiled path — see repro.sim.dispatch.
@@ -243,7 +252,7 @@ def _run_bitplane(
         )
         for name, values in (inputs or {}).items():
             sim.set_register(name, values)
-        sim.run_compiled(program, fused=fused, kernels=kernels)
+        sim.run_compiled(program, fused=fused, kernels=kernels, schedule=schedule)
     elif kernels is not None or fused is not True:
         raise ValueError(
             "kernels=/fused= select a compiled execution strategy; "
@@ -295,7 +304,9 @@ def _run_auto(
             compiled_ok = False
     if compiled_ok:
         ops = len(program.scalar if hasattr(program, "scalar") else program)
-        candidates = ["interpretive", "scalar", "codegen", "arrays", "sharded"]
+        candidates = [
+            "interpretive", "scalar", "codegen", "arrays", "vector", "sharded",
+        ]
         if noise is not None and float(noise.rate) > 0.0:
             from .dispatch import noise_is_flat
 
@@ -338,7 +349,7 @@ def _run_auto(
             ),
             executor=executor, noise=noise,
         )
-    else:  # codegen / arrays
+    else:  # codegen / arrays / vector
         result = _run_bitplane(
             circuit, inputs, outcomes, batch=batch, tally=tally,
             lane_counts=lane_counts, program=program, kernels=choice, noise=noise,

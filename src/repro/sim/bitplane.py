@@ -399,7 +399,8 @@ class BitplaneSimulator(ExecutionBackend):
         return self
 
     def run_compiled(
-        self, program=None, *, fused: bool = True, kernels: str | None = None
+        self, program=None, *, fused: bool = True, kernels: str | None = None,
+        schedule: bool = False,
     ) -> "BitplaneSimulator":
         """Execute a compiled (and by default *fused*) bit-plane program.
 
@@ -410,12 +411,17 @@ class BitplaneSimulator(ExecutionBackend):
 
         ``fused=True`` (default) executes through the fused kernels of
         :mod:`repro.sim.kernels`: ``kernels="codegen"`` (default) runs the
-        generated straight-line bigint kernel, ``kernels="arrays"`` the
-        stacked-plane numpy gather/scatter strategy, and ``kernels="auto"``
-        asks the calibrated cost model (:mod:`repro.sim.dispatch.cost`) to
-        pick between them for this (program, batch).  Executed-gate tallies
-        come from per-scope entry events, and — unlike the scalar path —
-        exact per-lane ``lane_counts`` tracking is supported.
+        generated straight-line bigint kernel, ``kernels="vector"`` the
+        generated straight-line numpy kernel over the packed plane matrix,
+        ``kernels="arrays"`` the stacked-plane gather/scatter plan
+        interpreter, and ``kernels="auto"`` asks the calibrated cost model
+        (:mod:`repro.sim.dispatch.cost`) to pick among them for this
+        (program, batch).  ``schedule=True`` runs the run-lengthening
+        scheduler (:func:`repro.transform.compile.schedule_program`) before
+        fusion — bit-identical results, longer same-opcode runs (ignored
+        when ``program`` is already fused).  Executed-gate tallies come
+        from per-scope entry events, and — unlike the scalar path — exact
+        per-lane ``lane_counts`` tracking is supported.
 
         ``fused=False`` is the scalar escape hatch: the flat
         program-counter loop over pre-resolved instruction tuples, with
@@ -445,11 +451,9 @@ class BitplaneSimulator(ExecutionBackend):
             fuse_program,
         )
 
-        if kernels not in (None, "auto", "codegen", "arrays"):
-            raise ValueError(
-                f"unknown fused kernel strategy {kernels!r}; "
-                "options: 'auto', 'codegen', 'arrays'"
-            )
+        from .strategies import validate_kernels
+
+        validate_kernels(kernels)
         if kernels is not None and not fused:
             raise ValueError("kernels= selects a fused strategy; pass fused=True")
         tallying = self.engine.tally is not None
@@ -486,7 +490,9 @@ class BitplaneSimulator(ExecutionBackend):
                 # Memoize only caller-held programs: a program compiled on
                 # the fly above dies with this call, so pinning it in the
                 # fusion memo would only waste memory.
-                program = fuse_program(program, memoize=not fresh_compile)
+                program = fuse_program(
+                    program, memoize=not fresh_compile, schedule=schedule
+                )
             if kernels == "auto":
                 from .dispatch.cost import default_model
 
@@ -495,7 +501,7 @@ class BitplaneSimulator(ExecutionBackend):
                     batch=self.batch,
                     tally=tallying,
                     lane_counts=tracking,
-                    candidates=("codegen", "arrays"),
+                    candidates=("codegen", "arrays", "vector"),
                 )
             return self._run_fused(program, kernels or "codegen", tallying, tracking)
         if isinstance(program, FusedProgram):
@@ -606,11 +612,16 @@ class BitplaneSimulator(ExecutionBackend):
     ) -> "BitplaneSimulator":
         """Execute a :class:`~repro.transform.compile.FusedProgram` and fold
         its per-scope-entry events into the tally / lane counters."""
-        from .kernels import run_fused_arrays  # local: avoids import at startup
+        from .kernels import (  # local: avoids import at startup
+            run_fused_arrays,
+            run_fused_vector,
+        )
 
         collect = tallying or tracking
         if strategy == "arrays":
             events = run_fused_arrays(self, program, collect)
+        elif strategy == "vector":
+            events = run_fused_vector(self, program, collect)
         else:
             # Marshal the numpy planes into resident bigints (zero-copy
             # memoryview slicing; all-zero rows — fresh ancillas, all-zero

@@ -51,6 +51,7 @@ from .compile import (
     FusedScope,
     compile_program,
     fuse_program,
+    schedule_program,
 )
 from .passes import (
     CancelAdjacentPass,
@@ -80,4 +81,5 @@ __all__ = [
     "FusedRun",
     "FusedScope",
     "fuse_program",
+    "schedule_program",
 ]

@@ -1,6 +1,6 @@
 """The equivalence oracle: one circuit, every backend, every transform.
 
-:func:`check_circuit` runs a circuit through the seven *execution
+:func:`check_circuit` runs a circuit through the eight *execution
 strategies* of the backend ladder
 
 ======================  ====================================================
@@ -11,6 +11,8 @@ strategies* of the backend ladder
 ``scalar``              ``run_compiled(fused=False)`` — the flat compiled VM
 ``codegen``             ``run_compiled()`` — the fused generated kernel
 ``arrays``              ``run_compiled(kernels="arrays")`` — stacked numpy
+``vector``              ``run_compiled(kernels="vector")`` — the generated
+                        straight-line numpy kernel
 ``sharded``             :func:`~repro.sim.dispatch.run_sharded` — the batch
                         split across 2 lane shards on a thread pool and
                         merged (the parallel dispatch layer)
@@ -97,6 +99,7 @@ from ..sim import (
     UnsupportedGateError,
 )
 from ..sim.outcomes import OutcomeProvider
+from ..sim.strategies import FUSED_KERNELS
 from ..transform import apply_transforms, compile_program, fuse_program
 from .generate import GeneratedCase
 
@@ -111,13 +114,13 @@ __all__ = [
     "check_case",
 ]
 
-#: The seven execution strategies of the backend ladder.
+#: The eight execution strategies of the backend ladder (the fused kernel
+#: names come from :data:`repro.sim.strategies.FUSED_KERNELS`).
 STRATEGIES = (
     "classical",
     "interpretive",
     "scalar",
-    "codegen",
-    "arrays",
+) + FUSED_KERNELS + (
     "sharded",
     "auto",
 )
@@ -135,15 +138,14 @@ TRANSFORMS = (
 BITPLANE_STRATEGIES = (
     "interpretive",
     "scalar",
-    "codegen",
-    "arrays",
+) + FUSED_KERNELS + (
     "sharded",
     "auto",
 )
 
 #: Strategies that validate eagerly at compile time (must *reject* circuits
 #: outside basis-state semantics, consistently with compile_program).
-COMPILED_STRATEGIES = ("scalar", "codegen", "arrays", "sharded", "auto")
+COMPILED_STRATEGIES = ("scalar",) + FUSED_KERNELS + ("sharded", "auto")
 
 #: Matrix column for the untransformed differential run.
 BASE = "none"
@@ -247,7 +249,7 @@ def _resolve_auto(circuit: Circuit, batch: int, lane_counts, program, noise=None
     if program is None:
         program = compile_program(circuit, tally=True)  # may raise
     scalar = getattr(program, "scalar", program)
-    candidates = ["scalar", "codegen", "arrays"]
+    candidates = ["scalar", "codegen", "arrays", "vector"]
     if program_is_flat(program) and (
         noise is None or float(noise.rate) == 0.0 or noise_is_flat(program)
     ):
@@ -333,6 +335,8 @@ def _run_bitplane(
             sim.run_compiled(program)
         elif strategy == "arrays":
             sim.run_compiled(program, kernels="arrays")
+        elif strategy == "vector":
+            sim.run_compiled(program, kernels="vector")
         else:  # pragma: no cover - guarded by STRATEGIES
             raise ValueError(f"unknown strategy {strategy!r}")
     except UnsupportedGateError as exc:

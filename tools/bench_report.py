@@ -6,7 +6,14 @@ this tool (stdlib only, like ``tools/check_docs.py``) flattens them into
 a single markdown table plus the headline *performance trajectory* — the
 chain of backend-ladder speedups the repo has accumulated PR over PR:
 
-    classical -> bitplane -> compiled -> fused -> auto-dispatched/sharded
+    classical -> bitplane -> compiled -> fused -> vectorized
+              -> auto-dispatched/sharded
+
+Alongside the markdown it always rewrites
+``benchmarks/BENCH_report.json`` — the same headline entries and the full
+flattened metric list in one machine-readable file (excluded from its own
+input glob), so CI and downstream tooling can diff trajectories without
+parsing markdown.
 
 Usage::
 
@@ -24,24 +31,68 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 BENCH_DIR = REPO / "benchmarks"
 
-#: The headline speedup metric per benchmark artifact (field of each case
-#: row), used for the trajectory summary.  Anything else numeric still
-#: lands in the full table.
+#: The headline speedup metric per benchmark artifact (dotted path into
+#: each case row), used for the trajectory summary.  Anything else
+#: numeric still lands in the full table.
 HEADLINE = {
     "bitplane_vs_looped_classical": ("speedup_per_input", "bitplane vs looped classical (per input)"),
     "compiled_vs_interpretive_bitplane": ("speedup", "compiled VM vs interpretive walk"),
     "fused_vs_scalar_compiled_bitplane": ("speedup_vs_scalar", "fused kernels vs scalar compiled VM"),
+    "dispatch_ladder_and_auto_selection": ("tally_on.vector_speedup_vs_arrays", "vector kernel vs legacy arrays interpreter"),
 }
+
+#: The tool's own machine-readable output (excluded from the input glob).
+REPORT_JSON = "BENCH_report.json"
 
 
 def load_artifacts() -> dict:
     artifacts = {}
     for path in sorted(BENCH_DIR.glob("BENCH_*.json")):
+        if path.name == REPORT_JSON:  # our own output, never an input
+            continue
         try:
             artifacts[path.name] = json.loads(path.read_text())
         except json.JSONDecodeError as exc:  # pragma: no cover - corrupt file
             print(f"warning: {path.name}: {exc}", file=sys.stderr)
     return artifacts
+
+
+def _get(row, dotted: str):
+    """Numeric value at a dotted path into a nested dict, else ``None``."""
+    cur = row
+    for part in dotted.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    if isinstance(cur, bool) or not isinstance(cur, (int, float)):
+        return None
+    return cur
+
+
+def headline_entries(artifacts: dict) -> list:
+    """One entry per artifact that defines a :data:`HEADLINE` metric."""
+    entries = []
+    for payload in artifacts.values():
+        bench = payload.get("benchmark", "")
+        if bench not in HEADLINE:
+            continue
+        metric, label = HEADLINE[bench]
+        speedups = {}
+        for case, row in payload.get("results", {}).items():
+            value = _get(row, metric) if isinstance(row, dict) else None
+            if value is not None:
+                speedups[case] = value
+        if not speedups:
+            continue
+        entries.append({
+            "benchmark": bench,
+            "metric": metric,
+            "label": label,
+            "smoke": bool(payload.get("smoke")),
+            "speedups": speedups,
+            "mc_program_reuse": payload.get("mc_program_reuse") or {},
+        })
+    return entries
 
 
 def _numeric_leaves(row: dict, prefix: str = ""):
@@ -82,26 +133,15 @@ def fmt(value) -> str:
 
 def trajectory_lines(artifacts: dict) -> list:
     lines = ["## Performance trajectory", ""]
-    found = False
-    for payload in artifacts.values():
-        bench = payload.get("benchmark", "")
-        if bench not in HEADLINE:
-            continue
-        metric, label = HEADLINE[bench]
-        speedups = {
-            case: row[metric]
-            for case, row in payload.get("results", {}).items()
-            if isinstance(row, dict) and metric in row
-        }
-        if not speedups:
-            continue
-        found = True
+    entries = headline_entries(artifacts)
+    for entry in entries:
+        speedups = entry["speedups"]
         best_case = max(speedups, key=speedups.get)
         cases = ", ".join(f"{c}: {fmt(v)}x" for c, v in sorted(speedups.items()))
         smoke = " **[smoke run — reduced sizes, not the headline numbers]**" \
-            if payload.get("smoke") else ""
-        lines.append(f"- **{label}** — {cases} (best: {best_case}){smoke}")
-        reuse = payload.get("mc_program_reuse") or {}
+            if entry["smoke"] else ""
+        lines.append(f"- **{entry['label']}** — {cases} (best: {best_case}){smoke}")
+        reuse = entry["mc_program_reuse"]
         if reuse.get("end_to_end_speedup"):
             lines.append(
                 f"  - pipeline `mc_expected_counts` program reuse: "
@@ -109,7 +149,7 @@ def trajectory_lines(artifacts: dict) -> list:
                 f"(n={reuse.get('n')}, {reuse.get('mc_repeats')} reps x "
                 f"{reuse.get('mc_batch')} lanes)"
             )
-    if not found:
+    if not entries:
         lines.append("- (no benchmark artifacts found — run the `bench_*.py` suites)")
     return lines
 
@@ -133,8 +173,9 @@ def dispatch_lines(artifacts: dict) -> list:
     lines += [
         "",
         "| case | interp -> scalar | scalar -> codegen | codegen -> arrays "
-        "| auto picked (factor) | sharded speedup | parallel efficiency |",
-        "|---|---|---|---|---|---|---|",
+        "| arrays -> vector | auto picked (factor) | sharded speedup "
+        "| parallel efficiency |",
+        "|---|---|---|---|---|---|---|---|",
     ]
     for case, point in payload.get("results", {}).items():
         on = point.get("tally_on") or {}
@@ -149,6 +190,7 @@ def dispatch_lines(artifacts: dict) -> list:
         lines.append(
             f"| {case} | {rung('interpretive', 'scalar')} "
             f"| {rung('scalar', 'codegen')} | {rung('codegen', 'arrays')} "
+            f"| {rung('arrays', 'vector')} "
             f"| {on.get('auto_choice', '-')} ({fmt(on.get('auto_factor', 0))}x) "
             f"| {fmt(mc.get('sharded_speedup', 0))}x "
             f"| {fmt(mc.get('parallel_efficiency', 0))} |"
@@ -184,9 +226,23 @@ def main(argv=None) -> int:
     lines.append("")
     lines += table_lines(artifacts)
     report = "\n".join(lines) + "\n"
+
+    payload = {
+        "schema": 1,
+        "artifacts": sorted(artifacts),
+        "headline": headline_entries(artifacts),
+        "metrics": [
+            {"artifact": f, "benchmark": b, "case": c, "metric": m, "value": v}
+            for f, b, c, m, v in flatten(artifacts)
+        ],
+    }
+    report_path = BENCH_DIR / REPORT_JSON
+    report_path.write_text(json.dumps(payload, indent=2) + "\n")
+
     if args.out:
         args.out.write_text(report)
-        print(f"wrote {args.out} ({len(artifacts)} artifacts)")
+        print(f"wrote {args.out} and {report_path.name} "
+              f"({len(artifacts)} artifacts)")
     else:
         print(report, end="")
     return 0
