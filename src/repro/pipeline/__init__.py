@@ -14,13 +14,24 @@ factory.  Layer by layer:
   rates under the bit-flip channel of :mod:`repro.noise`, with 95%
   confidence intervals and a separate versioned ``noise`` artifact
   (``--noise-rates`` on the CLI);
+* :mod:`~repro.pipeline.jobs` — the fault-tolerant execution layer:
+  :class:`CheckpointJournal` (content-addressed, atomic, checksummed
+  on-disk store of completed task payloads; resume = replay valid
+  entries) and :func:`execute_tasks` (individual submission with
+  per-task timeout, bounded retries with deterministic backoff,
+  ``BrokenProcessPool`` respawn and a process → thread → serial
+  degradation ladder, all reported per task via :class:`TaskReport`);
+* :mod:`~repro.pipeline.faults` — the deterministic fault-injection
+  harness (``raise`` / ``hang`` / worker ``kill`` / checkpoint
+  ``corrupt``) the chaos suite uses to prove the layer above;
 * :mod:`~repro.pipeline.runner` — :func:`run_sweep`: paper tables ×
   sizes (+ the section 1.1 savings and the modexp large workload) over a
   ``concurrent.futures`` worker pool, with per-task seeds derived so the
-  output is scheduling-independent;
+  output is scheduling-, retry- and resume-independent;
 * :mod:`~repro.pipeline.artifacts` — canonical, versioned JSON +
-  markdown artifacts and the golden-file diff CI uses as a regression
-  gate;
+  markdown artifacts, the golden-file diff CI uses as a regression
+  gate, and the separate run-report artifact carrying execution
+  diagnostics;
 * :mod:`~repro.pipeline.cli` — ``python -m repro.pipeline`` (also driven
   by ``examples/reproduce_paper.py``).
 
@@ -31,12 +42,15 @@ import it lazily inside functions.
 """
 
 from .artifacts import (
+    RUN_REPORT_SCHEMA_VERSION,
     SCHEMA_VERSION,
     diff_artifacts,
     load_artifact,
     render_markdown,
+    run_report,
     sweep_artifact,
     write_artifact,
+    write_run_report,
 )
 from .cache import (
     BUILDERS,
@@ -45,6 +59,17 @@ from .cache import (
     CircuitSpec,
     build_spec,
     default_cache,
+)
+from .faults import FaultInjected, FaultPlan, FaultSpec
+from .jobs import (
+    JOURNAL_SCHEMA_VERSION,
+    CheckpointJournal,
+    ExecutionPolicy,
+    SweepExecutionError,
+    TaskReport,
+    config_fingerprint,
+    execute_tasks,
+    task_key,
 )
 from .montecarlo import MCEstimate, derive_seed, mc_expected_counts, mc_or_none
 from .noise import (
@@ -88,9 +113,23 @@ __all__ = [
     "noise_artifact",
     "write_noise_artifact",
     "SCHEMA_VERSION",
+    "RUN_REPORT_SCHEMA_VERSION",
     "sweep_artifact",
     "render_markdown",
     "write_artifact",
     "load_artifact",
     "diff_artifacts",
+    "run_report",
+    "write_run_report",
+    "JOURNAL_SCHEMA_VERSION",
+    "CheckpointJournal",
+    "ExecutionPolicy",
+    "TaskReport",
+    "SweepExecutionError",
+    "config_fingerprint",
+    "execute_tasks",
+    "task_key",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjected",
 ]

@@ -11,7 +11,13 @@ golden copy (:func:`diff_artifacts`).
 
 No wall-clock data ever enters the artifact (elapsed time and cache
 statistics are reported on stdout, not persisted), precisely so the
-golden comparison stays exact.
+golden comparison stays exact.  Execution diagnostics — per-task
+attempts, retries, errors, journal hit counts, degradation-ladder rungs —
+go into a *separate* run-report artifact (:func:`run_report` /
+:func:`write_run_report`, ``run_report.json``/``.md``): by construction
+nothing in it can affect the table bytes, and keeping it out of
+``tables.json`` is what lets a sweep resumed through crashes diff clean
+against a golden written by an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -25,14 +31,19 @@ from .runner import SweepResult
 
 __all__ = [
     "SCHEMA_VERSION",
+    "RUN_REPORT_SCHEMA_VERSION",
     "sweep_artifact",
     "render_markdown",
     "write_artifact",
     "load_artifact",
     "diff_artifacts",
+    "run_report",
+    "render_run_report",
+    "write_run_report",
 ]
 
 SCHEMA_VERSION = 1
+RUN_REPORT_SCHEMA_VERSION = 1
 
 
 def _package_version() -> str:
@@ -222,3 +233,83 @@ def diff_artifacts(
     elif ours != golden:
         diffs.append(f"{path}: {ours!r} != {golden!r}")
     return diffs
+
+
+# --------------------------------------------------------------------------- #
+# run report: execution diagnostics, deliberately outside tables.json
+
+def run_report(result: SweepResult) -> Dict[str, Any]:
+    """The execution story of one sweep, as a JSON-able report.
+
+    Everything the golden-diffed artifact must *not* contain lives here:
+    wall-clock elapsed, per-task attempt/retry/error records, worker
+    pids, checkpoint-journal hit counts and the degradation-ladder rungs
+    used.  Failed tasks keep their replay seed + task key, so a
+    ``fail_fast=False`` run is diagnosable from the report alone.
+    """
+    from .jobs import config_fingerprint
+
+    return {
+        "schema": RUN_REPORT_SCHEMA_VERSION,
+        "package_version": _package_version(),
+        "config_fingerprint": config_fingerprint(result.config),
+        "seed": result.config.seed,
+        "elapsed": round(result.elapsed, 6),
+        "execution_modes": result.execution_modes,
+        "cache_stats": _jsonify(result.cache_stats),
+        "journal": result.journal_stats,
+        "tasks": _jsonify(result.task_reports),
+        "failures": _jsonify(result.failures),
+    }
+
+
+def render_run_report(report: Dict[str, Any]) -> str:
+    """Render a run report as a compact markdown summary."""
+    tasks = report.get("tasks", [])
+    counts: Dict[str, int] = {}
+    for task in tasks:
+        counts[task["status"]] = counts.get(task["status"], 0) + 1
+    lines = [
+        "# Sweep run report",
+        "",
+        f"Report schema v{report['schema']}, config fingerprint "
+        f"`{report['config_fingerprint']}`, seed {report['seed']}, "
+        f"{report['elapsed']:.2f}s via "
+        f"{' -> '.join(report.get('execution_modes') or ['serial'])}.",
+        "",
+        "Statuses: " + (", ".join(
+            f"{n} {status}" for status, n in sorted(counts.items())
+        ) or "no tasks") + ".",
+        "",
+    ]
+    journal = report.get("journal")
+    if journal is not None:
+        lines += [
+            "Journal: " + ", ".join(f"{k}={v}" for k, v in journal.items()) + ".",
+            "",
+        ]
+    lines += [
+        "| task | status | attempts | failures | requeues | mode | error |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for task in tasks:
+        error = task.get("error") or "—"
+        lines.append(
+            f"| {task['key']} | {task['status']} | {task['attempts']} "
+            f"| {task['failures']} | {task['requeues']} "
+            f"| {task.get('mode') or '—'} | {error} |"
+        )
+    return "\n".join(lines)
+
+
+def write_run_report(
+    report: Dict[str, Any], outdir: Union[str, Path], stem: str = "run_report"
+) -> Tuple[Path, Path]:
+    """Write ``<stem>.json`` and ``<stem>.md`` under ``outdir``."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    json_path = outdir / f"{stem}.json"
+    md_path = outdir / f"{stem}.md"
+    json_path.write_text(json.dumps(report, indent=2) + "\n")
+    md_path.write_text(render_run_report(report) + "\n")
+    return json_path, md_path

@@ -4,17 +4,38 @@ Regenerates the paper's Tables 1-6 (plus the section 1.1 savings summary
 and the modexp large-workload scenario) as versioned JSON + markdown
 artifacts, optionally checking the JSON against a golden copy — the CI
 smoke job runs ``--smoke --check tests/golden/sweep_smoke.json``.
+
+Fault tolerance knobs (all execution-only — none can change the artifact
+bytes, so all of them compose with ``--smoke`` and ``--check``):
+``--store DIR`` arms the checkpoint journal, ``--resume`` replays valid
+checkpoints from a previous (possibly interrupted) run, ``--max-retries``
+/ ``--task-timeout`` bound per-task recovery, ``--no-fail-fast`` records
+task failures in the run report instead of aborting, and ``--faults``
+arms the chaos harness (:mod:`repro.pipeline.faults`) for the whole
+execution ladder.  Every run writes ``run_report.json``/``.md`` next to
+the tables artifact with per-task attempts, errors and journal counts.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import replace
+from pathlib import Path
 from typing import Optional, Sequence
 
-from .artifacts import diff_artifacts, load_artifact, sweep_artifact, write_artifact
+from .artifacts import (
+    diff_artifacts,
+    load_artifact,
+    run_report,
+    sweep_artifact,
+    write_artifact,
+    write_run_report,
+)
+from .faults import FAULTS_ENV, FaultPlan, install as install_faults
+from .jobs import ExecutionPolicy, SweepExecutionError
 from .noise import noise_artifact, noise_sweep, write_noise_artifact
 from .runner import SweepConfig, run_sweep
 
@@ -91,6 +112,28 @@ def _parse(argv: Optional[Sequence[str]]) -> argparse.Namespace:
     parser.add_argument("--check", metavar="GOLDEN",
                         help="diff the JSON artifact against a golden file; "
                              "exit 1 on mismatch")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="checkpoint journal directory: completed tasks are "
+                             "persisted (atomic, checksummed) and skipped on a "
+                             "rerun of the same config (composes with --smoke)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the checkpoint journal; with no "
+                             "--store, defaults to <out>/.journal")
+    parser.add_argument("--max-retries", type=int, default=2, metavar="N",
+                        help="direct task failures tolerated per degradation "
+                             "rung before the task is reported failed (default 2)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task wall-clock budget on the pool rungs; a "
+                             "worker past it is killed and the task retried "
+                             "(default: no limit)")
+    parser.add_argument("--no-fail-fast", action="store_true",
+                        help="record tasks that exhaust their retries in the "
+                             "run report (exit 1) instead of aborting the sweep")
+    parser.add_argument("--faults", metavar="PLAN", default=None,
+                        help="arm the fault-injection harness: a JSON fault "
+                             "plan, or @path to one (chaos testing; exported "
+                             "to workers via REPRO_FAULTS)")
     args = parser.parse_args(argv)
     from ..resources.tables import TABLE_SPECS
     from ..transform import parse_transform_chain
@@ -105,6 +148,16 @@ def _parse(argv: Optional[Sequence[str]]) -> argparse.Namespace:
         args.transform_chain = parse_transform_chain(args.transform)
     except ValueError as exc:
         parser.error(str(exc))
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be positive")
+    args.fault_plan = None
+    if args.faults is not None:
+        try:
+            args.fault_plan = FaultPlan.from_arg(args.faults)
+        except (OSError, ValueError) as exc:
+            parser.error(f"--faults: {exc}")
     if args.smoke:
         clashes = [
             flag for dest, flag in _SMOKE_CONFLICTS
@@ -138,13 +191,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             transforms=transforms,
         )
 
-    result = run_sweep(config)
+    store = args.store
+    if args.resume and store is None:
+        store = str(Path(args.out) / ".journal")
+    policy = ExecutionPolicy(
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+        fail_fast=not args.no_fail_fast,
+        store=store,
+        resume=True,
+    )
+    if args.fault_plan is not None:
+        # Arm the whole ladder: the env var reaches pool workers, the
+        # installed plan covers the serial / thread rungs in-process.
+        os.environ[FAULTS_ENV] = args.fault_plan.to_json()
+        install_faults(args.fault_plan)
+
+    try:
+        result = run_sweep(config, policy=policy)
+    except SweepExecutionError as exc:
+        print(f"SWEEP FAILED: {exc}", file=sys.stderr)
+        for report in exc.failures:
+            print(f"  {report.key}: {report.error} "
+                  f"(attempts={report.attempts}, replay seed={report.seed})",
+                  file=sys.stderr)
+        return 1
     artifact = sweep_artifact(result)
     json_path, md_path = write_artifact(artifact, args.out)
+    report_json, _ = write_run_report(run_report(result), args.out)
     print(f"wrote {json_path} and {md_path}")
     print(f"sweep: {len(config.tables)} tables x {len(config.sizes)} sizes, "
-          f"seed {config.seed}, {result.elapsed:.2f}s")
+          f"seed {config.seed}, {result.elapsed:.2f}s "
+          f"via {' -> '.join(result.execution_modes) or 'cache'}")
     print(f"cache: {json.dumps(result.cache_stats)}")
+    if result.journal_stats is not None:
+        print(f"journal: {json.dumps(result.journal_stats)}")
+    print(f"run report: {report_json}")
+    if result.failures:
+        print(f"SWEEP INCOMPLETE: {len(result.failures)} task(s) failed "
+              f"(see {report_json}):", file=sys.stderr)
+        for failure in result.failures:
+            print(f"  {failure['key']}: {failure['error']} "
+                  f"(attempts={failure['attempts']}, replay seed={failure['seed']})",
+                  file=sys.stderr)
+        return 1
 
     if args.noise_rates:
         rates = args.noise_rates

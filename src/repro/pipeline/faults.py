@@ -1,0 +1,275 @@
+"""Deterministic fault injection for the sweep executor (chaos harness).
+
+The fault-tolerant executor in :mod:`repro.pipeline.jobs` is only
+trustworthy if its failure paths are exercised on purpose.  This module
+injects faults at two sites:
+
+* ``"task"`` — fired at the top of every task invocation (see
+  ``jobs._invoke``), before any real work happens;
+* ``"journal"`` — fired right after a checkpoint entry lands on disk
+  (``CheckpointJournal.store``), where the only supported action is
+  ``"corrupt"``: the freshly written entry is garbled so the next resume
+  must treat it as a cache miss and recompute.
+
+Every decision is a pure function of ``(plan seed, site, task key,
+attempt, fault index)`` through :func:`~repro.pipeline.montecarlo.derive_seed`,
+so a chaos run is exactly as reproducible as a clean one: same plan, same
+faults, same recovery path.  There are no shared counters — a worker
+process reaches the identical decision its parent would, which is what
+makes probability-gated faults usable across a process pool.
+
+Actions:
+
+``raise``
+    Raise :class:`FaultInjected` (a plain ``RuntimeError`` subclass, so it
+    pickles across process boundaries unchanged).
+``hang``
+    Sleep ``hang_seconds`` — long enough to trip the executor's per-task
+    timeout — then continue normally.
+``kill``
+    ``os._exit(17)`` when running inside a worker *process* (the pool
+    observes ``BrokenProcessPool``).  In the main process — serial or
+    thread-pool execution — killing would take the whole interpreter
+    down, so the action degrades to ``raise``.
+``corrupt``
+    Journal-site only: truncate and garble the checkpoint entry.
+
+Plans are installed either programmatically (:func:`install`, process
+local) or through the ``REPRO_FAULTS`` environment variable holding the
+plan as JSON; pool workers inherit the environment, so one exported plan
+covers every rung of the degradation ladder.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from .montecarlo import derive_seed
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjected",
+    "FaultInjector",
+    "active_injector",
+    "install",
+    "clear",
+    "maybe_fire",
+    "corrupt_file",
+]
+
+#: Environment variable carrying a JSON :class:`FaultPlan`; inherited by
+#: pool workers, so exporting it arms the whole execution ladder.
+FAULTS_ENV = "REPRO_FAULTS"
+
+_SITES = ("task", "journal")
+_ACTIONS = ("raise", "hang", "kill", "corrupt")
+
+
+class FaultInjected(RuntimeError):
+    """The error an armed ``raise`` (or main-process ``kill``) fault throws.
+
+    Deliberately attribute-free: exceptions round-trip a process pool via
+    their ``args``, and a message-only ``RuntimeError`` subclass survives
+    that pickling unchanged.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault point.
+
+    ``match`` is an :func:`fnmatch.fnmatch` glob over task keys (see
+    ``jobs.task_key``), ``attempts`` restricts firing to specific
+    *cumulative* attempt indices (``()`` = every attempt) — so
+    ``attempts=(0,)`` is the idiom for "fire exactly once per task", with
+    no cross-process bookkeeping needed — and ``probability`` gates the
+    decision on a deterministic per-``(key, attempt)`` draw.
+    """
+
+    site: str
+    action: str
+    match: str = "*"
+    probability: float = 1.0
+    attempts: Tuple[int, ...] = ()
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.site not in _SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; options: {_SITES}")
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}; options: {_ACTIONS}")
+        if self.action == "corrupt" and self.site != "journal":
+            raise ValueError("action 'corrupt' is journal-site only")
+        if self.site == "journal" and self.action != "corrupt":
+            raise ValueError("journal site supports only action 'corrupt'")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must lie in [0, 1], got {self.probability}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "site": self.site,
+            "action": self.action,
+            "match": self.match,
+            "probability": self.probability,
+            "attempts": list(self.attempts),
+            "hang_seconds": self.hang_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        known = {"site", "action", "match", "probability", "attempts", "hang_seconds"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown fault spec key(s): {', '.join(unknown)}")
+        kwargs = dict(data)
+        if "attempts" in kwargs:
+            kwargs["attempts"] = tuple(int(a) for a in kwargs["attempts"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded list of :class:`FaultSpec`, serializable to/from JSON."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "faults": [f.as_dict() for f in self.faults]}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid fault plan JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise ValueError("fault plan must be a JSON object")
+        unknown = sorted(set(data) - {"seed", "faults"})
+        if unknown:
+            raise ValueError(f"unknown fault plan key(s): {', '.join(unknown)}")
+        faults = tuple(
+            FaultSpec.from_dict(spec) for spec in data.get("faults", ())
+        )
+        return cls(faults=faults, seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def from_arg(cls, text: str) -> "FaultPlan":
+        """Parse a CLI argument: inline JSON, or ``@path`` to a JSON file."""
+        if text.startswith("@"):
+            text = Path(text[1:]).read_text()
+        return cls.from_json(text)
+
+
+def _in_worker_process() -> bool:
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at the executor's fault points."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def decide(self, site: str, key: str, attempt: int) -> Optional[FaultSpec]:
+        """The first armed spec that fires for ``(site, key, attempt)``.
+
+        Purely deterministic: the probability draw hashes the plan seed,
+        the coordinates and the spec's index, so every process reaches
+        the same verdict.
+        """
+        for index, spec in enumerate(self.plan.faults):
+            if spec.site != site:
+                continue
+            if spec.attempts and attempt not in spec.attempts:
+                continue
+            if not fnmatch(key, spec.match):
+                continue
+            if spec.probability < 1.0:
+                draw = derive_seed(self.plan.seed, site, key, attempt, index)
+                if draw / 2.0**63 >= spec.probability:
+                    continue
+            return spec
+        return None
+
+    def fire(self, site: str, key: str, attempt: int = 0) -> None:
+        """Act on the decision for a ``task``-site fault point."""
+        spec = self.decide(site, key, attempt)
+        if spec is None:
+            return
+        if spec.action == "hang":
+            time.sleep(spec.hang_seconds)
+            return
+        if spec.action == "kill" and _in_worker_process():
+            os._exit(17)
+        # "kill" outside a worker process degrades to "raise": taking the
+        # main interpreter down would kill the test runner, not a worker.
+        raise FaultInjected(
+            f"injected {spec.action} at {site}:{key} (attempt {attempt})"
+        )
+
+
+#: Process-local plan installed programmatically; wins over the env var.
+_INSTALLED: Optional[FaultInjector] = None
+#: Injector parsed from REPRO_FAULTS, cached per raw env string.
+_ENV_CACHE: Tuple[Optional[str], Optional[FaultInjector]] = (None, None)
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install a plan process-locally (serial / thread-pool execution).
+
+    Pool *worker processes* never see this — export :data:`FAULTS_ENV`
+    for those.  ``install(None)`` is equivalent to :func:`clear`.
+    """
+    global _INSTALLED
+    _INSTALLED = FaultInjector(plan) if plan is not None else None
+
+
+def clear() -> None:
+    """Remove the process-local plan (the env var, if set, still applies)."""
+    install(None)
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The injector in effect: installed plan first, then ``REPRO_FAULTS``."""
+    if _INSTALLED is not None:
+        return _INSTALLED
+    global _ENV_CACHE
+    raw = os.environ.get(FAULTS_ENV)
+    if raw is None:
+        return None
+    cached_raw, cached = _ENV_CACHE
+    if raw != cached_raw:
+        cached = FaultInjector(FaultPlan.from_json(raw))
+        _ENV_CACHE = (raw, cached)
+    return cached
+
+
+def maybe_fire(site: str, key: str, attempt: int = 0) -> None:
+    """Fire the active fault point, if any plan is armed (cheap no-op otherwise)."""
+    injector = active_injector()
+    if injector is not None:
+        injector.fire(site, key, attempt)
+
+
+def corrupt_file(path: Path) -> None:
+    """Garble a checkpoint entry in place: truncate to half and flip bytes.
+
+    Leaves *something* on disk (an empty or missing file is the easier
+    case), so loaders are exercised against plausible-looking garbage.
+    """
+    data = path.read_bytes()
+    keep = data[: max(1, len(data) // 2)]
+    garbled = bytes((b ^ 0x5A) for b in keep[:16]) + keep[16:]
+    path.write_bytes(garbled)

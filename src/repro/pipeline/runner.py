@@ -1,18 +1,23 @@
 """The sweep runner: paper tables × sizes over a worker pool, with MC columns.
 
 A sweep is a list of independent tasks — one per (table, n) cell, plus one
-per savings size and one per modexp workload — executed either serially or
-on a ``concurrent.futures.ProcessPoolExecutor``.  Each task returns plain
-row dicts (ints / Fractions — picklable), so workers never ship circuits
-across process boundaries; every worker process keeps its own
-:class:`~repro.pipeline.cache.CircuitCache` and the serial path reuses the
-caller's.  Workers run compiled by default: every Monte-Carlo column pulls
-its circuit's fused program from the cache
+per savings size and one per modexp workload — executed through the
+fault-tolerant executor in :mod:`repro.pipeline.jobs`: individual task
+submission over a process pool with per-task timeout, bounded retries
+with deterministic backoff, ``BrokenProcessPool`` respawn, a
+process → thread → serial degradation ladder, and (optionally) an
+on-disk checkpoint journal that lets an interrupted sweep resume.  Each
+task returns plain row dicts (ints / Fractions — picklable), so workers
+never ship circuits across process boundaries; every worker process
+keeps its own :class:`~repro.pipeline.cache.CircuitCache` and the serial
+path reuses the caller's.  Workers run compiled by default: every
+Monte-Carlo column pulls its circuit's fused program from the cache
 (:meth:`~repro.pipeline.cache.CircuitCache.program`), so a circuit is
 compiled once per worker however many columns, repetitions and tables
 revisit it.  Per-task seeds are derived from the sweep seed and the task
 key (:func:`~repro.pipeline.montecarlo.derive_seed`), so results are
-identical whatever the worker count or scheduling order.
+identical whatever the worker count, scheduling order, retry history or
+resume point — the property the chaos suite pins down to the byte.
 
 On top of the exact expected-mode counts, every row variant that has a
 Toffoli metric gets an empirical column pair — ``<metric>_mc`` (Monte-
@@ -35,7 +40,6 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -87,7 +91,17 @@ class SweepConfig:
 
 @dataclass
 class SweepResult:
-    """All rows of one sweep, grouped by table -> n -> rows."""
+    """All rows of one sweep, grouped by table -> n -> rows.
+
+    Beyond the rows themselves, the result carries the execution story:
+    ``task_reports`` (one structured record per task — status, attempts,
+    elapsed, error, worker, replay seed), ``failures`` (the subset that
+    exhausted its retries; only ever non-empty under
+    ``fail_fast=False``), ``journal_stats`` (checkpoint hits/misses/
+    corrupt counts when a store was active) and ``execution_modes`` (the
+    degradation-ladder rungs actually used).  None of it enters the
+    golden-diffed artifact — see :func:`~repro.pipeline.artifacts.run_report`.
+    """
 
     config: SweepConfig
     tables: Dict[str, Dict[int, List[Dict[str, Any]]]]
@@ -95,6 +109,10 @@ class SweepResult:
     modexp: List[Dict[str, Any]]
     elapsed: float = 0.0
     cache_stats: Dict[str, Any] = field(default_factory=dict)
+    task_reports: List[Dict[str, Any]] = field(default_factory=list)
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    journal_stats: Optional[Dict[str, int]] = None
+    execution_modes: List[str] = field(default_factory=list)
 
 
 def table_rows_with_mc(
@@ -263,32 +281,44 @@ def _plan(config: SweepConfig) -> List[Dict[str, Any]]:
 
 
 def run_sweep(
-    config: SweepConfig, cache: Optional[CircuitCache] = None
+    config: SweepConfig,
+    cache: Optional[CircuitCache] = None,
+    policy: Optional[Any] = None,
 ) -> SweepResult:
     """Execute every task of ``config`` and assemble a :class:`SweepResult`.
 
-    With more than one worker, tasks fan out over a process pool (each
-    process memoizes its own circuits); serially, the caller's ``cache``
-    (or a fresh one) is shared across all tasks, which is where the
-    cross-table reuse pays off.  Output is identical either way.
+    Execution goes through :func:`repro.pipeline.jobs.execute_tasks`:
+    with more than one worker, tasks fan out over a process pool (each
+    process memoizes its own circuits) with retries, timeouts, checkpoint
+    journaling and the degradation ladder governed by ``policy`` (an
+    :class:`~repro.pipeline.jobs.ExecutionPolicy`; defaults when
+    omitted); serially, the caller's ``cache`` (or a fresh one) is shared
+    across all tasks, which is where the cross-table reuse pays off.
+    Output rows are identical either way — and identical across retries,
+    pool respawns and resumed runs, because every task's streams are
+    seeded by content, not by schedule.
+
+    A raising task no longer aborts the sweep with nothing to show:
+    under the default ``policy.fail_fast=True`` the sweep raises a
+    structured :class:`~repro.pipeline.jobs.SweepExecutionError` naming
+    every failed task key and its replay seed; with ``fail_fast=False``
+    the failure is recorded in :attr:`SweepResult.failures` (and the run
+    report) and the remaining tasks still complete.
     """
+    from .jobs import ExecutionPolicy, execute_tasks
+
     start = time.perf_counter()
     tasks = _plan(config)
-    workers = config.resolved_workers()
-    if workers > 1 and len(tasks) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_run_task, tasks))
-        if cache is None:
-            cache = CircuitCache()  # stats stay empty: work happened remotely
-    else:
-        if cache is None:
-            cache = CircuitCache()
-        outcomes = [_run_task(task, cache) for task in tasks]
+    if policy is None:
+        policy = ExecutionPolicy()
+    if cache is None:
+        cache = CircuitCache()
+    execution = execute_tasks(tasks, config, policy=policy, cache=cache)
 
     tables: Dict[str, Dict[int, List[Dict[str, Any]]]] = {}
     savings: Dict[int, Dict[str, float]] = {}
     modexp: List[Dict[str, Any]] = []
-    for kind, key, payload in outcomes:
+    for kind, key, payload in execution.outcomes:
         if kind == "table":
             table, n = key
             tables.setdefault(table, {})[n] = payload
@@ -302,5 +332,9 @@ def run_sweep(
         savings=savings,
         modexp=modexp,
         elapsed=time.perf_counter() - start,
-        cache_stats=cache.stats.as_dict(),
+        cache_stats=execution.cache_stats,
+        task_reports=[r.as_dict() for r in execution.reports],
+        failures=[r.as_dict() for r in execution.failures],
+        journal_stats=execution.journal_stats,
+        execution_modes=execution.modes,
     )

@@ -1,0 +1,305 @@
+"""Chaos suite: the executor survives kills, hangs and corrupted checkpoints.
+
+Every scenario here injects a deterministic fault through
+:mod:`repro.pipeline.faults` and then asserts the strongest invariant
+the pipeline offers: the final JSON artifact is **byte-identical** to a
+fault-free serial run.  Per-task seeds are derived from (sweep seed,
+task identity), so retries, requeues, degradation rungs and resumes may
+reshuffle *when* work happens but never *what* it computes.
+
+These tests spawn process pools and sleep through real timeouts, so
+they carry the ``chaos`` marker (seconds each, not milliseconds):
+
+    python -m pytest -m chaos            # just this suite
+    python -m pytest -m "not chaos"      # skip it
+
+Hang-injection tests additionally arm a SIGALRM watchdog so a recovery
+bug fails the test instead of wedging the whole pytest run.
+"""
+
+import json
+import signal
+
+import pytest
+
+from repro.pipeline import faults
+from repro.pipeline.artifacts import sweep_artifact
+from repro.pipeline.faults import FaultInjected
+from repro.pipeline.jobs import (
+    CheckpointJournal,
+    ExecutionPolicy,
+    SweepExecutionError,
+)
+from repro.pipeline.runner import SweepConfig, run_sweep
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan(monkeypatch):
+    """Scope fault plans (installed and env) to each test."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    yield
+    faults.clear()
+
+
+@pytest.fixture
+def watchdog():
+    """Hard SIGALRM backstop: a hang-recovery bug fails, never wedges."""
+    previous = []
+
+    def arm(seconds):
+        def handler(signum, frame):
+            raise RuntimeError(
+                f"chaos watchdog fired: test still running after {seconds}s — "
+                "hang recovery is broken"
+            )
+
+        previous.append(signal.signal(signal.SIGALRM, handler))
+        signal.alarm(seconds)
+
+    yield arm
+    signal.alarm(0)
+    if previous:
+        signal.signal(signal.SIGALRM, previous[0])
+
+
+def chaos_config(**overrides):
+    base = dict(tables=("table1", "table6"), sizes=(4,), seed=7, mc_batch=64,
+                workers=2, include_savings=True, modexp=((2, 3),))
+    base.update(overrides)
+    return SweepConfig(**base)
+
+
+def golden_bytes(config):
+    """The fault-free serial baseline every scenario must reproduce."""
+    faults.clear()
+    serial = run_sweep(SweepConfig(**{**config.as_dict(), "workers": 0}))
+    return artifact_bytes(serial)
+
+
+def artifact_bytes(result):
+    # `workers` is execution detail, not semantics: it is the one config
+    # field diff_artifacts ignores for goldens, so normalize it here too.
+    artifact = sweep_artifact(result)
+    artifact["config"]["workers"] = 0
+    return json.dumps(artifact, indent=2, sort_keys=True)
+
+
+def arm(monkeypatch, plan):
+    """Arm a plan for every rung: env for pool workers, install for in-process."""
+    monkeypatch.setenv(faults.FAULTS_ENV, plan.to_json())
+    faults.install(plan)
+
+
+FAST_BACKOFF = dict(backoff_base=0.01, backoff_cap=0.05)
+
+
+class TestKillWorker:
+    def test_worker_killed_mid_sweep_recovers_byte_identical(self, monkeypatch):
+        config = chaos_config()
+        baseline = golden_bytes(config)
+        arm(monkeypatch, faults.FaultPlan(seed=7, faults=(
+            faults.FaultSpec(site="task", action="kill",
+                             match="table:table1:*", attempts=(0,)),
+        )))
+        result = run_sweep(config, policy=ExecutionPolicy(**FAST_BACKOFF))
+        reports = {r["key"]: r for r in result.task_reports}
+        killed = reports["table:table1:n4"]
+        assert killed["status"] == "ok"
+        assert killed["attempts"] >= 2  # died once, recomputed after respawn
+        assert artifact_bytes(result) == baseline
+
+    def test_persistent_kill_walks_the_degradation_ladder(self, monkeypatch):
+        # Every process-pool attempt dies; the thread rung (in-process, where
+        # `kill` degrades to FaultInjected) then exhausts retries.  The sweep
+        # must end with structured failures, not an unhandled crash.
+        config = chaos_config()
+        arm(monkeypatch, faults.FaultPlan(seed=7, faults=(
+            faults.FaultSpec(site="task", action="kill"),
+        )))
+        result = run_sweep(config, policy=ExecutionPolicy(
+            max_retries=1, fail_fast=False, pool_breaks_before_degrade=1,
+            **FAST_BACKOFF))
+        assert result.execution_modes == ["process", "thread"]
+        assert len(result.failures) == 4
+        for failure in result.failures:
+            assert failure["status"] == "failed"
+            assert failure["seed"] == 7  # replay seed survives the ladder
+        assert result.tables == {} and result.savings == {} and result.modexp == []
+
+
+class TestHangTimeout:
+    def test_hung_task_times_out_and_recovers_byte_identical(
+            self, monkeypatch, watchdog):
+        watchdog(120)
+        config = chaos_config()
+        baseline = golden_bytes(config)
+        arm(monkeypatch, faults.FaultPlan(seed=7, faults=(
+            faults.FaultSpec(site="task", action="hang", match="savings:*",
+                             attempts=(0,), hang_seconds=300.0),
+        )))
+        result = run_sweep(config, policy=ExecutionPolicy(
+            task_timeout=3.0, **FAST_BACKOFF))
+        hung = {r["key"]: r for r in result.task_reports}["savings:n4"]
+        assert hung["status"] == "ok"
+        assert hung["attempts"] >= 2
+        assert "task_timeout" in hung["error"]
+        assert artifact_bytes(result) == baseline
+
+    def test_hang_every_attempt_fails_structurally_not_forever(
+            self, monkeypatch, watchdog):
+        watchdog(120)
+        config = chaos_config()
+        arm(monkeypatch, faults.FaultPlan(seed=7, faults=(
+            faults.FaultSpec(site="task", action="hang", match="modexp:*",
+                             hang_seconds=300.0),
+        )))
+        # Hangs cannot be preempted on the serial rung, so the ladder is
+        # held to the pool rungs via a thread-capable policy; the task must
+        # come back as a structured timeout failure.
+        result = run_sweep(config, policy=ExecutionPolicy(
+            task_timeout=2.0, max_retries=0, fail_fast=False,
+            pool_breaks_before_degrade=1, **FAST_BACKOFF))
+        (failure,) = result.failures
+        assert failure["key"] == "modexp:e2:n3"
+        assert "task_timeout" in failure["error"]
+        # everything else still completed despite sharing a pool with the hang
+        ok = [r for r in result.task_reports if r["status"] == "ok"]
+        assert len(ok) == 3
+
+
+class TestCorruptJournal:
+    def test_corrupted_checkpoint_recomputes_on_resume_byte_identical(
+            self, monkeypatch, tmp_path):
+        config = chaos_config()
+        baseline = golden_bytes(config)
+        store = tmp_path / "journal"
+        # Run 1: checkpoint everything, then the fault corrupts the savings
+        # entry on disk right after it is written.
+        arm(monkeypatch, faults.FaultPlan(seed=7, faults=(
+            faults.FaultSpec(site="journal", action="corrupt",
+                             match="savings:*"),
+        )))
+        first = run_sweep(config, policy=ExecutionPolicy(
+            store=store, **FAST_BACKOFF))
+        assert first.journal_stats["writes"] == 4
+        assert artifact_bytes(first) == baseline  # corruption is disk-only
+        faults.clear()
+        monkeypatch.delenv(faults.FAULTS_ENV)
+        # Run 2: the damaged entry is a counted miss, never a crash.
+        second = run_sweep(config, policy=ExecutionPolicy(
+            store=store, **FAST_BACKOFF))
+        assert second.journal_stats["corrupt"] == 1
+        assert second.journal_stats["hits"] == 3
+        statuses = {r["key"]: r["status"] for r in second.task_reports}
+        assert statuses["savings:n4"] == "ok"  # recomputed
+        assert sum(1 for s in statuses.values() if s == "cached") == 3
+        assert artifact_bytes(second) == baseline
+
+
+class TestResumeAfterInterrupt:
+    def test_interrupted_parallel_sweep_resumes_byte_identical(
+            self, monkeypatch, tmp_path):
+        config = chaos_config()
+        baseline = golden_bytes(config)
+        store = tmp_path / "journal"
+        # Run 1 is "interrupted": modexp fails hard on every attempt and
+        # fail_fast aborts the sweep — after the other tasks checkpointed.
+        arm(monkeypatch, faults.FaultPlan(seed=7, faults=(
+            faults.FaultSpec(site="task", action="raise", match="modexp:*"),
+        )))
+        with pytest.raises(SweepExecutionError) as exc:
+            run_sweep(config, policy=ExecutionPolicy(
+                store=store, max_retries=0, pool_breaks_before_degrade=1,
+                **FAST_BACKOFF))
+        assert exc.value.failures[0].key == "modexp:e2:n3"
+        journal = CheckpointJournal(store, config)
+        completed = journal.completed_keys()
+        # fail_fast aborts mid-flight: the failed task is never journaled,
+        # and some healthy tasks may have been cut off before checkpointing
+        assert "modexp:e2:n3" not in completed
+        assert 1 <= len(completed) <= 3
+        faults.clear()
+        monkeypatch.delenv(faults.FAULTS_ENV)
+        # Run 2 replays every checkpoint and computes only what is missing.
+        resumed = run_sweep(config, policy=ExecutionPolicy(
+            store=store, **FAST_BACKOFF))
+        statuses = {r["key"]: r["status"] for r in resumed.task_reports}
+        assert statuses["modexp:e2:n3"] == "ok"
+        cached = {k for k, s in statuses.items() if s == "cached"}
+        assert cached == set(completed)
+        assert resumed.journal_stats["hits"] == len(completed)
+        assert resumed.journal_stats["writes"] == 4 - len(completed)
+        assert artifact_bytes(resumed) == baseline
+
+
+class TestAcceptance:
+    """The ISSUE acceptance scenario: kills + a hang + a corrupted
+    checkpoint in one sweep, then an interrupted-style resume — both
+    byte-identical to the fault-free serial golden."""
+
+    def test_combined_fault_storm_then_resume(self, monkeypatch, tmp_path,
+                                              watchdog):
+        watchdog(180)
+        config = chaos_config()
+        baseline = golden_bytes(config)
+        store = tmp_path / "journal"
+        plan = faults.FaultPlan(seed=7, faults=(
+            faults.FaultSpec(site="task", action="kill", match="table:*",
+                             probability=0.35, attempts=(0,)),
+            faults.FaultSpec(site="task", action="hang", match="modexp:*",
+                             attempts=(0,), hang_seconds=300.0),
+            faults.FaultSpec(site="journal", action="corrupt",
+                             match="savings:*"),
+        ))
+        arm(monkeypatch, plan)
+        result = run_sweep(config, policy=ExecutionPolicy(
+            store=store, task_timeout=4.0, **FAST_BACKOFF))
+        assert all(r["status"] == "ok" for r in result.task_reports)
+        assert artifact_bytes(result) == baseline
+        # the probabilistic kill is deterministic: whichever table keys the
+        # plan says die on attempt 0 must show the extra attempt
+        injector = faults.FaultInjector(plan)
+        for key in ("table:table1:n4", "table:table6:n4"):
+            decided = injector.decide("task", key, 0)
+            report = {r["key"]: r for r in result.task_reports}[key]
+            if decided is not None and decided.action == "kill":
+                assert report["attempts"] >= 2, key
+        hung = {r["key"]: r for r in result.task_reports}["modexp:e2:n3"]
+        assert hung["attempts"] >= 2
+        faults.clear()
+        monkeypatch.delenv(faults.FAULTS_ENV)
+        # resume: the corrupted savings checkpoint is recomputed, the three
+        # intact entries replay, and the bytes still match the golden
+        resumed = run_sweep(config, policy=ExecutionPolicy(store=store))
+        assert resumed.journal_stats["corrupt"] == 1
+        assert resumed.journal_stats["hits"] == 3
+        assert artifact_bytes(resumed) == baseline
+
+
+class TestFaultHarnessUnit:
+    """Fast sanity checks that make chaos failures diagnosable."""
+
+    def test_kill_in_main_process_degrades_to_exception(self):
+        faults.install(faults.FaultPlan(faults=(
+            faults.FaultSpec(site="task", action="kill"),)))
+        with pytest.raises(FaultInjected):
+            faults.maybe_fire("task", "any:key", 0)
+
+    def test_unmatched_site_and_key_are_silent(self):
+        faults.install(faults.FaultPlan(faults=(
+            faults.FaultSpec(site="journal", action="corrupt",
+                             match="savings:*"),)))
+        faults.maybe_fire("task", "savings:n4", 0)  # wrong site: no-op
+        assert faults.active_injector().decide("journal", "table:x", 0) is None
+
+    def test_corrupt_file_damages_but_keeps_the_file(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_text(json.dumps({"payload": list(range(100))}))
+        original = path.read_bytes()
+        faults.corrupt_file(path)
+        damaged = path.read_bytes()
+        assert path.exists() and damaged != original
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(damaged)

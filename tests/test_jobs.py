@@ -1,0 +1,441 @@
+"""Execution-layer tests: checkpoint journal, retrying executor, run report.
+
+The chaos scenarios (worker kills, hangs, journal corruption under a
+process pool) live in ``tests/test_faults.py`` behind the ``chaos``
+marker; this module covers the deterministic unit surface — journal
+round-trip and damage handling, retry/backoff bookkeeping, structured
+failure reporting, resume, and the run-report artifact.
+"""
+
+import json
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from repro.pipeline import faults
+from repro.pipeline.artifacts import run_report, sweep_artifact, write_run_report
+from repro.pipeline.cli import main as cli_main, smoke_config
+from repro.pipeline.jobs import (
+    JOURNAL_SCHEMA_VERSION,
+    CheckpointJournal,
+    ExecutionPolicy,
+    SweepExecutionError,
+    backoff_delay,
+    config_fingerprint,
+    execute_tasks,
+    outcome_key,
+    task_key,
+)
+from repro.pipeline.runner import SweepConfig, _plan, run_sweep
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan(monkeypatch):
+    """Keep fault plans scoped to each test, however it exits."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    yield
+    faults.clear()
+
+
+def tiny_config(**overrides):
+    base = dict(tables=("table6",), sizes=(4,), seed=3, mc_batch=32,
+                workers=0, include_savings=True, modexp=((2, 3),))
+    base.update(overrides)
+    return SweepConfig(**base)
+
+
+class TestIdentity:
+    def test_task_keys_readable_and_distinct(self):
+        tasks = _plan(tiny_config())
+        keys = [task_key(t) for t in tasks]
+        assert keys == ["table:table6:n4", "savings:n4", "modexp:e2:n3"]
+        assert len(set(keys)) == len(keys)
+
+    def test_outcome_key_matches_run_task(self):
+        from repro.pipeline.runner import _run_task
+        from repro.pipeline.cache import CircuitCache
+
+        cache = CircuitCache()
+        for task in _plan(tiny_config()):
+            kind, key, _ = _run_task(task, cache)
+            assert outcome_key(task) == (kind, key)
+
+    def test_fingerprint_ignores_workers(self):
+        assert config_fingerprint(tiny_config(workers=0)) == \
+            config_fingerprint(tiny_config(workers=8))
+
+    def test_fingerprint_tracks_semantic_fields(self):
+        assert config_fingerprint(tiny_config(seed=3)) != \
+            config_fingerprint(tiny_config(seed=4))
+        assert config_fingerprint(tiny_config()) != \
+            config_fingerprint(tiny_config(mc_batch=64))
+
+
+class TestCheckpointJournal:
+    PAYLOAD = [
+        {"row": "CDKPM", "n": 4, "toffoli": 12, "toffoli_mbu": Fraction(15, 2),
+         "share": 0.8125, "note": "exact"},
+    ]
+
+    def test_round_trip_preserves_types_and_order(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, tiny_config())
+        journal.store("table:table6:n4", self.PAYLOAD)
+        loaded = journal.load("table:table6:n4")
+        assert loaded == self.PAYLOAD
+        assert isinstance(loaded[0]["toffoli_mbu"], Fraction)
+        assert isinstance(loaded[0]["toffoli"], int)
+        assert list(loaded[0]) == list(self.PAYLOAD[0])  # key order kept
+        assert journal.stats.writes == 1 and journal.stats.hits == 1
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, tiny_config())
+        assert journal.load("table:table6:n4") is None
+        assert journal.stats.misses == 1
+
+    def test_corrupt_entry_is_a_counted_miss(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, tiny_config())
+        path = journal.store("savings:n4", {"mbu": 0.25})
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert journal.load("savings:n4") is None
+        assert journal.stats.corrupt == 1
+
+    def test_checksum_mismatch_is_a_counted_miss(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, tiny_config())
+        path = journal.store("savings:n4", {"mbu": 0.25})
+        entry = json.loads(path.read_text())
+        entry["payload"]["mbu"] = 0.99  # silent bit-rot, checksum now stale
+        path.write_text(json.dumps(entry))
+        assert journal.load("savings:n4") is None
+        assert journal.stats.corrupt == 1
+
+    def test_stale_schema_is_a_counted_miss(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, tiny_config())
+        path = journal.store("savings:n4", {"mbu": 0.25})
+        entry = json.loads(path.read_text())
+        entry["schema"] = JOURNAL_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert journal.load("savings:n4") is None
+        assert journal.stats.stale == 1
+
+    def test_different_configs_never_alias(self, tmp_path):
+        a = CheckpointJournal(tmp_path, tiny_config(seed=3))
+        b = CheckpointJournal(tmp_path, tiny_config(seed=4))
+        a.store("savings:n4", {"mbu": 0.25})
+        assert b.load("savings:n4") is None
+        assert a.dir != b.dir
+
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, tiny_config())
+        journal.store("savings:n4", {"mbu": 0.25})
+        assert not list(journal.dir.glob("*.tmp"))
+
+    def test_completed_keys(self, tmp_path):
+        journal = CheckpointJournal(tmp_path, tiny_config())
+        assert journal.completed_keys() == []
+        journal.store("savings:n4", {"mbu": 0.25})
+        path = journal.store("modexp:e2:n3", {"row": "x"})
+        faults.corrupt_file(path)  # damaged entries don't count as completed
+        assert journal.completed_keys() == ["savings:n4"]
+
+
+class TestBackoff:
+    POLICY = ExecutionPolicy(backoff_base=0.1, backoff_cap=1.0)
+
+    def test_deterministic(self):
+        a = backoff_delay(self.POLICY, 7, "table:table1:n4", 2)
+        b = backoff_delay(self.POLICY, 7, "table:table1:n4", 2)
+        assert a == b
+
+    def test_grows_and_caps(self):
+        delays = [backoff_delay(self.POLICY, 7, "k", a) for a in range(1, 8)]
+        assert all(0.05 <= d <= 1.0 for d in delays)
+        assert max(delays) <= 1.0  # capped
+        assert delays[3] > delays[0]  # exponential region grows
+
+    def test_jitter_varies_by_key(self):
+        assert backoff_delay(self.POLICY, 7, "a", 1) != \
+            backoff_delay(self.POLICY, 7, "b", 1)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            ExecutionPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="task_timeout"):
+            ExecutionPolicy(task_timeout=0)
+        with pytest.raises(ValueError, match="pool_breaks"):
+            ExecutionPolicy(pool_breaks_before_degrade=-1)
+
+
+class TestExecutorSerial:
+    def test_retry_then_success(self):
+        faults.install(faults.FaultPlan(faults=(
+            faults.FaultSpec(site="task", action="raise",
+                             match="savings:*", attempts=(0,)),
+        )))
+        result = run_sweep(tiny_config(),
+                           policy=ExecutionPolicy(backoff_base=0.001))
+        report = {r["key"]: r for r in result.task_reports}["savings:n4"]
+        assert report["status"] == "ok"
+        assert report["attempts"] == 2 and report["failures"] == 1
+        assert "FaultInjected" in report["error"]
+        assert result.failures == []
+
+    def test_fail_fast_raises_structured_error(self):
+        faults.install(faults.FaultPlan(faults=(
+            faults.FaultSpec(site="task", action="raise", match="modexp:*"),
+        )))
+        with pytest.raises(SweepExecutionError) as exc:
+            run_sweep(tiny_config(),
+                      policy=ExecutionPolicy(max_retries=1, backoff_base=0.001))
+        (failure,) = exc.value.failures
+        assert failure.key == "modexp:e2:n3"
+        assert failure.attempts == 2  # 1 + max_retries
+        assert failure.seed == 3  # the replay seed rides along
+        assert "modexp:e2:n3" in str(exc.value)
+
+    def test_no_fail_fast_records_failure_and_continues(self):
+        faults.install(faults.FaultPlan(faults=(
+            faults.FaultSpec(site="task", action="raise", match="savings:*"),
+        )))
+        result = run_sweep(tiny_config(), policy=ExecutionPolicy(
+            max_retries=1, fail_fast=False, backoff_base=0.001))
+        (failure,) = result.failures
+        assert failure["key"] == "savings:n4" and failure["status"] == "failed"
+        assert failure["seed"] == 3
+        # every other task still completed, and its rows are intact
+        assert sorted(result.tables["table6"]) == [4]
+        assert len(result.modexp) == 1
+        assert result.savings == {}  # the failed cell is absent, not wrong
+
+    def test_kill_fault_degrades_to_raise_in_main_process(self):
+        # os._exit in the main process would take the test runner down;
+        # the harness must degrade it to FaultInjected instead.
+        faults.install(faults.FaultPlan(faults=(
+            faults.FaultSpec(site="task", action="kill", match="savings:*"),
+        )))
+        result = run_sweep(tiny_config(), policy=ExecutionPolicy(
+            max_retries=0, fail_fast=False, backoff_base=0.001))
+        (failure,) = result.failures
+        assert "FaultInjected" in failure["error"]
+
+    def test_cache_stats_aggregated_serially(self):
+        result = run_sweep(tiny_config())
+        assert result.cache_stats["misses"] > 0
+        assert 0.0 <= result.cache_stats["hit_ratio"] <= 1.0
+
+
+class TestExecutorParallel:
+    def test_parallel_cache_stats_no_longer_empty(self):
+        """The pool.map regression: remote work must report its stats."""
+        result = run_sweep(tiny_config(workers=2))
+        assert result.execution_modes == ["process"]
+        assert result.cache_stats["misses"] > 0
+        assert result.cache_stats["hits"] + result.cache_stats["misses"] > 0
+
+    def test_parallel_reports_worker_pids(self):
+        result = run_sweep(tiny_config(workers=2))
+        import os
+
+        pids = {r["worker"] for r in result.task_reports}
+        assert pids and os.getpid() not in pids
+
+    def test_parallel_rows_match_serial(self):
+        serial = run_sweep(tiny_config())
+        parallel = run_sweep(tiny_config(workers=2))
+        assert serial.tables == parallel.tables
+        assert serial.savings == parallel.savings
+        assert serial.modexp == parallel.modexp
+
+
+class TestResume:
+    def test_resume_skips_completed_and_is_byte_identical(self, tmp_path):
+        config = tiny_config()
+        baseline = json.dumps(sweep_artifact(run_sweep(config)), indent=2)
+        policy = ExecutionPolicy(store=tmp_path / "journal")
+        first = run_sweep(config, policy=policy)
+        assert first.journal_stats["writes"] == 3
+        second = run_sweep(config, policy=policy)
+        assert second.journal_stats["hits"] == 3
+        assert second.journal_stats["writes"] == 0
+        assert [r["status"] for r in second.task_reports] == ["cached"] * 3
+        assert json.dumps(sweep_artifact(second), indent=2) == baseline
+
+    def test_interrupted_sweep_resumes_where_it_stopped(self, tmp_path):
+        config = tiny_config()
+        policy = ExecutionPolicy(store=tmp_path / "journal", max_retries=0,
+                                 backoff_base=0.001)
+        # Interrupt: the last task (modexp) fails hard on the first run.
+        faults.install(faults.FaultPlan(faults=(
+            faults.FaultSpec(site="task", action="raise", match="modexp:*"),
+        )))
+        with pytest.raises(SweepExecutionError):
+            run_sweep(config, policy=policy)
+        faults.clear()
+        journal = CheckpointJournal(tmp_path / "journal", config)
+        assert journal.completed_keys() == ["savings:n4", "table:table6:n4"]
+        # The rerun replays the two completed tasks and computes only modexp.
+        resumed = run_sweep(config, policy=policy)
+        statuses = {r["key"]: r["status"] for r in resumed.task_reports}
+        assert statuses == {"table:table6:n4": "cached", "savings:n4": "cached",
+                            "modexp:e2:n3": "ok"}
+        assert resumed.journal_stats["hits"] == 2
+        baseline = json.dumps(sweep_artifact(run_sweep(config)), indent=2)
+        assert json.dumps(sweep_artifact(resumed), indent=2) == baseline
+
+    def test_resume_false_recomputes_but_still_checkpoints(self, tmp_path):
+        config = tiny_config()
+        store = tmp_path / "journal"
+        run_sweep(config, policy=ExecutionPolicy(store=store))
+        refreshed = run_sweep(config, policy=ExecutionPolicy(store=store,
+                                                             resume=False))
+        assert refreshed.journal_stats["hits"] == 0
+        assert refreshed.journal_stats["writes"] == 3
+        assert all(r["status"] == "ok" for r in refreshed.task_reports)
+
+
+class TestRunReport:
+    def test_report_written_and_structured(self, tmp_path):
+        result = run_sweep(tiny_config())
+        report = run_report(result)
+        assert report["schema"] == 1
+        assert report["seed"] == 3
+        assert report["config_fingerprint"] == config_fingerprint(tiny_config())
+        assert [t["status"] for t in report["tasks"]] == ["ok"] * 3
+        json_path, md_path = write_run_report(report, tmp_path)
+        assert json.loads(json_path.read_text()) == report
+        text = md_path.read_text()
+        assert "3 ok" in text and "table:table6:n4" in text
+
+    def test_report_keeps_diagnostics_out_of_the_artifact(self):
+        result = run_sweep(tiny_config())
+        artifact = sweep_artifact(result)
+        blob = json.dumps(artifact)
+        assert "task_reports" not in blob and "attempts" not in blob
+        assert "elapsed" not in blob and "journal" not in blob
+
+
+class TestCLI:
+    def test_store_resume_flow(self, tmp_path, capsys):
+        store = str(tmp_path / "journal")
+        assert cli_main(["--smoke", "--out", str(tmp_path), "--store", store]) == 0
+        first = capsys.readouterr().out
+        assert '"writes": 4' in first
+        assert cli_main(["--smoke", "--out", str(tmp_path), "--store", store,
+                         "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert '"hits": 4' in second
+        report = json.loads((tmp_path / "run_report.json").read_text())
+        assert [t["status"] for t in report["tasks"]] == ["cached"] * 4
+
+    def test_resume_defaults_store_under_out(self, tmp_path, capsys):
+        assert cli_main(["--smoke", "--out", str(tmp_path), "--resume"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / ".journal").is_dir()
+        assert cli_main(["--smoke", "--out", str(tmp_path), "--resume"]) == 0
+        assert '"hits": 4' in capsys.readouterr().out
+
+    def test_faults_flag_recovers_and_matches_golden(self, tmp_path, capsys):
+        plan = json.dumps({"seed": 1, "faults": [
+            {"site": "task", "action": "raise", "attempts": [0]},
+        ]})
+        rc = cli_main(["--smoke", "--out", str(tmp_path), "--faults", plan,
+                       "--check", "tests/golden/sweep_smoke.json"])
+        assert rc == 0
+        assert "matches golden" in capsys.readouterr().out
+        report = json.loads((tmp_path / "run_report.json").read_text())
+        assert all(t["attempts"] == 2 for t in report["tasks"])
+
+    def test_bad_fault_plan_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["--smoke", "--faults", "{not json"])
+        assert exc.value.code == 2
+        assert "--faults" in capsys.readouterr().err
+
+    def test_bad_retry_and_timeout_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["--smoke", "--max-retries", "-1"])
+        assert "--max-retries" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            cli_main(["--smoke", "--task-timeout", "0"])
+        assert "--task-timeout" in capsys.readouterr().err
+
+    def test_persistent_failure_exits_nonzero_with_replay_seed(self, tmp_path, capsys):
+        plan = json.dumps({"faults": [
+            {"site": "task", "action": "raise", "match": "modexp:*"},
+        ]})
+        rc = cli_main(["--smoke", "--out", str(tmp_path), "--faults", plan,
+                       "--max-retries", "0"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "modexp:e2:n3" in err and "replay seed=7" in err
+
+    def test_no_fail_fast_writes_partial_artifact(self, tmp_path, capsys):
+        plan = json.dumps({"faults": [
+            {"site": "task", "action": "raise", "match": "modexp:*"},
+        ]})
+        rc = cli_main(["--smoke", "--out", str(tmp_path), "--faults", plan,
+                       "--max-retries", "0", "--no-fail-fast"])
+        assert rc == 1
+        assert "SWEEP INCOMPLETE" in capsys.readouterr().err
+        artifact = json.loads((tmp_path / "tables.json").read_text())
+        assert artifact["modexp"] == []  # failed cell absent
+        assert artifact["tables"]["table1"]["sizes"]["4"]  # the rest intact
+        report = json.loads((tmp_path / "run_report.json").read_text())
+        assert len(report["failures"]) == 1
+
+
+class TestFaultPlanValidation:
+    def test_json_round_trip(self):
+        plan = faults.FaultPlan(seed=9, faults=(
+            faults.FaultSpec(site="task", action="kill", match="table:*",
+                             probability=0.2, attempts=(0, 1)),
+        ))
+        assert faults.FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_arg_reads_files(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"faults": [{"site": "task", "action": "raise"}]}')
+        plan = faults.FaultPlan.from_arg(f"@{path}")
+        assert plan.faults[0].action == "raise"
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError, match="site"):
+            faults.FaultSpec(site="disk", action="raise")
+        with pytest.raises(ValueError, match="action"):
+            faults.FaultSpec(site="task", action="explode")
+        with pytest.raises(ValueError, match="journal"):
+            faults.FaultSpec(site="task", action="corrupt")
+        with pytest.raises(ValueError, match="journal"):
+            faults.FaultSpec(site="journal", action="raise")
+        with pytest.raises(ValueError, match="probability"):
+            faults.FaultSpec(site="task", action="raise", probability=1.5)
+        with pytest.raises(ValueError, match="unknown fault plan key"):
+            faults.FaultPlan.from_json('{"surprise": 1}')
+
+    def test_probability_gate_is_deterministic_and_monotone(self):
+        always = faults.FaultInjector(faults.FaultPlan(faults=(
+            faults.FaultSpec(site="task", action="raise", probability=1.0),)))
+        never = faults.FaultInjector(faults.FaultPlan(faults=(
+            faults.FaultSpec(site="task", action="raise", probability=0.0),)))
+        some = faults.FaultInjector(faults.FaultPlan(faults=(
+            faults.FaultSpec(site="task", action="raise", probability=0.5),)))
+        keys = [f"table:table{i}:n{n}" for i in range(1, 7) for n in (4, 8)]
+        assert all(always.decide("task", k, 0) for k in keys)
+        assert not any(never.decide("task", k, 0) for k in keys)
+        fired = [bool(some.decide("task", k, 0)) for k in keys]
+        assert fired == [bool(some.decide("task", k, 0)) for k in keys]
+        assert any(fired) and not all(fired)
+
+    def test_attempt_filter(self):
+        injector = faults.FaultInjector(faults.FaultPlan(faults=(
+            faults.FaultSpec(site="task", action="raise", attempts=(1,)),)))
+        assert injector.decide("task", "k", 0) is None
+        assert injector.decide("task", "k", 1) is not None
+        assert injector.decide("task", "k", 2) is None
+
+    def test_env_plan_reaches_injector(self, monkeypatch):
+        plan = faults.FaultPlan(faults=(
+            faults.FaultSpec(site="task", action="raise"),))
+        monkeypatch.setenv(faults.FAULTS_ENV, plan.to_json())
+        with pytest.raises(faults.FaultInjected):
+            faults.maybe_fire("task", "any:key", 0)
