@@ -30,7 +30,7 @@ The package provides:
   points, deterministic across every backend and shard count.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from . import (
     arithmetic,

@@ -159,9 +159,24 @@ def build_spec(spec: CircuitSpec) -> Built:
     )
 
 
+def _ratio(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of one :class:`CircuitCache`."""
+    """Hit/miss/eviction counters of one :class:`CircuitCache`.
+
+    Three lookup families are tracked independently — circuits
+    (``hits``/``misses``), memoized counts (``count_*``) and compiled
+    programs (``program_*``) — and :attr:`hit_ratio` aggregates across
+    *all* of them.  A sweep's cache-effectiveness number must not ignore
+    the count and program lookups: the Monte-Carlo hot path does far more
+    of those than raw circuit builds, so the circuit-only ratio both
+    under- and over-stated reuse depending on the workload mix.  The
+    per-family ratios are reported alongside in :meth:`as_dict`.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -173,8 +188,23 @@ class CacheStats:
 
     @property
     def hit_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Hits over lookups aggregated across every family."""
+        return _ratio(
+            self.hits + self.count_hits + self.program_hits,
+            self.misses + self.count_misses + self.program_misses,
+        )
+
+    @property
+    def circuit_hit_ratio(self) -> float:
+        return _ratio(self.hits, self.misses)
+
+    @property
+    def count_hit_ratio(self) -> float:
+        return _ratio(self.count_hits, self.count_misses)
+
+    @property
+    def program_hit_ratio(self) -> float:
+        return _ratio(self.program_hits, self.program_misses)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -186,15 +216,25 @@ class CacheStats:
             "program_hits": self.program_hits,
             "program_misses": self.program_misses,
             "hit_ratio": round(self.hit_ratio, 4),
+            "circuit_hit_ratio": round(self.circuit_hit_ratio, 4),
+            "count_hit_ratio": round(self.count_hit_ratio, 4),
+            "program_hit_ratio": round(self.program_hit_ratio, 4),
         }
 
 
 class CircuitCache:
     """LRU-bounded memo of :class:`CircuitSpec` -> :class:`Built` (+ counts).
 
-    Thread-safe: sweep workers running in threads share one instance; the
-    process-pool path gives each worker process its own.  ``maxsize=None``
-    disables eviction.
+    Thread-safe: sweep workers running in threads — and the service's
+    request handlers — share one instance; the process-pool path gives
+    each worker process its own.  ``maxsize=None`` disables eviction.
+
+    Lookups are *single-flight*: when N threads miss the same key
+    concurrently, exactly one constructs (outside the lock — builds and
+    compiles are slow) while the rest wait on a per-key event and then
+    take the hit path.  Without this, a cache shared across request
+    threads would build every hot circuit once per thread on a cold
+    start, and the stats would report N misses for one build.
     """
 
     def __init__(self, maxsize: Optional[int] = 512) -> None:
@@ -203,20 +243,40 @@ class CircuitCache:
         self.maxsize = maxsize
         self._entries: "OrderedDict[CircuitSpec, Built]" = OrderedDict()
         self._counts: Dict[Tuple[CircuitSpec, str], Any] = {}
-        self._programs: Dict[Tuple[CircuitSpec, bool], Any] = {}
+        self._programs: Dict[Tuple[CircuitSpec, bool, bool], Any] = {}
         self._lock = threading.Lock()
+        #: In-flight constructions, keyed by a family-tagged token.  The
+        #: claimant computes; everyone else waits on the Event and re-probes.
+        self._inflight: Dict[Tuple[Any, ...], threading.Event] = {}
         self.stats = CacheStats()
+
+    def _release(self, token: Tuple[Any, ...]) -> None:
+        with self._lock:
+            waiter = self._inflight.pop(token, None)
+        if waiter is not None:
+            waiter.set()
 
     def build(self, spec: CircuitSpec) -> Built:
         """Return the (possibly cached) circuit for ``spec``."""
-        with self._lock:
-            built = self._entries.get(spec)
-            if built is not None:
-                self.stats.hits += 1
-                self._entries.move_to_end(spec)
-                return built
-            self.stats.misses += 1
-        built = build_spec(spec)  # construct outside the lock
+        token = ("build", spec)
+        while True:
+            with self._lock:
+                built = self._entries.get(spec)
+                if built is not None:
+                    self.stats.hits += 1
+                    self._entries.move_to_end(spec)
+                    return built
+                waiter = self._inflight.get(token)
+                if waiter is None:
+                    self._inflight[token] = threading.Event()
+                    self.stats.misses += 1  # one miss per distinct build
+                    break
+            waiter.wait()  # another thread is building this spec
+        try:
+            built = build_spec(spec)  # construct outside the lock
+        except BaseException:
+            self._release(token)  # waiters re-probe; one of them rebuilds
+            raise
         with self._lock:
             self._entries[spec] = built
             self._entries.move_to_end(spec)
@@ -224,28 +284,39 @@ class CircuitCache:
                 while len(self._entries) > self.maxsize:
                     evicted, _ = self._entries.popitem(last=False)
                     self.stats.evictions += 1
-                    for mode in ("expected", "worst", "best"):
-                        self._counts.pop((evicted, mode), None)
-                    for tally in (False, True):
-                        self._programs.pop((evicted, tally), None)
-            return self._entries[spec]
+                    for ckey in [k for k in self._counts if k[0] == evicted]:
+                        del self._counts[ckey]
+                    for pkey in [k for k in self._programs if k[0] == evicted]:
+                        del self._programs[pkey]
+        self._release(token)
+        return built
 
     def counts(self, spec: CircuitSpec, mode: str = "expected"):
         """Memoized ``Built.counts(mode)`` for the spec's circuit."""
         key = (spec, mode)
-        with self._lock:
-            if key in self._counts:
-                self.stats.count_hits += 1
-                return self._counts[key]
-        built = self.build(spec)
-        counted = built.counts(mode)
-        with self._lock:
-            self.stats.count_misses += 1
-            if spec in self._entries:  # don't pin counts of evicted circuits
-                self._counts[key] = counted
+        token = ("counts",) + key
+        while True:
+            with self._lock:
+                if key in self._counts:
+                    self.stats.count_hits += 1
+                    return self._counts[key]
+                waiter = self._inflight.get(token)
+                if waiter is None:
+                    self._inflight[token] = threading.Event()
+                    break
+            waiter.wait()
+        try:
+            built = self.build(spec)
+            counted = built.counts(mode)
+            with self._lock:
+                self.stats.count_misses += 1
+                if spec in self._entries:  # don't pin counts of evicted circuits
+                    self._counts[key] = counted
+        finally:
+            self._release(token)
         return counted
 
-    def program(self, spec: CircuitSpec, tally: bool = True):
+    def program(self, spec: CircuitSpec, tally: bool = True, schedule: bool = False):
         """Memoized compiled+fused bit-plane program for the spec's circuit.
 
         This is the pipeline-wide program reuse point: every Monte-Carlo
@@ -256,39 +327,61 @@ class CircuitCache:
         :class:`~repro.sim.classical.UnsupportedGateError` for circuits
         without basis-state semantics, like the builders themselves would
         at simulation time.
-        """
-        key = (spec, tally)
-        with self._lock:
-            if key in self._programs:
-                self.stats.program_hits += 1
-                cached = self._programs[key]
-                if isinstance(cached, _Unsupported):
-                    # memoized compile failure (QFT rows): raise a fresh
-                    # exception so callers never share a mutable instance
-                    raise UnsupportedGateError(*cached.args)
-                return cached
-        built = self.build(spec)
-        from ..transform.compile import compile_program, fuse_program
 
+        ``schedule`` is part of the memo key: the run-lengthening
+        scheduler (:func:`~repro.transform.compile.schedule_program`)
+        produces a differently-grouped (bit-identical-result) program, so
+        scheduled and unscheduled requests must never alias — keying by
+        ``(spec, tally)`` alone silently pinned whichever variant was
+        compiled first and made the scheduled/vector rung unreachable
+        from the pipeline.
+        """
+        key = (spec, tally, schedule)
+        token = ("program",) + key
+        while True:
+            with self._lock:
+                if key in self._programs:
+                    self.stats.program_hits += 1
+                    cached = self._programs[key]
+                    if isinstance(cached, _Unsupported):
+                        # memoized compile failure (QFT rows): raise a fresh
+                        # exception so callers never share a mutable instance
+                        raise UnsupportedGateError(*cached.args)
+                    return cached
+                waiter = self._inflight.get(token)
+                if waiter is None:
+                    self._inflight[token] = threading.Event()
+                    break
+            waiter.wait()
         try:
-            # This cache holds the FusedProgram itself, so the module-level
-            # fusion memo must not additionally pin the throwaway key.
-            program = fuse_program(
-                compile_program(built.circuit, tally=tally), memoize=False
-            )
-        except UnsupportedGateError as exc:
+            built = self.build(spec)
+            from ..transform.compile import compile_program, fuse_program
+
+            try:
+                # This cache holds the FusedProgram itself, so the module-level
+                # fusion memo must not additionally pin the throwaway key.
+                program = fuse_program(
+                    compile_program(built.circuit, tally=tally),
+                    memoize=False,
+                    schedule=schedule,
+                )
+            except UnsupportedGateError as exc:
+                with self._lock:
+                    self.stats.program_misses += 1
+                    if spec in self._entries:
+                        self._programs[key] = _Unsupported(exc.args)
+                raise
             with self._lock:
                 self.stats.program_misses += 1
-                if spec in self._entries:
-                    self._programs[key] = _Unsupported(exc.args)
-            raise
-        with self._lock:
-            self.stats.program_misses += 1
-            if spec in self._entries:  # don't pin programs of evicted circuits
-                self._programs[key] = program
-        return program
+                if spec in self._entries:  # don't pin programs of evicted circuits
+                    self._programs[key] = program
+            return program
+        finally:
+            self._release(token)
 
     def clear(self) -> None:
+        # In-flight constructions are left to complete and release their
+        # own tokens; popping them here would strand their waiters.
         with self._lock:
             self._entries.clear()
             self._counts.clear()

@@ -127,6 +127,15 @@ def _parse(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                         help="per-task wall-clock budget on the pool rungs; a "
                              "worker past it is killed and the task retried "
                              "(default: no limit)")
+    parser.add_argument("--schedule", action="store_true",
+                        help="run the run-lengthening scheduler before fusing "
+                             "each task circuit's compiled program "
+                             "(execution-only: artifact bytes are unchanged; "
+                             "composes with --smoke and --check)")
+    parser.add_argument("--kernels", default=None, metavar="STRATEGY",
+                        help="generated-kernel strategy for the Monte-Carlo "
+                             "columns: codegen, vector, arrays or auto "
+                             "(execution-only; composes with --smoke)")
     parser.add_argument("--no-fail-fast", action="store_true",
                         help="record tasks that exhaust their retries in the "
                              "run report (exit 1) instead of aborting the sweep")
@@ -148,6 +157,12 @@ def _parse(argv: Optional[Sequence[str]]) -> argparse.Namespace:
         args.transform_chain = parse_transform_chain(args.transform)
     except ValueError as exc:
         parser.error(str(exc))
+    from ..sim.strategies import validate_kernels
+
+    try:
+        validate_kernels(args.kernels)
+    except ValueError as exc:
+        parser.error(f"--kernels: {exc}")
     if args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
     if args.task_timeout is not None and args.task_timeout <= 0:
@@ -200,6 +215,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         fail_fast=not args.no_fail_fast,
         store=store,
         resume=True,
+        schedule=args.schedule,
+        kernels=args.kernels,
     )
     if args.fault_plan is not None:
         # Arm the whole ladder: the env var reaches pool workers, the

@@ -342,6 +342,12 @@ class ExecutionPolicy:
     #: Pool breaks (BrokenProcessPool / timeouts) survived on one rung
     #: before degrading process -> thread -> serial.
     pool_breaks_before_degrade: int = 2
+    #: Run the run-lengthening scheduler before fusing each task circuit's
+    #: compiled program.  Execution-only: results are bit-identical.
+    schedule: bool = False
+    #: Generated-kernel strategy for the Monte-Carlo columns ("codegen",
+    #: "vector", "arrays", "auto"; None = backend default).  Execution-only.
+    kernels: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -350,6 +356,9 @@ class ExecutionPolicy:
             raise ValueError("task_timeout must be positive (or None)")
         if self.pool_breaks_before_degrade < 0:
             raise ValueError("pool_breaks_before_degrade must be >= 0")
+        from ..sim.strategies import validate_kernels
+
+        validate_kernels(self.kernels)
 
 
 @dataclass
@@ -424,7 +433,13 @@ def _stats_snapshot(stats: Any) -> Dict[str, int]:
     return {name: getattr(stats, name) for name in _CACHE_COUNTERS}
 
 
-def _invoke(task: Dict[str, Any], attempt: int, serial_cache: Any = None) -> Dict[str, Any]:
+def _invoke(
+    task: Dict[str, Any],
+    attempt: int,
+    serial_cache: Any = None,
+    schedule: bool = False,
+    kernels: Optional[str] = None,
+) -> Dict[str, Any]:
     """Run one task (fault point first) and carry its cache delta home.
 
     Module-level and dict-in/dict-out so the process pool can pickle it.
@@ -434,6 +449,9 @@ def _invoke(task: Dict[str, Any], attempt: int, serial_cache: Any = None) -> Dic
     delta is exact on the process rung (workers run one task at a time);
     on the thread rung concurrent tasks share one cache, so per-task
     attribution is approximate while the aggregate stays truthful.
+    ``schedule``/``kernels`` are the policy's execution-only kernel
+    choices, forwarded positionally so the process pool can pickle the
+    submission.
     """
     from .faults import maybe_fire
     from .runner import _run_task, _worker_cache
@@ -442,7 +460,7 @@ def _invoke(task: Dict[str, Any], attempt: int, serial_cache: Any = None) -> Dic
     before = _stats_snapshot(cache.stats)
     maybe_fire("task", task_key(task), attempt)
     start = time.perf_counter()
-    kind, key, payload = _run_task(task, cache)
+    kind, key, payload = _run_task(task, cache, schedule=schedule, kernels=kernels)
     after = _stats_snapshot(cache.stats)
     return {
         "kind": kind,
@@ -455,12 +473,30 @@ def _invoke(task: Dict[str, Any], attempt: int, serial_cache: Any = None) -> Dic
 
 
 def _aggregate_cache(deltas: List[Dict[str, int]]) -> Dict[str, Any]:
-    total = {name: 0 for name in _CACHE_COUNTERS}
+    """Sum per-task cache deltas and derive the same ratios
+    :meth:`~repro.pipeline.cache.CacheStats.as_dict` reports: an
+    all-family aggregate ``hit_ratio`` plus the per-family breakdown.
+    (The aggregate used to divide circuit hits/misses only, silently
+    ignoring the count and program lookups that dominate a sweep.)
+    """
+    total: Dict[str, Any] = {name: 0 for name in _CACHE_COUNTERS}
     for delta in deltas:
         for name in _CACHE_COUNTERS:
             total[name] += delta.get(name, 0)
-    lookups = total["hits"] + total["misses"]
-    total["hit_ratio"] = round(total["hits"] / lookups, 4) if lookups else 0.0
+
+    def ratio(hits: int, misses: int) -> float:
+        lookups = hits + misses
+        return round(hits / lookups, 4) if lookups else 0.0
+
+    total["hit_ratio"] = ratio(
+        total["hits"] + total["count_hits"] + total["program_hits"],
+        total["misses"] + total["count_misses"] + total["program_misses"],
+    )
+    total["circuit_hit_ratio"] = ratio(total["hits"], total["misses"])
+    total["count_hit_ratio"] = ratio(total["count_hits"], total["count_misses"])
+    total["program_hit_ratio"] = ratio(
+        total["program_hits"], total["program_misses"]
+    )
     return total
 
 
@@ -594,7 +630,10 @@ def _run_pooled(state: _State, mode: str, workers: int) -> bool:
                     attempt = report.attempts
                     report.attempts += 1
                     try:
-                        future = pool.submit(_invoke, state.tasks[index], attempt)
+                        future = pool.submit(
+                            _invoke, state.tasks[index], attempt, None,
+                            policy.schedule, policy.kernels,
+                        )
                     except (BrokenExecutor, RuntimeError):
                         # Pool died between reap and submit: put the task
                         # back unharmed and handle it as a break below.
@@ -685,7 +724,10 @@ def _run_serial(state: _State) -> None:
         attempt = report.attempts
         report.attempts += 1
         try:
-            result = _invoke(state.tasks[index], attempt, serial_cache=state.serial_cache)
+            result = _invoke(
+                state.tasks[index], attempt, serial_cache=state.serial_cache,
+                schedule=policy.schedule, kernels=policy.kernels,
+            )
         except Exception as exc:
             if state.record_failure(index, "serial", f"{type(exc).__name__}: {exc}"):
                 state.maybe_fail_fast()

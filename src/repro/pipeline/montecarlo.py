@@ -89,6 +89,8 @@ def mc_expected_counts(
     compiled: bool = True,
     program: Any = None,
     execution: str = "auto",
+    kernels: Optional[str] = None,
+    schedule: bool = False,
     shards: Optional[int] = None,
     executor: Any = None,
     noise: Any = None,
@@ -125,6 +127,17 @@ def mc_expected_counts(
     only its wall time.  ``shards``/``executor`` pass through to
     :class:`~repro.sim.dispatch.ShardPool` when sharding is in play.
 
+    ``kernels`` picks the generated-kernel strategy the compiled
+    repetitions execute through (``"codegen"``, ``"vector"``,
+    ``"arrays"`` or ``"auto"``; ``None`` is the backend default) and
+    ``schedule=True`` runs the run-lengthening scheduler before fusion
+    when this call compiles or fuses the program itself (a pre-fused
+    ``program`` already made that choice — pull it from
+    :meth:`CircuitCache.program(spec, schedule=True)
+    <repro.pipeline.cache.CircuitCache.program>` to combine the two).
+    Both are execution-only: estimates are bit-identical whatever the
+    kernel or schedule, so the golden artifacts cannot move.
+
     ``noise`` (a :class:`repro.noise.NoiseConfig`) enables the bit-flip
     channel at the circuit's annotated noise points.  The channel stream
     rewinds to ``noise.seed`` at every repetition — repetitions share one
@@ -139,6 +152,9 @@ def mc_expected_counts(
             f"unknown execution mode {execution!r}; "
             "options: 'auto', 'single', 'sharded'"
         )
+    from ..sim.strategies import validate_kernels
+
+    validate_kernels(kernels)
     circuit = _circuit_of(target)
     compile_seconds = 0.0
     if compiled:
@@ -151,13 +167,15 @@ def mc_expected_counts(
         if program is None:
             start = time.perf_counter()
             program = fuse_program(
-                compile_program(circuit, tally=True), memoize=False
+                compile_program(circuit, tally=True),
+                memoize=False,
+                schedule=schedule,
             )
             program.kernel(events=True)  # kernel generation is compile work
             compile_seconds = time.perf_counter() - start
         elif isinstance(program, CompiledProgram):
             start = time.perf_counter()
-            program = fuse_program(program)
+            program = fuse_program(program, schedule=schedule)
             compile_seconds = time.perf_counter() - start
     use_sharded = False
     if compiled and execution != "single":
@@ -193,7 +211,8 @@ def mc_expected_counts(
 
         with ShardPool(
             program, batch=batch, shards=shards, executor=executor,
-            tally=False, lane_counts=tuple(gates), noise=noise,
+            tally=False, lane_counts=tuple(gates), kernels=kernels,
+            noise=noise,
         ) as pool:
             for r in range(repeats):
                 result = pool.run(
@@ -215,7 +234,7 @@ def mc_expected_counts(
             for name, value in (inputs or {}).items():
                 sim.set_register(name, value)
             if compiled:
-                sim.run_compiled(program)
+                sim.run_compiled(program, kernels=kernels)
             else:
                 sim.run()
             chunks.append(sim.lane_tally())

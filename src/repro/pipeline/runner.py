@@ -125,6 +125,8 @@ def table_rows_with_mc(
     mc_gates: Tuple[str, ...] = DEFAULT_GATES,
     cache: Optional[CircuitCache] = None,
     transforms: Tuple[str, ...] = (),
+    schedule: bool = False,
+    kernels: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """One table at one width, with Monte-Carlo columns attached.
 
@@ -134,6 +136,12 @@ def table_rows_with_mc(
     a pass chain to every row circuit (exact and Monte-Carlo columns both
     measure the transformed circuit); rows a transform makes unsimulable on
     the bit-plane backend simply skip their MC columns.
+
+    ``schedule``/``kernels`` choose how the Monte-Carlo columns *execute*
+    (run-lengthening scheduler before fusion; generated-kernel strategy —
+    e.g. ``schedule=True, kernels="vector"`` for the vectorized numpy
+    rung).  Both are execution-only: every kernel consumes identical
+    outcome streams, so the rows are byte-identical whatever the choice.
     """
     from ..resources.tables import TABLE_SPECS, build_table_rows
 
@@ -149,8 +157,8 @@ def table_rows_with_mc(
             circuit_spec = row_spec.template.spec(
                 n, p=p, a=a, mbu=(metric.variant == "mbu"), transforms=transforms
             )
-            try:  # compile once per (spec, transforms); reused sweep-wide
-                program = cache.program(circuit_spec)
+            try:  # compile once per (spec, transforms, schedule); reused sweep-wide
+                program = cache.program(circuit_spec, schedule=schedule)
             except UnsupportedGateError:  # no basis-state semantics (QFT rows)
                 continue
             estimate = mc_or_none(
@@ -160,6 +168,7 @@ def table_rows_with_mc(
                 gates=mc_gates,
                 seed=derive_seed(seed, table, n, row_spec.key, metric.variant),
                 program=program,
+                kernels=kernels,
             )
             if estimate is None:  # pragma: no cover - compile already vetted
                 continue
@@ -177,6 +186,8 @@ def modexp_row(
     mc_repeats: int = 1,
     mc_gates: Tuple[str, ...] = DEFAULT_GATES,
     cache: Optional[CircuitCache] = None,
+    schedule: bool = False,
+    kernels: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The large-workload scenario: Shor-style modular exponentiation.
 
@@ -200,7 +211,7 @@ def modexp_row(
         row[f"toffoli{suffix}_paper"] = formula["toffoli"]
         if suffix == "_mbu":
             try:  # compile once per spec; reused sweep-wide
-                program = cache.program(spec)
+                program = cache.program(spec, schedule=schedule)
             except UnsupportedGateError:
                 program = None
             estimate = None if program is None else mc_or_none(
@@ -210,6 +221,7 @@ def modexp_row(
                 gates=mc_gates,
                 seed=derive_seed(seed, "modexp", n_exp, n),
                 program=program,
+                kernels=kernels,
             )
             if estimate is not None:
                 row["toffoli_mbu_mc"] = estimate.mean
@@ -231,7 +243,12 @@ def _worker_cache() -> CircuitCache:
     return _WORKER_CACHE
 
 
-def _run_task(task: Dict[str, Any], cache: Optional[CircuitCache] = None):
+def _run_task(
+    task: Dict[str, Any],
+    cache: Optional[CircuitCache] = None,
+    schedule: bool = False,
+    kernels: Optional[str] = None,
+):
     if cache is None:
         cache = _worker_cache()
     kind = task["kind"]
@@ -241,6 +258,7 @@ def _run_task(task: Dict[str, Any], cache: Optional[CircuitCache] = None):
             seed=task["seed"], mc_batch=task["mc_batch"],
             mc_repeats=task["mc_repeats"], mc_gates=tuple(task["mc_gates"]),
             cache=cache, transforms=tuple(task.get("transforms", ())),
+            schedule=schedule, kernels=kernels,
         )
         return ("table", (task["table"], task["n"]), rows)
     if kind == "savings":
@@ -252,7 +270,7 @@ def _run_task(task: Dict[str, Any], cache: Optional[CircuitCache] = None):
             task["n_exp"], task["n"],
             seed=task["seed"], mc_batch=task["mc_batch"],
             mc_repeats=task["mc_repeats"], mc_gates=tuple(task["mc_gates"]),
-            cache=cache,
+            cache=cache, schedule=schedule, kernels=kernels,
         )
         return ("modexp", (task["n_exp"], task["n"]), row)
     raise ValueError(f"unknown task kind {kind!r}")  # pragma: no cover

@@ -1,0 +1,46 @@
+"""repro.service: the serving layer over the reproduction pipeline.
+
+Turns the batch pipeline into a long-lived process: a two-tier
+(memory LRU + content-addressed disk) :class:`PersistentCircuitCache`
+answers repeated resource-estimation queries without rebuilding or
+re-simulating anything — including across restarts — and a
+:class:`JobManager` runs full table sweeps asynchronously on the
+pipeline's fault-tolerant executor.  ``python -m repro.service`` exposes
+both over a thin stdlib HTTP/JSON API (see :mod:`repro.service.http`
+for the routes, ``docs/service.md`` for the contract).
+"""
+
+from .api import (
+    ESTIMATE_SCHEMA_VERSION,
+    EstimateRequest,
+    canonical_json,
+    compute_estimate,
+    serve_estimate,
+)
+from .http import ReproRequestHandler, ServiceState, main, serve
+from .jobs import Job, JobManager, sweep_config_from_mapping
+from .store import (
+    STORE_SCHEMA_VERSION,
+    PersistentCircuitCache,
+    TierStats,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "ESTIMATE_SCHEMA_VERSION",
+    "STORE_SCHEMA_VERSION",
+    "EstimateRequest",
+    "Job",
+    "JobManager",
+    "PersistentCircuitCache",
+    "ReproRequestHandler",
+    "ServiceState",
+    "TierStats",
+    "canonical_json",
+    "compute_estimate",
+    "main",
+    "serve",
+    "serve_estimate",
+    "spec_fingerprint",
+    "sweep_config_from_mapping",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — run the HTTP serving layer."""
+
+from .http import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

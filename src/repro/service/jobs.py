@@ -1,0 +1,220 @@
+"""The service's async job layer: sweep requests over the pipeline executor.
+
+An /estimate request is synchronous because the cache makes it cheap; a
+*sweep* (tables × sizes × Monte-Carlo repeats, possibly minutes of work)
+is a **job**: submitted, identified, polled, and collected when done.
+:class:`JobManager` maps a submitted :class:`~repro.pipeline.runner.SweepConfig`
+onto :func:`~repro.pipeline.runner.run_sweep` — and therefore onto
+:func:`~repro.pipeline.jobs.execute_tasks` with its full retry /
+backoff / pool-respawn / degradation ladder — on a background worker
+thread, journaling checkpoints under the service store so an interrupted
+job resumes instead of recomputing.
+
+Job identity is the config fingerprint
+(:func:`~repro.pipeline.jobs.config_fingerprint`): submitting the same
+sweep twice returns the *same* job — the semantic content determines the
+result, so there is nothing to run twice.  Results are rendered with
+:func:`~repro.pipeline.artifacts.sweep_artifact`, i.e. a job's result is
+bytewise the artifact the batch CLI would have written for that config.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..pipeline.artifacts import run_report, sweep_artifact
+from ..pipeline.jobs import ExecutionPolicy, config_fingerprint
+from ..pipeline.runner import SweepConfig, run_sweep
+
+__all__ = ["Job", "JobManager", "sweep_config_from_mapping"]
+
+#: SweepConfig fields a job submission may set; everything else is an error
+#: (catching typos like "table" for "tables" at submit time, not run time).
+_CONFIG_FIELDS = (
+    "tables", "sizes", "seed", "mc_batch", "mc_repeats",
+    "workers", "include_savings", "modexp", "transforms",
+)
+
+
+def sweep_config_from_mapping(data: Mapping[str, Any]) -> SweepConfig:
+    """Validate and freeze a job submission into a :class:`SweepConfig`.
+
+    Raises ``ValueError`` with a client-presentable message for unknown
+    fields, unknown tables and malformed transform chains — a malformed
+    job must be rejected at submit time with a 400, never accepted and
+    failed asynchronously.
+    """
+    unknown = sorted(set(data) - set(_CONFIG_FIELDS))
+    if unknown:
+        raise ValueError(
+            f"unknown sweep config field(s): {', '.join(unknown)}; "
+            f"accepted: {', '.join(_CONFIG_FIELDS)}"
+        )
+    kwargs: Dict[str, Any] = {}
+    if "tables" in data:
+        from ..resources.tables import TABLE_SPECS
+
+        tables = tuple(str(t) for t in data["tables"])
+        bad = [t for t in tables if t not in TABLE_SPECS]
+        if bad:
+            raise ValueError(
+                f"unknown table(s): {', '.join(bad)}; "
+                f"available: {', '.join(sorted(TABLE_SPECS))}"
+            )
+        kwargs["tables"] = tables
+    if "sizes" in data:
+        kwargs["sizes"] = tuple(int(n) for n in data["sizes"])
+    for name in ("seed", "mc_batch", "mc_repeats"):
+        if name in data:
+            kwargs[name] = int(data[name])
+    if "workers" in data and data["workers"] is not None:
+        kwargs["workers"] = int(data["workers"])
+    if "include_savings" in data:
+        kwargs["include_savings"] = bool(data["include_savings"])
+    if "modexp" in data:
+        kwargs["modexp"] = tuple((int(ne), int(n)) for ne, n in data["modexp"])
+    if "transforms" in data:
+        from ..transform import parse_transform_chain
+
+        kwargs["transforms"] = parse_transform_chain(data["transforms"])
+    return SweepConfig(**kwargs)
+
+
+@dataclass
+class Job:
+    """One submitted sweep and its execution story."""
+
+    id: str
+    config: SweepConfig
+    status: str = "queued"           # queued | running | done | failed
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    artifact: Optional[Dict[str, Any]] = None   # sweep_artifact(result)
+    report: Optional[Dict[str, Any]] = None     # run_report(result)
+
+    def status_dict(self) -> Dict[str, Any]:
+        """The /jobs/<id> response: progress without the (large) result."""
+        out: Dict[str, Any] = {
+            "id": self.id,
+            "status": self.status,
+            "config": {
+                "tables": list(self.config.tables),
+                "sizes": list(self.config.sizes),
+                "seed": self.config.seed,
+                "mc_batch": self.config.mc_batch,
+                "mc_repeats": self.config.mc_repeats,
+                "modexp": [list(pair) for pair in self.config.modexp],
+                "transforms": list(self.config.transforms),
+            },
+            "submitted_at": round(self.submitted_at, 3),
+            "started_at": round(self.started_at, 3) if self.started_at else None,
+            "finished_at": round(self.finished_at, 3) if self.finished_at else None,
+            "error": self.error,
+        }
+        if self.report is not None:
+            out["tasks"] = {
+                "total": len(self.report.get("tasks", [])),
+                "failed": len(self.report.get("failures", [])),
+            }
+            out["execution_modes"] = self.report.get("execution_modes")
+            out["journal"] = self.report.get("journal")
+        return out
+
+
+class JobManager:
+    """Submit/status/result over a bounded background worker pool.
+
+    ``store`` (when set) roots each job's checkpoint journal at
+    ``store/jobs``, so a crashed or restarted service resumes its
+    in-flight sweeps from completed-task checkpoints.  ``policy`` is the
+    execution policy template; per job it is re-rooted at the journal and
+    forced to ``fail_fast=False`` (an async job must report its failures,
+    not vanish with a traceback nobody saw).
+    """
+
+    def __init__(
+        self,
+        store: Optional[Union[str, Path]] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        workers: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = Path(store) if store is not None else None
+        self.policy = policy or ExecutionPolicy()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job"
+        )
+
+    def _job_policy(self) -> ExecutionPolicy:
+        journal = str(self.store / "jobs") if self.store is not None else None
+        return replace(self.policy, store=journal, resume=True, fail_fast=False)
+
+    def submit(self, config: SweepConfig) -> Job:
+        """Queue ``config``; identical configs coalesce onto one job.
+
+        A previously *failed* job with the same fingerprint is resubmitted
+        (its journal still holds whatever completed, so the retry resumes).
+        """
+        job_id = f"job-{config_fingerprint(config)}"
+        with self._lock:
+            existing = self._jobs.get(job_id)
+            if existing is not None and existing.status != "failed":
+                return existing
+            job = Job(id=job_id, config=config)
+            self._jobs[job_id] = job
+            if job_id not in self._order:
+                self._order.append(job_id)
+        self._pool.submit(self._run, job)
+        return job
+
+    def _run(self, job: Job) -> None:
+        with self._lock:
+            job.status = "running"
+            job.started_at = time.time()
+        try:
+            result = run_sweep(job.config, policy=self._job_policy())
+            artifact = sweep_artifact(result)
+            report = run_report(result)
+        except Exception as exc:  # surfaced via status, never raised away
+            with self._lock:
+                job.status = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished_at = time.time()
+            return
+        with self._lock:
+            job.artifact = artifact
+            job.report = report
+            job.status = "failed" if report.get("failures") else "done"
+            if job.status == "failed":
+                job.error = f"{len(report['failures'])} sweep task(s) failed"
+            job.finished_at = time.time()
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return [self._jobs[jid].status_dict() for jid in self._order]
+
+    def summary(self) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.status] = counts.get(job.status, 0) + 1
+            counts["total"] = len(self._jobs)
+            return counts
+
+    def shutdown(self, wait: bool = False) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=True)

@@ -341,3 +341,101 @@ class TestCLIErrors:
             cli_main(["--transform", "lower_toffoli,bogus"])
         assert exc.value.code == 2
         assert "unknown transform pass" in capsys.readouterr().err
+
+
+class TestScheduleAwareCache:
+    """`program()` keys by (spec, tally, schedule): a scheduled and an
+    unscheduled request must never alias (the pre-fix bug handed whoever
+    asked second the other caller's fusion)."""
+
+    def test_schedule_variants_cached_independently(self):
+        cache = CircuitCache()
+        spec = CircuitSpec.make("modadd", 3, p=5, family="cdkpm", mbu=True)
+        plain = cache.program(spec)
+        scheduled = cache.program(spec, schedule=True)
+        assert plain is not scheduled
+        assert cache.program(spec) is plain
+        assert cache.program(spec, schedule=True) is scheduled
+        assert cache.stats.program_misses == 2 and cache.stats.program_hits == 2
+
+    def test_scheduled_program_is_actually_scheduled(self):
+        cache = CircuitCache()
+        spec = CircuitSpec.make("modadd", 3, p=5, family="cdkpm", mbu=True)
+        assert cache.program(spec, schedule=True).scheduled
+        assert not cache.program(spec).scheduled
+
+    def test_eviction_drops_all_schedule_variants(self):
+        cache = CircuitCache(maxsize=1)
+        spec = CircuitSpec.make("modadd", 3, p=5, family="cdkpm", mbu=True)
+        cache.program(spec)
+        cache.program(spec, schedule=True)
+        cache.build(CircuitSpec.make("adder", 4, family="cdkpm"))  # evict
+        assert cache.stats.evictions == 1
+        cache.program(spec)
+        assert cache.stats.program_misses == 3  # recompiled, not replayed
+
+
+class TestPerFamilyHitRatios:
+    """`hit_ratio` aggregates all cache families; per-family ratios are
+    reported alongside (the pre-fix bug reported only circuit builds, so
+    a counts-heavy run looked cold no matter how hot it was)."""
+
+    def test_aggregate_ratio_includes_counts_and_programs(self):
+        cache = CircuitCache()
+        spec = CircuitSpec.make("adder", 4, family="cdkpm")
+        for _ in range(2):
+            cache.counts(spec)  # miss+build-miss then hit
+        # families: circuit 1 miss, counts 1 miss 1 hit
+        assert cache.stats.hit_ratio == pytest.approx(1 / 3)
+        assert cache.stats.circuit_hit_ratio == 0.0
+        assert cache.stats.count_hit_ratio == 0.5
+        assert cache.stats.program_hit_ratio == 0.0
+
+    def test_as_dict_reports_every_ratio(self):
+        cache = CircuitCache()
+        cache.counts(CircuitSpec.make("adder", 4, family="cdkpm"))
+        stats = cache.stats.as_dict()
+        for key in ("hit_ratio", "circuit_hit_ratio", "count_hit_ratio",
+                    "program_hit_ratio"):
+            assert key in stats and 0.0 <= stats[key] <= 1.0
+
+    def test_sweep_reports_per_family_ratios(self):
+        result = run_sweep(smoke_config())
+        stats = result.cache_stats
+        assert {"hit_ratio", "circuit_hit_ratio", "count_hit_ratio",
+                "program_hit_ratio"} <= set(stats)
+        served = (stats["hits"] + stats["count_hits"] + stats["program_hits"])
+        total = served + (stats["misses"] + stats["count_misses"]
+                          + stats["program_misses"])
+        assert stats["hit_ratio"] == pytest.approx(served / total, abs=1e-4)
+
+
+class TestExecutionOnlyKnobs:
+    """`schedule`/`kernels` are execution policy: they may change *how* the
+    sweep runs, never a byte of what it produces."""
+
+    def test_scheduled_vector_sweep_matches_golden(self):
+        from repro.pipeline.jobs import ExecutionPolicy
+
+        policy = ExecutionPolicy(schedule=True, kernels="vector")
+        result = run_sweep(smoke_config(), policy=policy)
+        golden = load_artifact(GOLDEN)
+        assert diff_artifacts(sweep_artifact(result), golden) == []
+
+    def test_cli_schedule_kernels_flags_match_golden(self, tmp_path, capsys):
+        code = cli_main(["--smoke", "--schedule", "--kernels", "vector",
+                         "--out", str(tmp_path), "--check", str(GOLDEN)])
+        assert code == 0
+        assert "matches golden" in capsys.readouterr().out
+
+    def test_bad_kernels_flag_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["--smoke", "--kernels", "bogus"])
+        assert exc.value.code == 2
+        assert "--kernels" in capsys.readouterr().err
+
+    def test_policy_validates_kernels(self):
+        from repro.pipeline.jobs import ExecutionPolicy
+
+        with pytest.raises(ValueError, match="kernel"):
+            ExecutionPolicy(kernels="bogus")

@@ -1,0 +1,241 @@
+"""Service store tests: single-flight builds, the disk tier, damage = miss."""
+
+import json
+import threading
+from fractions import Fraction
+
+import pytest
+
+import repro.pipeline.cache as cache_mod
+from repro.pipeline.cache import CircuitCache, CircuitSpec
+from repro.service.api import canonical_json
+from repro.service.store import (
+    STORE_SCHEMA_VERSION,
+    PersistentCircuitCache,
+    spec_fingerprint,
+)
+
+
+def _hammer(target, threads=8):
+    """Run ``target(i)`` on N threads released by one barrier; re-raise
+    the first worker exception so failures fail the test, not a thread."""
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def work(i):
+        barrier.wait()
+        try:
+            target(i)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    workers = [threading.Thread(target=work, args=(i,)) for i in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestSingleFlight:
+    """Concurrent cold lookups must cost exactly one construction."""
+
+    def test_one_build_per_spec_under_contention(self, monkeypatch):
+        builds = []
+        real_build = cache_mod.build_spec
+        lock = threading.Lock()
+
+        def counting_build(spec):
+            with lock:
+                builds.append(spec)
+            return real_build(spec)
+
+        monkeypatch.setattr(cache_mod, "build_spec", counting_build)
+        cache = CircuitCache()
+        specs = [CircuitSpec.make("adder", n, family="cdkpm") for n in (3, 4, 5)]
+        results = {}
+
+        def work(i):
+            spec = specs[i % len(specs)]
+            built = cache.build(spec)
+            with lock:
+                results.setdefault(spec, set()).add(id(built))
+
+        _hammer(work, threads=12)
+        # one construction per distinct spec, every thread saw that object
+        assert sorted(s.key for s in builds) == sorted(s.key for s in specs)
+        assert all(len(ids) == 1 for ids in results.values())
+        assert cache.stats.misses == len(specs)
+        assert cache.stats.hits == 12 - len(specs)
+
+    def test_one_compile_per_program_key_under_contention(self):
+        cache = CircuitCache()
+        spec = CircuitSpec.make("modadd", 3, p=5, family="cdkpm", mbu=True)
+        seen = set()
+        lock = threading.Lock()
+
+        def work(i):
+            program = cache.program(spec)
+            with lock:
+                seen.add(id(program))
+
+        _hammer(work, threads=8)
+        assert len(seen) == 1
+        assert cache.stats.program_misses == 1
+        assert cache.stats.program_hits == 7
+
+    def test_failed_build_releases_waiters(self, monkeypatch):
+        """A builder crash must not strand the threads waiting on it: the
+        next claimant retries (and here, succeeds)."""
+        real_build = cache_mod.build_spec
+        state = {"calls": 0}
+        lock = threading.Lock()
+
+        def flaky_build(spec):
+            with lock:
+                state["calls"] += 1
+                if state["calls"] == 1:
+                    raise RuntimeError("injected")
+            return real_build(spec)
+
+        monkeypatch.setattr(cache_mod, "build_spec", flaky_build)
+        cache = CircuitCache()
+        spec = CircuitSpec.make("adder", 4, family="cdkpm")
+        outcomes = []
+
+        def work(i):
+            try:
+                outcomes.append(cache.build(spec))
+            except RuntimeError:
+                outcomes.append(None)
+
+        _hammer(work, threads=6)
+        built = [b for b in outcomes if b is not None]
+        assert len(built) == 5 and len({id(b) for b in built}) == 1
+        assert state["calls"] == 2  # the crash, then exactly one retry
+
+    def test_one_result_compute_under_contention(self, tmp_path):
+        cache = PersistentCircuitCache(tmp_path)
+        computes = []
+        lock = threading.Lock()
+
+        def compute():
+            with lock:
+                computes.append(1)
+            return {"value": Fraction(1, 3)}
+
+        tiers = []
+
+        def work(i):
+            payload, tier = cache.result("t", "f" * 64, compute)
+            with lock:
+                tiers.append((tier, canonical_json(payload)))
+
+        _hammer(work, threads=8)
+        assert len(computes) == 1
+        assert sorted(t for t, _ in tiers) == ["computed"] + ["memory"] * 7
+        assert len({body for _, body in tiers}) == 1  # byte-identical
+        assert cache.result_stats.writes == 1
+
+
+class TestDiskTier:
+    def _fingerprint(self, **extra):
+        return spec_fingerprint(
+            CircuitSpec.make("adder", 4, family="cdkpm"), **extra
+        )
+
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        """compute -> disk -> reload serializes to the very same bytes,
+        Fractions included — the service's restart contract."""
+        cache = PersistentCircuitCache(tmp_path)
+        fp = self._fingerprint()
+        payload = {"mean": Fraction(22, 7), "counts": {"toffoli": 12}, "nested": [1, Fraction(1, 3)]}
+        first, tier1 = cache.result("estimate", fp, lambda: payload)
+        assert tier1 == "computed"
+        cache.drop_memory_results()  # the programmatic restart
+        second, tier2 = cache.result("estimate", fp, lambda: pytest.fail("recomputed"))
+        assert tier2 == "disk"
+        assert canonical_json(second) == canonical_json(first)
+        assert second["mean"] == Fraction(22, 7)  # exact, not a float
+
+    def test_fingerprint_distinguishes_extras(self):
+        base = self._fingerprint()
+        assert self._fingerprint(seed=1) != base
+        assert self._fingerprint(seed=2) != self._fingerprint(seed=1)
+        assert self._fingerprint() == base  # deterministic
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = PersistentCircuitCache(tmp_path)
+        fp = self._fingerprint()
+        cache.result("estimate", fp, lambda: {"v": 1})
+        path = cache.result_path("estimate", fp)
+        path.write_text("{ not json")
+        cache.drop_memory_results()
+        payload, tier = cache.result("estimate", fp, lambda: {"v": 1})
+        assert tier == "computed" and payload == {"v": 1}
+        assert cache.result_stats.corrupt == 1
+        # and the recompute healed the entry on disk
+        cache.drop_memory_results()
+        assert cache.result("estimate", fp, lambda: None)[1] == "disk"
+
+    def test_checksum_mismatch_is_a_miss(self, tmp_path):
+        cache = PersistentCircuitCache(tmp_path)
+        fp = self._fingerprint()
+        cache.result("estimate", fp, lambda: {"v": 1})
+        path = cache.result_path("estimate", fp)
+        entry = json.loads(path.read_text())
+        entry["payload"] = {"v": 2}  # tampered payload, stale checksum
+        path.write_text(json.dumps(entry))
+        cache.drop_memory_results()
+        _, tier = cache.result("estimate", fp, lambda: {"v": 1})
+        assert tier == "computed"
+        assert cache.result_stats.corrupt == 1
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        cache = PersistentCircuitCache(tmp_path)
+        fp = self._fingerprint()
+        cache.result("estimate", fp, lambda: {"v": 1})
+        path = cache.result_path("estimate", fp)
+        entry = json.loads(path.read_text())
+        assert entry["schema"] == STORE_SCHEMA_VERSION
+        entry["schema"] = STORE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        cache.drop_memory_results()
+        _, tier = cache.result("estimate", fp, lambda: {"v": 1})
+        assert tier == "computed"
+        assert cache.result_stats.stale == 1
+
+    def test_foreign_family_is_a_miss(self, tmp_path):
+        """An entry can never answer for a family it wasn't stored under,
+        even if a path collision (or a copy) puts it there."""
+        import shutil
+
+        cache = PersistentCircuitCache(tmp_path)
+        fp = self._fingerprint()
+        cache.result("estimate", fp, lambda: {"v": 1})
+        src = cache.result_path("estimate", fp)
+        dst = cache.result_path("rows", fp)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(src, dst)
+        _, tier = cache.result("rows", fp, lambda: {"v": 2})
+        assert tier == "computed"
+        assert cache.result_stats.stale == 1
+
+    def test_memory_lru_is_bounded(self, tmp_path):
+        cache = PersistentCircuitCache(tmp_path, result_maxsize=2)
+        for i in range(5):
+            cache.result("t", f"{i:064d}", lambda i=i: {"i": i})
+        assert len(cache._results) == 2
+        # evicted entries still come back from disk
+        _, tier = cache.result("t", f"{0:064d}", lambda: pytest.fail("recomputed"))
+        assert tier == "disk"
+
+    def test_stats_dict_shape(self, tmp_path):
+        cache = PersistentCircuitCache(tmp_path)
+        cache.result("t", "a" * 64, lambda: {"v": 1})
+        stats = cache.stats_dict()
+        assert stats["result_tier"]["writes"] == 1
+        assert stats["result_tier"]["misses"] == 1
+        assert stats["memory_results"] == 1
+        assert "circuit_cache" in stats and "hit_ratio" in stats["circuit_cache"]

@@ -1,0 +1,153 @@
+"""CI smoke for the serving layer: cold -> hot -> restart, asserted by bytes.
+
+Boots a real ``python -m repro.service`` subprocess on an ephemeral port,
+then checks the cache contract end to end:
+
+1. a cold ``/estimate`` is computed (``X-Repro-Cache: computed``);
+2. re-issuing it is served from memory, byte-identically, and ``/statsz``
+   shows the memory-hit counter moving while misses stand still;
+3. the GET and POST spellings share the warm entry;
+4. the server is killed and restarted on the same store, and the same
+   request comes back from the *disk* tier — still the same bytes;
+5. a sweep job submitted over ``/jobs`` runs to ``done`` and serves its
+   artifact.
+
+Exits non-zero (with the failing check named) on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+ESTIMATE_QUERY = "kind=modadd&n=6&p=61&family=cdkpm&mbu=true&mc_batch=128&seed=9"
+ESTIMATE_JSON = {"kind": "modadd", "n": 6, "p": 61, "family": "cdkpm",
+                 "mbu": True, "mc_batch": 128, "seed": 9}
+JOB_CONFIG = {"tables": ["table1"], "sizes": [4], "seed": 7, "mc_batch": 64,
+              "modexp": [], "include_savings": False, "workers": 0}
+
+
+def fail(check: str, detail: str = "") -> None:
+    print(f"SERVICE SMOKE FAILED [{check}] {detail}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+class Server:
+    """One ``python -m repro.service`` child on an ephemeral port."""
+
+    def __init__(self, store: Path) -> None:
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "--port", "0",
+             "--store", str(store)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        line = self.proc.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if not match:
+            self.stop()
+            fail("boot", f"no address in startup line: {line!r}")
+        self.base = match.group(0)
+
+    def stop(self) -> None:
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+
+    def get(self, path: str):
+        with urllib.request.urlopen(f"{self.base}{path}", timeout=60) as resp:
+            return resp.headers.get("X-Repro-Cache"), resp.read()
+
+    def post(self, path: str, payload) -> bytes:
+        req = urllib.request.Request(
+            f"{self.base}{path}", data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.read()
+
+    def stats(self) -> dict:
+        return json.loads(self.get("/statsz")[1])
+
+
+def main() -> int:
+    store = Path(tempfile.mkdtemp(prefix="service-smoke-"))
+    server = Server(store)
+    try:
+        tier, _ = server.get("/healthz")
+        print(f"service up at {server.base} (store: {store})")
+
+        # 1. cold request is computed
+        tier, cold = server.get(f"/estimate?{ESTIMATE_QUERY}")
+        if tier != "computed":
+            fail("cold", f"expected tier 'computed', got {tier!r}")
+        before = server.stats()["cache"]["result_tier"]
+        print(f"cold estimate: {len(cold)} bytes, tier=computed")
+
+        # 2. re-issue: memory hit, same bytes, /statsz delta says so
+        tier, warm = server.get(f"/estimate?{ESTIMATE_QUERY}")
+        if tier != "memory":
+            fail("hot", f"expected tier 'memory', got {tier!r}")
+        if warm != cold:
+            fail("hot", "warm response differs from cold response")
+        after = server.stats()["cache"]["result_tier"]
+        if after["memory_hits"] != before["memory_hits"] + 1:
+            fail("hot", f"memory_hits did not advance: {before} -> {after}")
+        if after["misses"] != before["misses"]:
+            fail("hot", f"warm request recomputed: {before} -> {after}")
+        print(f"hot estimate: byte-identical, memory_hits {before['memory_hits']}"
+              f" -> {after['memory_hits']}, misses flat at {after['misses']}")
+
+        # 3. the POST spelling lands on the same warm entry
+        via_post = server.post("/estimate", ESTIMATE_JSON)
+        if via_post != cold:
+            fail("post", "POST body differs from GET body")
+        print("post estimate: shares the GET fingerprint, byte-identical")
+
+        # 4. a sweep job runs to completion
+        job = json.loads(server.post("/jobs", JOB_CONFIG))
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            status = json.loads(server.get(f"/jobs/{job['id']}")[1])["status"]
+            if status in ("done", "failed"):
+                break
+            time.sleep(0.2)
+        if status != "done":
+            detail = server.get(f"/jobs/{job['id']}")[1][:400]
+            fail("job", f"job ended {status!r}: {detail!r}")
+        result = json.loads(server.get(f"/jobs/{job['id']}/result")[1])
+        if not result["artifact"]["tables"]:
+            fail("job", "finished job served an empty artifact")
+        print(f"job {job['id'][:20]}…: done, artifact served")
+    finally:
+        server.stop()
+
+    # 5. a *real* restart serves the same request from the disk tier
+    server = Server(store)
+    try:
+        tier, redux = server.get(f"/estimate?{ESTIMATE_QUERY}")
+        if tier != "disk":
+            fail("restart", f"expected tier 'disk', got {tier!r}")
+        if redux != cold:
+            fail("restart", "post-restart response differs from original")
+        tier_stats = server.stats()["cache"]["result_tier"]
+        if tier_stats["disk_hits"] != 1 or tier_stats["corrupt"]:
+            fail("restart", f"unexpected tier counters: {tier_stats}")
+        print("restart: served from disk, byte-identical to the original")
+    finally:
+        server.stop()
+
+    print("service smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
